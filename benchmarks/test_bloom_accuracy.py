@@ -1,0 +1,26 @@
+"""Regenerates the §VI-A2 Bloom-signature accuracy stress test.
+
+Over one million lock addresses: 8/16/32-bit two-bin signatures miss
+25 % / 12.5 % / 6.25 % of injected races, and two bins beat four bins at
+every signature size.
+"""
+
+import pytest
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_bloom_accuracy_million_addresses(benchmark):
+    rows = run_once(benchmark, ex.bloom_accuracy_study,
+                    num_addresses=1 << 20)
+    print()
+    print(report.render_bloom(rows))
+
+    by_geo = {(r.sig_bits, r.bins): r.miss_rate for r in rows}
+    assert by_geo[(8, 2)] == pytest.approx(0.25, rel=0.02)
+    assert by_geo[(16, 2)] == pytest.approx(0.125, rel=0.02)
+    assert by_geo[(32, 2)] == pytest.approx(0.0625, rel=0.02)
+    for bits in (8, 16, 32):
+        assert by_geo[(bits, 4)] > by_geo[(bits, 2)]

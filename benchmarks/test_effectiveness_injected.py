@@ -1,0 +1,27 @@
+"""Regenerates the §VI-A injected-race result: 41/41 detected.
+
+23 barrier removals + 13 cross-block dummy accesses + 3 fence removals +
+2 critical-section dummies, all detected by HAccRG.
+"""
+
+from repro.bench.injection import INJECTION_CATALOG
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_all_41_injected_races_detected(benchmark, scale):
+    results = run_once(benchmark, ex.effectiveness_injected_races,
+                       scale=scale)
+    print()
+    print(report.render_injected(results))
+
+    assert len(results) == 41
+    missed = [r.spec for r in results if not r.detected]
+    assert not missed, f"missed injections: {missed}"
+
+    by_cat = {}
+    for r in results:
+        by_cat[r.spec.category] = by_cat.get(r.spec.category, 0) + 1
+    assert by_cat == {"barrier": 23, "xblock": 13, "fence": 3,
+                      "critical": 2}

@@ -1,0 +1,42 @@
+"""Regenerates Fig. 7: normalized execution time per detection config.
+
+Paper: shared-only detection costs ~1 % geomean; combined shared+global
+~27 % geomean; the software implementation of HAccRG slows SCAN/HIST/
+KMEANS by 6.6x/12.4x/18.1x; GRace is about two orders of magnitude slower
+than the software implementation. We assert the *shape*: ordering of the
+configurations and the ballpark factors (see EXPERIMENTS.md for measured
+vs paper values).
+"""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_fig7_performance(benchmark, scale):
+    result = run_once(benchmark, ex.fig7_performance, scale=scale)
+    print()
+    print(report.render_fig7(result))
+
+    # shared detection is near-free (paper: 1%)
+    assert result.shared_geomean < 1.05
+
+    # combined detection costs tens of percent, not integer factors
+    assert 1.02 < result.full_geomean < 1.6
+
+    for r in result.rows:
+        # shared <= full for every benchmark (global adds traffic)
+        assert r.shared_norm <= r.full_norm * 1.02
+        if r.software_norm is not None:
+            # software instrumentation is an order of magnitude beyond
+            # the hardware detector
+            assert r.software_norm > 2.0
+            assert r.software_norm > 2 * r.full_norm
+            # GRace is orders of magnitude beyond software HAccRG on the
+            # shared-memory benchmarks it instruments; our KMEANS keeps
+            # no data in shared memory, so GRace-addr has nothing to
+            # log there — the coverage gap the paper criticizes
+            if r.name != "KMEANS":
+                assert r.grace_norm > 5 * r.software_norm
+            else:
+                assert r.grace_norm >= 1.0

@@ -1,0 +1,36 @@
+"""Regenerates Fig. 8: shared shadow entries split hardware/software.
+
+Paper: storing the shared-memory shadow entries in global memory (fetched
+through the L1) costs little for most kernels, because the small shadow
+footprint caches well — except OFFT, whose banked row-spread shared
+accesses touch many shadow lines per access.
+"""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_fig8_shadow_split(benchmark, scale):
+    rows = run_once(benchmark, ex.fig8_shadow_split, scale=scale)
+    print()
+    print(report.render_fig8(rows))
+    by_name = {r.name: r for r in rows}
+
+    shared_users = [r for r in rows if r.name != "HASH"]  # HASH: no shared
+
+    # the split can only cost more than dedicated hardware
+    for r in shared_users:
+        assert r.software_split_norm >= r.hardware_norm * 0.98
+
+    # most benchmarks see only a small penalty...
+    cheap = [r for r in shared_users
+             if r.software_split_norm <= r.hardware_norm * 1.15]
+    assert len(cheap) >= len(shared_users) // 2
+
+    # ... and OFFT is the outlier (row-spreading FFT strides)
+    offt = by_name["OFFT"]
+    penalty = {r.name: r.software_split_norm / r.hardware_norm
+               for r in shared_users}
+    assert penalty["OFFT"] == max(penalty.values())
+    assert offt.shadow_l1_misses > 0

@@ -1,0 +1,50 @@
+"""Coarse tracking granularity trades accuracy for storage — in one
+direction only: it may *add* false positives (Table III) but can never
+*hide* a race that fine granularity reports, because coarsening only
+merges entries. This bench runs the injected-race catalogue at 4 B and at
+the storage-saving 16 B granularity and requires every fine-granularity
+racy location to map into a racy coarse location (the set-coverage form
+of completeness: a count-based "new races vs baseline" check would be
+confounded by the coarse baseline's own false positives claiming the
+same dedup keys).
+"""
+
+from dataclasses import replace
+
+from repro.bench.injection import INJECTION_CATALOG
+from repro.harness import experiments as ex
+from repro.harness.runner import run_benchmark
+
+from conftest import run_once
+
+FINE = ex.WORD_CONFIG                      # 4 B shared / 4 B global
+COARSE = replace(ex.WORD_CONFIG, shared_granularity=16,
+                 global_granularity=16)
+
+
+def _racy_entries(config, spec, scale):
+    res = run_benchmark(spec.bench, config, scale=scale,
+                        timing_enabled=False, injection=spec.injection(),
+                        **spec.build_overrides())
+    return {(r.space, r.entry) for r in res.races.reports}
+
+
+def _run(scale):
+    uncovered = []
+    for spec in INJECTION_CATALOG:
+        fine = _racy_entries(FINE, spec, scale)
+        coarse = _racy_entries(COARSE, spec, scale)
+        for space, entry in fine:
+            # a 4B entry's bytes land in coarse entry (entry*4)//16
+            if (space, (entry * 4) // 16) not in coarse:
+                uncovered.append((spec, space, entry))
+    return uncovered
+
+
+def test_coarsening_never_hides_races(benchmark, scale):
+    uncovered = run_once(benchmark, _run, scale)
+    print(f"\nfine racy locations uncovered at 16B: {len(uncovered)}")
+    for spec, space, entry in uncovered[:10]:
+        print(f"  {spec.bench} {spec.category} "
+              f"{spec.omit + spec.emit}: {space.name} entry {entry}")
+    assert not uncovered, "coarsening hid a fine-granularity race"

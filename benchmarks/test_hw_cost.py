@@ -1,0 +1,25 @@
+"""Regenerates the §VI-C2 hardware-overhead figures."""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_hw_cost(benchmark):
+    rep = run_once(benchmark, ex.hw_cost_report)
+    print()
+    print(report.render_hw_cost(rep))
+
+    comps = rep["comparators"]
+    stor = rep["storage"]
+    # paper's quoted figures
+    assert rep["shared_entry_bits"] == 12
+    assert rep["global_entry_bits_basic"] == 28
+    assert rep["global_entry_bits_fence"] == 36
+    assert rep["global_entry_bits_full"] == 52
+    assert comps.shared_per_sm == 8
+    assert comps.global_basic_per_slice == 32
+    assert comps.global_id_per_slice == 16
+    assert stor.shared_shadow_per_sm == 4608          # 4.5 KB
+    assert 3000 <= stor.id_storage_per_sm <= 3200     # ~3 KB
+    assert stor.race_register_file_per_slice == 768   # 0.75 KB

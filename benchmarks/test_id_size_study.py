@@ -1,0 +1,25 @@
+"""Regenerates the §VI-A2 sync/fence ID sizing study.
+
+The paper observes that sync-ID increments are tiny (max 5, thanks to the
+increment-only-if-global-accessed optimization) and fence executions are
+few, so 8-bit counters never overflow in practice.
+"""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_id_size_study(benchmark, scale):
+    rows = run_once(benchmark, ex.id_size_study, scale=scale)
+    print()
+    print(report.render_idsizes(rows))
+
+    for r in rows:
+        assert r.sync_overflows == 0, f"{r.name} sync ID overflowed"
+        assert r.fence_overflows == 0, f"{r.name} fence ID overflowed"
+        # 8-bit headroom: increments stay far below 256
+        assert r.max_sync_increments < 256
+        assert r.max_fence_increments < 256
+    # sync IDs increment only when global memory was touched: single-digit
+    assert max(r.max_sync_increments for r in rows) <= 8

@@ -1,0 +1,14 @@
+"""Regenerates Table I: GPU hardware parameters."""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_table1_config(benchmark):
+    rows = run_once(benchmark, ex.table1_config)
+    print()
+    print(report.render_table1(rows))
+    assert rows["# SMs / GPU Clusters"] == "30 / 10"
+    assert rows["SIMD Pipeline Width / Warp Size"] == "8 / 32"
+    assert rows["Memory Controller"] == "Out-of-Order (FR-FCFS)"

@@ -1,0 +1,23 @@
+"""Regenerates Table II: benchmark characteristics (instruction mix)."""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_table2_characteristics(benchmark, scale):
+    rows = run_once(benchmark, ex.table2_characteristics, scale=scale)
+    print()
+    print(report.render_table2(rows))
+    by_name = {r.name: r for r in rows}
+    # shape assertions mirroring the paper's narrative:
+    # PSUM is the global-memory-dominated microbenchmark
+    assert by_name["PSUM"].global_access_pct == max(
+        r.global_access_pct for r in rows
+    )
+    # SCAN/HIST/SORTNW are shared-memory heavy; HASH uses no shared memory
+    assert by_name["HASH"].shared_access_pct == 0.0
+    assert by_name["SCAN"].shared_access_pct > 10.0
+    # the fence users
+    for name in ("REDUCE", "PSUM", "KMEANS"):
+        assert by_name[name].fences > 0

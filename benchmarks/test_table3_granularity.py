@@ -1,0 +1,35 @@
+"""Regenerates Table III: false races vs tracking granularity.
+
+Paper VI-A1: no benchmark has global false positives at 4 bytes (element
+sizes are >= 4B); several benchmarks stay clean at every granularity due
+to warp-regular access patterns; HIST (1-byte shared elements) is the
+shared-memory outlier.
+"""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_table3_granularity(benchmark, scale):
+    rows = run_once(benchmark, ex.table3_granularity, scale=scale)
+    print()
+    print(report.render_table3(rows))
+    by_name = {r.name: r for r in rows}
+
+    # word granularity is exact for every benchmark, both spaces
+    for r in rows:
+        assert r.shared[4][0] == 0, f"{r.name} shared 4B false positives"
+        assert r.global_[4][0] == 0, f"{r.name} global 4B false positives"
+
+    # HIST's byte-sized elements produce shared false races when coarser
+    hist = by_name["HIST"]
+    assert hist.shared[8][0] > 0
+    assert hist.shared[64][0] > 0
+    # ... and it is the worst shared offender at 16B (the paper's default)
+    assert hist.shared[16][1] == max(r.shared[16][1] for r in rows)
+
+    # several benchmarks stay clean at every shared granularity
+    always_clean = [r.name for r in rows
+                    if all(r.shared[g][0] == 0 for g in ex.GRANULARITIES)]
+    assert len(always_clean) >= 3

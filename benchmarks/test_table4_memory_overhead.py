@@ -1,0 +1,29 @@
+"""Regenerates Table IV: global shadow-memory footprint per benchmark.
+
+At 4-byte granularity with 36-bit entries, shadow storage is a fixed
+1.125 bytes per data byte; the table reports our scaled footprints plus
+the analytic re-projection at the paper's input sizes (e.g. HIST tens of
+MB, SCAN a few KB — the paper's extremes).
+"""
+
+from repro.harness import experiments as ex, report
+
+from conftest import run_once
+
+
+def test_table4_memory_overhead(benchmark, scale):
+    rows = run_once(benchmark, ex.table4_memory_overhead, scale=scale)
+    print()
+    print(report.render_table4(rows))
+    by_name = {r.name: r for r in rows}
+
+    for r in rows:
+        # the fixed per-byte ratio of the 36-bit / 4B configuration
+        assert abs(r.shadow_bytes - r.data_bytes * 1.125) <= 8
+
+    # the paper's extremes: HIST largest, SCAN smallest
+    projections = {r.name: r.paper_projection_bytes for r in rows}
+    assert max(projections, key=projections.get) == "HIST"
+    assert min(projections, key=projections.get) == "SCAN"
+    assert projections["HIST"] > 10 * (1 << 20)   # tens of MB
+    assert projections["SCAN"] < 32 * (1 << 10)   # a few KB

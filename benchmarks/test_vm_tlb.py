@@ -1,0 +1,32 @@
+"""Regenerates the §IV-B virtual-memory claims: tagged vs split TLBs.
+
+Not a paper figure (the paper argues the design qualitatively); this bench
+quantifies it on the suite's real global-access traces: the 1-bit-tag
+mechanism loses regular-TLB capacity to shadow translations, the split
+mechanism translates faster, and shadow pages are allocated on demand
+only for global-space pages.
+"""
+
+from repro.harness import vm_experiment as vme
+
+from conftest import run_once
+
+
+def test_vm_tlb_mechanisms(benchmark, scale):
+    rows = run_once(benchmark, vme.vm_tlb_study, scale=scale)
+    print()
+    print(vme.render_vm_tlb(rows))
+
+    for r in rows:
+        assert r.accesses > 0
+        # sharing the TLB with shadow translations can only hurt the
+        # application's miss rate relative to a dedicated-app TLB
+        assert r.tagged_app_miss >= r.split_app_miss - 1e-9
+        # the split design is at least as fast in total
+        assert r.split_cycles <= r.tagged_cycles
+        # on-demand shadow paging: at most one shadow page per app page
+        assert 0 < r.shadow_pages <= r.app_pages
+
+    # the capacity effect must be material somewhere in the suite
+    assert any(r.tagged_app_miss > r.split_app_miss + 0.02 for r in rows)
+    assert any(r.split_cycles < 0.9 * r.tagged_cycles for r in rows)

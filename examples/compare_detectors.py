@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Compare hardware HAccRG, software HAccRG, and GRace-addr (§VI-B).
+
+Runs SCAN, HIST, and KMEANS — the three kernels the paper uses for the
+software comparison — under four configurations and prints normalized
+execution times. Expected shape: the hardware RDUs cost a few percent;
+running the same algorithm as kernel instrumentation costs integer
+factors; GRace-addr's log-then-scan structure costs orders of magnitude
+more (on the shared-memory kernels it instruments).
+
+Run:  python examples/compare_detectors.py
+"""
+
+from repro.common.config import DetectionMode, DetectorBackend, HAccRGConfig
+from repro.harness.runner import run_benchmark
+
+BENCHES = ("SCAN", "HIST", "KMEANS")
+
+
+def main() -> None:
+    print(f"{'bench':8s} {'baseline':>10s} {'hardware':>9s} "
+          f"{'software':>9s} {'grace':>10s}")
+    for name in BENCHES:
+        base = run_benchmark(name, None)
+        hw = run_benchmark(name, HAccRGConfig(mode=DetectionMode.FULL))
+        sw = run_benchmark(name, HAccRGConfig(
+            mode=DetectionMode.FULL, backend=DetectorBackend.SOFTWARE))
+        gr = run_benchmark(name, HAccRGConfig(
+            mode=DetectionMode.SHARED, backend=DetectorBackend.GRACE))
+        print(f"{name:8s} {base.cycles:>9d}c "
+              f"{hw.cycles / base.cycles:>8.2f}x "
+              f"{sw.cycles / base.cycles:>8.2f}x "
+              f"{gr.cycles / base.cycles:>9.1f}x")
+    print()
+    print("paper §VI-B: software HAccRG slows SCAN/HIST/KMEANS by "
+          "6.6x/12.4x/18.1x;")
+    print("GRace is two orders of magnitude slower than software HAccRG "
+          "and misses all global-memory races.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Explore the tracking-granularity accuracy/cost trade-off (§IV-C, VI-A1).
+
+One shadow entry can cover 4..64 bytes of application memory. Coarser
+tracking shrinks the shadow storage proportionally but merges neighbouring
+elements into one entry, which turns some legitimate cross-warp access
+patterns into false races — most dramatically HIST, whose shared
+sub-histograms use one-byte counters.
+
+This script sweeps both granularities over the benchmark suite and prints
+the Table III false-positive counts next to the shadow-storage savings.
+
+Run:  python examples/granularity_tradeoff.py
+"""
+
+from repro.core.shadow_memory import global_shadow_footprint
+from repro.harness import experiments, report
+
+
+def main() -> None:
+    rows = experiments.table3_granularity()
+    print(report.render_table3(rows))
+    print()
+
+    print("shadow storage per MB of application data:")
+    for g in experiments.GRANULARITIES:
+        kb = global_shadow_footprint(1 << 20, g) / 1024
+        print(f"  {g:>2}B granularity: {kb:7.1f} KB per MB "
+              f"({kb / 1024 * 100:5.1f}% overhead)")
+    print()
+
+    # the paper's choice: 16B shared (7/10 benchmarks false-positive-free),
+    # 4B global (exact for every benchmark)
+    clean_at_16 = [r.name for r in rows if r.shared[16][0] == 0]
+    print(f"benchmarks with zero false shared races at 16B: "
+          f"{', '.join(clean_at_16) or 'none'}")
+    print("paper setting: shared=16B, global=4B")
+
+
+if __name__ == "__main__":
+    main()

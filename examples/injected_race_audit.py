@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Audit detection coverage with the paper's 41 injected races.
+
+§VI-A injects artificial races four ways — removing barriers (23),
+inserting cross-block dummy accesses (13), removing fences (3), and
+mixing accesses in/out of critical sections (2) — and HAccRG detects all
+41. This script replays the catalogue and reports each injection with the
+race categories the detector produced.
+
+Run:  python examples/injected_race_audit.py
+"""
+
+from repro.harness import experiments, report
+
+
+def main() -> None:
+    results = experiments.effectiveness_injected_races()
+    print(report.render_injected(results))
+
+    detected = sum(1 for r in results if r.detected)
+    print()
+    print(f"TOTAL: {detected}/{len(results)} injected races detected "
+          f"(paper: 41/41)")
+    by_cat = {}
+    for r in results:
+        by_cat.setdefault(r.spec.category, []).append(r.detected)
+    for cat, flags in sorted(by_cat.items()):
+        print(f"  {cat:8s}: {sum(flags)}/{len(flags)}")
+
+
+if __name__ == "__main__":
+    main()

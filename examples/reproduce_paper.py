@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation, in order.
+
+This is the one-shot reproduction driver: it runs the experiments behind
+Table I-IV and Figures 7-9 plus the §VI-A/§VI-A2 studies and prints each
+in the paper's format. Expect a few minutes of wall clock.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.harness import experiments as ex, report
+
+
+def timed(label, fn, *args, **kwargs):
+    t0 = time.time()
+    result = fn(*args, **kwargs)
+    print(f"\n[{label} regenerated in {time.time() - t0:.1f}s]")
+    return result
+
+
+def main() -> None:
+    print(report.render_table1(timed("Table I", ex.table1_config)))
+    print()
+    print(report.render_table2(
+        timed("Table II", ex.table2_characteristics)))
+    print()
+    print(report.render_effectiveness(
+        timed("VI-A real races", ex.effectiveness_real_races)))
+    print()
+    print(report.render_injected(
+        timed("VI-A injected races", ex.effectiveness_injected_races)))
+    print()
+    print(report.render_table3(
+        timed("Table III", ex.table3_granularity)))
+    print()
+    print(report.render_bloom(
+        timed("VI-A2 Bloom accuracy", ex.bloom_accuracy_study)))
+    print()
+    print(report.render_idsizes(timed("VI-A2 ID sizes", ex.id_size_study)))
+    print()
+    print(report.render_fig7(timed("Fig 7", ex.fig7_performance)))
+    print()
+    print(report.render_fig8(timed("Fig 8", ex.fig8_shadow_split)))
+    print()
+    print(report.render_fig9(timed("Fig 9", ex.fig9_bandwidth)))
+    print()
+    print(report.render_table4(
+        timed("Table IV", ex.table4_memory_overhead)))
+    print()
+    print(report.render_hw_cost(timed("VI-C2 hw cost", ex.hw_cost_report)))
+
+    # extension studies (beyond the paper's tables; see EXPERIMENTS.md)
+    from repro.harness import ablations as ab
+    from repro.harness import vm_experiment as vme
+
+    print()
+    print(ab.render_ablation(
+        "fence-ID suppression (§III-C)",
+        timed("ablation: fences", ab.ablation_fence_suppression),
+        "races (with)", "races (without)"))
+    print()
+    print(ab.render_ablation(
+        "warp-aware suppression (§III-A)",
+        timed("ablation: warps", ab.ablation_warp_suppression),
+        "races (with)", "races (without)"))
+    print()
+    print(ab.render_ablation(
+        "lazy sync-ID increment (§IV-B)",
+        timed("ablation: sync IDs", ab.ablation_sync_id_optimization),
+        "max incr (lazy)", "max incr (eager)"))
+    print()
+    print(ab.render_ablation(
+        "dirty-only shadow write-back",
+        timed("ablation: write-back", ab.ablation_shadow_writeback),
+        "shadow txns", "shadow txns (naive)"))
+    print()
+    print(vme.render_vm_tlb(timed("IV-B virtual memory", vme.vm_tlb_study)))
+
+
+if __name__ == "__main__":
+    main()

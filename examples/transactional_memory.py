@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""§VII extension demo: transactional memory on the detection substrate.
+
+The paper notes the RDU's dependence-tracking hardware can double as a
+transactional-memory conflict detector. This example runs a bank-transfer
+workload — the classic TM correctness demo — under heavy conflict: many
+logical threads move money between a few accounts. Conflicting transfers
+abort and retry; the invariant (total balance) must hold at every commit.
+
+Run:  python examples/transactional_memory.py
+"""
+
+import numpy as np
+
+from repro.ext.htm import TransactionManager
+
+ACCOUNTS = 8
+INITIAL = 100.0
+TRANSFERS = 200
+
+
+def main() -> None:
+    rng = np.random.Generator(np.random.PCG64(42))
+    tm = TransactionManager(region_bytes=ACCOUNTS * 4, granularity=4)
+
+    # seed balances transactionally
+    def seed(tx, read, write):
+        for acct in range(ACCOUNTS):
+            write(acct * 4, INITIAL)
+    tm.run_atomic(thread_id=-1, body=seed)
+
+    # run transfers in interleaved batches of 4 "warps": every transfer's
+    # reads and writes interleave with three concurrent peers, so
+    # transfers touching a common account genuinely conflict
+    pending = [
+        (int(src), int(dst), float(rng.integers(1, 20)))
+        for src, dst in (rng.choice(ACCOUNTS, size=2, replace=False)
+                         for _ in range(TRANSFERS))
+    ]
+    retries = list(range(len(pending)))
+    while retries:
+        batch, retries = retries[:4], retries[4:]
+        txs = {i: tm.begin(i) for i in batch}
+        # phase 1: everyone reads its source balance
+        balances = {}
+        for i in batch:
+            src, dst, amount = pending[i]
+            balances[i] = tm.read(txs[i], src * 4)
+        # phase 2: everyone writes (conflicting writers abort here)
+        for i in batch:
+            src, dst, amount = pending[i]
+            tx = txs[i]
+            if tx.is_active and balances[i] >= amount:
+                if tm.write(tx, src * 4, balances[i] - amount) and tx.is_active:
+                    dst_balance = tm.read(tx, dst * 4)
+                    if tx.is_active:  # the read itself may have aborted us
+                        tm.write(tx, dst * 4, dst_balance + amount)
+        # phase 3: commit survivors, requeue the aborted
+        for i in batch:
+            if txs[i].is_active:
+                tm.commit(txs[i])
+            else:
+                retries.append(i)
+
+    balances = [tm.values.get(a * 4, 0.0) for a in range(ACCOUNTS)]
+    total = sum(balances)
+    print(f"accounts: {balances}")
+    print(f"total:    {total} (must be {ACCOUNTS * INITIAL})")
+    print(f"stats:    {tm.stats.begins} begins, {tm.stats.commits} commits, "
+          f"{tm.stats.aborts} aborts "
+          f"({tm.stats.conflicts_raw} RAW / {tm.stats.conflicts_war} WAR / "
+          f"{tm.stats.conflicts_waw} WAW conflicts)")
+    assert total == ACCOUNTS * INITIAL, "conservation violated!"
+    print("balance conserved under concurrent conflicting transfers.")
+
+
+if __name__ == "__main__":
+    main()

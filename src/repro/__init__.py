@@ -1,0 +1,75 @@
+"""HAccRG reproduction: hardware-accelerated data race detection in GPUs.
+
+A from-scratch Python reproduction of *HAccRG: Hardware-Accelerated Data
+Race Detection in GPUs* (Holey, Mekkat, Zhai - ICPP 2013), including the
+GPU simulator substrate the paper's evaluation depends on.
+
+Quickstart::
+
+    from repro import (GPUSimulator, Kernel, HAccRGDetector,
+                       HAccRGConfig, DetectionMode, scaled_gpu_config)
+
+    def kernel(ctx, data):
+        tid = ctx.tid_x
+        sh = ctx.shared["buf"]
+        yield ctx.store(sh, tid, float(tid))
+        # missing ctx.syncthreads() -> data race
+        v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+        yield ctx.store(data, ctx.global_tid_x, v)
+
+    sim = GPUSimulator(scaled_gpu_config())
+    det = HAccRGDetector(HAccRGConfig(mode=DetectionMode.FULL), sim)
+    sim.attach_detector(det)
+    data = sim.malloc("data", 256)
+    sim.launch(Kernel(kernel, shared={"buf": (128, 4)}),
+               grid=2, block=128, args=(data,))
+    for race in det.log.reports:
+        print(race.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    GPUConfig,
+    HAccRGConfig,
+    scaled_gpu_config,
+)
+from repro.common.types import (
+    AccessKind,
+    Dim3,
+    MemSpace,
+    RaceCategory,
+    RaceKind,
+)
+from repro.core import BloomSignature, HAccRGDetector, RaceLog, RaceReport
+from repro.gpu import DeviceArray, GPUSimulator, Kernel, SimulationResult
+from repro.swdetect import GRaceAddrDetector, SoftwareHAccRG
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "BloomSignature",
+    "DetectionMode",
+    "DetectorBackend",
+    "DeviceArray",
+    "Dim3",
+    "GPUConfig",
+    "GPUSimulator",
+    "GRaceAddrDetector",
+    "HAccRGConfig",
+    "HAccRGDetector",
+    "Kernel",
+    "MemSpace",
+    "RaceCategory",
+    "RaceKind",
+    "RaceLog",
+    "RaceReport",
+    "SimulationResult",
+    "SoftwareHAccRG",
+    "scaled_gpu_config",
+    "__version__",
+]

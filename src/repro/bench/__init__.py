@@ -1,0 +1,25 @@
+"""CUDA-benchmark re-implementations (paper Table II workloads).
+
+Ten benchmarks exercise the detector exactly as the paper's evaluation does:
+seven CUDA-SDK-derived kernels (MCARLO, SCAN, FWALSH, HIST, SORTNW, REDUCE,
+OFFT), the KMEANS clustering kernel, and the PSUM / HASH microbenchmarks.
+Inputs are scaled down from the paper's (documented per benchmark) so that
+pure-Python simulation completes in seconds; access *patterns* — strides,
+element sizes, synchronization placement, and the documented real bugs —
+are preserved.
+
+Use :data:`repro.bench.suite.SUITE` to iterate all benchmarks, or import a
+specific one from its module.
+"""
+
+from repro.bench.common import Injection, NO_INJECTION, RunPlan, Benchmark
+from repro.bench.suite import SUITE, get_benchmark
+
+__all__ = [
+    "Injection",
+    "NO_INJECTION",
+    "RunPlan",
+    "Benchmark",
+    "SUITE",
+    "get_benchmark",
+]

@@ -1,0 +1,122 @@
+"""Benchmark plumbing: run plans, fault injection, verification helpers.
+
+Every benchmark builds a :class:`RunPlan`: the ordered kernel launches that
+make up the workload, a functional verifier, and the data footprint used by
+the Table IV experiment. Race injection (§VI-A "Injected Races") is driven
+by an :class:`Injection` passed into the kernels: named *sites* in the
+kernel code consult it to decide whether to skip a barrier/fence or emit a
+dummy conflicting access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.types import Dim3
+from repro.gpu.kernel import Kernel
+
+
+class Injection:
+    """Selects which fault-injection sites are active for a run.
+
+    Sites are string identifiers baked into kernel code. ``omit`` sites
+    remove a synchronization operation (barrier or fence); ``emit`` sites
+    add a dummy conflicting access. The same object answers both so a
+    kernel needs a single argument.
+    """
+
+    def __init__(self, omit: Sequence[str] = (), emit: Sequence[str] = ()) -> None:
+        self._omit = frozenset(omit)
+        self._emit = frozenset(emit)
+
+    def keep(self, site: str) -> bool:
+        """True when the synchronization at ``site`` should be executed."""
+        return site not in self._omit
+
+    def inject(self, site: str) -> bool:
+        """True when the dummy access at ``site`` should be emitted."""
+        return site in self._emit
+
+    @property
+    def active_sites(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._omit | self._emit))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Injection(omit={sorted(self._omit)}, emit={sorted(self._emit)})"
+
+
+#: The default, fault-free injection.
+NO_INJECTION = Injection()
+
+
+@dataclass
+class LaunchSpec:
+    """One kernel launch inside a run plan."""
+
+    kernel: Kernel
+    grid: Any
+    block: Any
+    args: Tuple = ()
+
+
+@dataclass
+class RunPlan:
+    """Everything needed to execute and check one benchmark configuration."""
+
+    name: str
+    launches: List[LaunchSpec]
+    verify: Optional[Callable[[], None]] = None  # raises AssertionError
+    data_bytes: int = 0           # kernel data tracked by global shadow
+    racy_by_design: bool = False  # documented real bug: skip verification
+    notes: str = ""
+
+    def run(self, sim) -> List:
+        """Execute every launch on ``sim``; returns the per-launch results."""
+        results = []
+        for ls in self.launches:
+            results.append(sim.launch(ls.kernel, ls.grid, ls.block, ls.args))
+        return results
+
+
+@dataclass
+class Benchmark:
+    """A registered benchmark: metadata + plan builder.
+
+    ``build(sim, scale, seed, injection, **overrides)`` allocates device
+    arrays on ``sim`` and returns the :class:`RunPlan`. ``scale`` in (0, 1]
+    shrinks the input proportionally (tests use small scales; experiments
+    use 1.0).
+    """
+
+    name: str
+    paper_input: str
+    scaled_input: str
+    build: Callable[..., RunPlan]
+    uses_fences: bool = False
+    uses_locks: bool = False
+    has_real_race: bool = False
+    injection_sites: Dict[str, str] = field(default_factory=dict)
+    #: categories: 'barrier', 'xblock', 'fence', 'critical'
+    description: str = ""
+
+    def plan(self, sim, scale: float = 1.0, seed: int = 0,
+             injection: Injection = NO_INJECTION, **overrides) -> RunPlan:
+        return self.build(sim, scale=scale, seed=seed,
+                          injection=injection, **overrides)
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """Deterministic per-benchmark RNG (HPC-guide: explicit generators)."""
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def scaled(n: int, scale: float, minimum: int = 1,
+           multiple: int = 1) -> int:
+    """Scale a nominal size, clamped and rounded to a multiple."""
+    v = max(minimum, int(n * scale))
+    if multiple > 1:
+        v = max(multiple, (v // multiple) * multiple)
+    return v

@@ -1,0 +1,136 @@
+"""HIST: 64-bin histogram over byte data (CUDA SDK `histogram64`).
+
+Threads read 4-byte words from global memory and bump one-byte counters in
+shared-memory sub-histograms. The sub-histograms are *warp-interleaved*:
+the byte counter of bin ``b`` for warp ``w`` lives at shared address
+``b * num_warps + w``, so different warps' counters for one bin sit in
+adjacent bytes. That byte-granularity layout is exactly why the paper's
+Table III shows false shared-memory races for HIST even at the finest
+granularities — "the benchmark operates on a data structure having element
+size of one byte, which translates to accesses from multiple warps mapping
+to the same memory entries". There is no *real* race: each warp only ever
+touches its own counters.
+
+The input is generated so that within each warp-wide read the four decoded
+bytes of each lane map to bins unique per lane, mirroring the SDK's
+per-thread tagging that makes intra-warp byte updates safe.
+
+Injection sites: ``barrier:merge`` and ``xblock``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BINS = 64
+_BLOCK = 128
+_WARPS = _BLOCK // 32
+
+
+def hist_kernel(ctx, g_words, g_hist, words_per_thread, inj):
+    tid = ctx.tid_x
+    warp = ctx.warp_in_block
+    lane = ctx.lane
+    sh = ctx.shared["subhist"]  # _BINS x _WARPS x 4 one-byte counters
+
+    base = ctx.block_id_x * ctx.block_dim.x * words_per_thread
+    for k in range(words_per_thread):
+        i = base + k * ctx.block_dim.x + tid
+        if i < g_words.length:
+            word = yield ctx.load(g_words, i)
+            w = int(word)
+            # decode four packed 6-bit fields -> four byte-counter bumps.
+            # Layout: bin-major, one 4-byte field per warp, lanes spread
+            # over the field's four bytes (overflow mitigation) — warps
+            # stay word-aligned, so 4-byte tracking is exact but any
+            # coarser granularity merges different warps' counters.
+            for shift in (0, 6, 12, 18):
+                b = (w >> shift) & (_BINS - 1)
+                addr_idx = b * (4 * _WARPS) + warp * 4 + (lane & 3)
+                c = yield ctx.load_addr(sh.space, sh.base + addr_idx, 1)
+                yield ctx.store_addr(sh.space, sh.base + addr_idx, 1, c + 1)
+    if inj.keep("barrier:merge"):
+        yield ctx.syncthreads()
+
+    # merge: one thread per bin folds its warp counters into global memory
+    if tid < _BINS:
+        total = 0.0
+        for w in range(4 * _WARPS):
+            c = yield ctx.load_addr(sh.space,
+                                    sh.base + tid * (4 * _WARPS) + w, 1)
+            total += c
+        yield ctx.atomic_add(g_hist, tid, total)
+        if inj.inject("xblock") and tid == 0:
+            yield ctx.store(g_hist, _BINS - 1, 0.0)
+
+
+def _make_input(rng: np.random.Generator, n_words: int) -> np.ndarray:
+    """Packed words whose four 6-bit fields are lane-unique per warp row."""
+    words = np.zeros(n_words, dtype=np.int64)
+    for shift in (0, 6, 12, 18):
+        # per 32-word row, assign a random permutation of 32 distinct bins
+        rows = -(-n_words // 32)
+        vals = np.concatenate([
+            rng.permutation(_BINS)[:32] for _ in range(rows)
+        ])[:n_words]
+        words |= vals.astype(np.int64) << shift
+    return words
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION) -> RunPlan:
+    n_words = scaled(8192, scale, minimum=_BLOCK, multiple=_BLOCK)
+    words_per_thread = 4
+    nblocks = max(1, n_words // (_BLOCK * words_per_thread))
+    rng = rng_for(seed)
+    words = _make_input(rng, n_words)
+
+    g_words = sim.malloc("hist_words", n_words)
+    g_hist = sim.malloc("hist_out", _BINS)
+    g_words.host_write(words.astype(np.float64))
+
+    kernel = Kernel(hist_kernel, name="hist",
+                    shared={"subhist": (_BINS * _WARPS * 4, 1)})
+
+    expected = np.zeros(_BINS)
+    for shift in (0, 6, 12, 18):
+        np.add.at(expected, (words >> shift) & (_BINS - 1), 1)
+
+    def verify() -> None:
+        got = g_hist.host_read()
+        assert np.array_equal(got, expected), (
+            f"hist mismatch: {got[:8]} vs {expected[:8]}"
+        )
+
+    return RunPlan(
+        name="HIST",
+        launches=[LaunchSpec(kernel, grid=nblocks, block=_BLOCK,
+                             args=(g_words, g_hist, words_per_thread,
+                                   injection))],
+        verify=verify,
+        data_bytes=(n_words + _BINS) * 4,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="HIST",
+    paper_input="byte count 16M",
+    scaled_input="32K bytes (8K packed words), 64 bins",
+    build=build,
+    injection_sites={
+        "barrier:merge": "barrier",
+        "xblock": "xblock",
+    },
+    description="64-bin histogram; 1-byte shared counters, warp-interleaved",
+)

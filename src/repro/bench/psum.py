@@ -1,0 +1,136 @@
+"""PSUM: the __threadfence partial-sum microbenchmark (CUDA guide example).
+
+The paper builds PSUM from the programming guide's threadfence sample —
+the same last-block pattern as REDUCE but *global-memory heavy* (Table II
+attributes ~87% of PSUM's instructions to global accesses): every thread
+accumulates a strided slice of the input directly from global memory with
+no shared-memory staging, writes a per-thread partial, and block 0's
+thread 0 of the last-arriving block folds the per-block partials.
+
+Injection sites: ``fence`` (the documented fence-removal case),
+``xblock`` (cross-block dummy write), ``barrier:final`` (barrier before
+the per-block partial write).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 128
+
+
+def psum_kernel(ctx, g_in, g_thread_sums, g_block_sums, g_out, g_count,
+                n, per_thread, inj):
+    tid = ctx.tid_x
+    bid = ctx.block_id_x
+    gtid = ctx.global_tid_x
+    nblocks = ctx.grid_dim.x
+    stride = ctx.num_threads
+    sh_flag = ctx.shared["flag"]  # guide-style amLast flag (1 word)
+
+    # global-strided accumulation straight from device memory
+    acc = 0.0
+    for k in range(per_thread):
+        i = gtid + k * stride
+        if i < n:
+            v = yield ctx.load(g_in, i)
+            acc += v
+    yield ctx.store(g_thread_sums, gtid, acc)
+    if inj.keep("barrier:final"):
+        yield ctx.syncthreads()
+
+    if tid == 0:
+        # fold the block's per-thread partials; strided (warp-wide
+        # windows would be the SDK way, but PSUM is the global-heavy
+        # microbenchmark, so thread 0 walks its own block's slice, which
+        # it may legally re-read: same-block accesses are barrier-ordered)
+        block_total = 0.0
+        for t in range(ctx.block_dim.x):
+            v = yield ctx.load(g_thread_sums, bid * ctx.block_dim.x + t)
+            block_total += v
+        yield ctx.store(g_block_sums, bid, block_total)
+        if inj.keep("fence"):
+            yield ctx.threadfence()
+        ticket = yield ctx.atomic_inc(g_count, 0, float(nblocks))
+        yield ctx.store(sh_flag, 0, 1.0 if ticket == nblocks - 1 else 0.0)
+    yield ctx.syncthreads()
+
+    am_last = yield ctx.load(sh_flag, 0)
+    if am_last != 0.0:
+        # last block: coalesced cooperative read of the block sums, then
+        # a per-thread strided fold published through global memory
+        acc2 = 0.0
+        for b in range(tid, nblocks, ctx.block_dim.x):
+            v = yield ctx.load(g_block_sums, b)
+            acc2 += v
+        yield ctx.store(g_thread_sums, bid * ctx.block_dim.x + tid, acc2)
+        yield ctx.syncthreads()
+        if tid == 0:
+            total = 0.0
+            for t in range(min(nblocks, ctx.block_dim.x)):
+                v = yield ctx.load(g_thread_sums,
+                                   bid * ctx.block_dim.x + t)
+                total += v
+            yield ctx.store(g_out, 0, total)
+            yield ctx.store(g_count, 0, 0.0)  # reset, guide-style
+    if inj.inject("xblock") and tid == 2:
+        yield ctx.store(g_block_sums, (bid + 1) % nblocks, -1.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION) -> RunPlan:
+    n = scaled(16384, scale, minimum=512, multiple=_BLOCK)
+    per_thread = 4
+    nblocks = max(1, n // (_BLOCK * per_thread))
+    total_threads = nblocks * _BLOCK
+    rng = rng_for(seed)
+    data = rng.integers(0, 50, size=n).astype(np.float64)
+
+    g_in = sim.malloc("psum_in", n)
+    g_thread_sums = sim.malloc("psum_tsums", total_threads)
+    g_block_sums = sim.malloc("psum_bsums", nblocks)
+    g_out = sim.malloc("psum_out", 1)
+    g_count = sim.malloc("psum_count", 1)
+    g_in.host_write(data)
+
+    kernel = Kernel(psum_kernel, name="psum", shared={"flag": (1, 4)})
+
+    def verify() -> None:
+        got = g_out.host_read()[0]
+        assert got == data.sum(), f"psum mismatch: {got} vs {data.sum()}"
+
+    return RunPlan(
+        name="PSUM",
+        launches=[LaunchSpec(kernel, grid=nblocks, block=_BLOCK,
+                             args=(g_in, g_thread_sums, g_block_sums,
+                                   g_out, g_count, n, per_thread,
+                                   injection))],
+        verify=verify,
+        data_bytes=(n + total_threads + nblocks + 2) * 4,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="PSUM",
+    paper_input="16K elements",
+    scaled_input="16K elements, no shared staging (global-heavy)",
+    build=build,
+    uses_fences=True,
+    injection_sites={
+        "barrier:final": "barrier",
+        "fence": "fence",
+        "xblock": "xblock",
+    },
+    description="threadfence partial-sum microbenchmark",
+)

@@ -1,0 +1,148 @@
+"""REDUCE: single-pass parallel reduction with __threadfence.
+
+Models the CUDA SDK `reduction` final kernel (and the programming-guide
+single-pass pattern): each block reduces its grid-strided chunk in shared
+memory, writes its partial sum to global memory, executes a __threadfence
+so the partial is visible device-wide, then atomically takes a ticket; the
+block that draws the last ticket reduces the partials array to the final
+value. Paper input: 1M elements (scaled here to 16K by default).
+
+Injection sites: ``barrier:tree{k}`` (shared tree barriers), ``fence``
+(the __threadfence before the ticket — removing it is the paper's
+fence-injection case), ``xblock`` (dummy cross-block access),
+``barrier:load`` (barrier after the load phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 128
+_TREE_STEPS = 7  # log2(_BLOCK)
+
+
+def reduce_kernel(ctx, g_in, g_partial, g_out, g_ticket, n, per_thread, inj):
+    tid = ctx.tid_x
+    bid = ctx.block_id_x
+    nblocks = ctx.grid_dim.x
+    sh = ctx.shared["sdata"]
+
+    # grid-strided accumulation
+    acc = 0.0
+    base = bid * ctx.block_dim.x * per_thread
+    for k in range(per_thread):
+        i = base + k * ctx.block_dim.x + tid
+        if i < n:
+            v = yield ctx.load(g_in, i)
+            acc += v
+            yield ctx.compute(1)
+    yield ctx.store(sh, tid, acc)
+    if inj.keep("barrier:load"):
+        yield ctx.syncthreads()
+
+    # shared-memory tree reduction
+    s = ctx.block_dim.x // 2
+    step = 0
+    while s > 0:
+        if tid < s:
+            a = yield ctx.load(sh, tid)
+            b = yield ctx.load(sh, tid + s)
+            yield ctx.store(sh, tid, a + b)
+        if inj.keep(f"barrier:tree{step}"):
+            yield ctx.syncthreads()
+        s //= 2
+        step += 1
+
+    if tid == 0:
+        block_sum = yield ctx.load(sh, 0)
+        yield ctx.store(g_partial, bid, block_sum)
+        if inj.keep("fence"):
+            yield ctx.threadfence()
+        ticket = yield ctx.atomic_inc(g_ticket, 0, float(nblocks))
+        # guide idiom: publish "am I last?" to the block via shared memory
+        yield ctx.store(sh, 1, 1.0 if ticket == nblocks - 1 else 0.0)
+    yield ctx.syncthreads()
+
+    am_last = yield ctx.load(sh, 1)
+    if am_last != 0.0:
+        # last block: all threads cooperatively reduce the partials with
+        # coalesced warp-wide reads (one transaction, no stale L1 hits)
+        acc2 = 0.0
+        for b in range(tid, nblocks, ctx.block_dim.x):
+            p = yield ctx.load(g_partial, b)
+            acc2 += p
+        yield ctx.syncthreads()
+        yield ctx.store(sh, tid, acc2)
+        yield ctx.syncthreads()
+        s = ctx.block_dim.x // 2
+        while s > 0:
+            if tid < s:
+                a = yield ctx.load(sh, tid)
+                b2 = yield ctx.load(sh, tid + s)
+                yield ctx.store(sh, tid, a + b2)
+            yield ctx.syncthreads()
+            s //= 2
+        if tid == 0:
+            total = yield ctx.load(sh, 0)
+            yield ctx.store(g_out, 0, total)
+    if inj.inject("xblock") and tid == 1:
+        # dummy unfenced write into another block's partial slot
+        yield ctx.store(g_partial, (bid + 1) % nblocks, 0.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION) -> RunPlan:
+    n = scaled(16384, scale, minimum=512, multiple=_BLOCK)
+    per_thread = 4
+    nblocks = max(1, n // (_BLOCK * per_thread))
+    rng = rng_for(seed)
+    data = rng.integers(0, 100, size=n).astype(np.float64)
+
+    g_in = sim.malloc("reduce_in", n)
+    g_partial = sim.malloc("reduce_partial", nblocks)
+    g_out = sim.malloc("reduce_out", 1)
+    g_ticket = sim.malloc("reduce_ticket", 1)
+    g_in.host_write(data)
+
+    kernel = Kernel(reduce_kernel, name="reduce",
+                    shared={"sdata": (_BLOCK, 4)})
+
+    def verify() -> None:
+        got = g_out.host_read()[0]
+        assert got == data.sum(), f"reduce mismatch: {got} vs {data.sum()}"
+
+    return RunPlan(
+        name="REDUCE",
+        launches=[LaunchSpec(kernel, grid=nblocks, block=_BLOCK,
+                             args=(g_in, g_partial, g_out, g_ticket,
+                                   n, per_thread, injection))],
+        verify=verify,
+        data_bytes=(n + nblocks + 2) * 4,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="REDUCE",
+    paper_input="1M elements",
+    scaled_input="16K elements, 128-thread blocks, single-pass w/ fence",
+    build=build,
+    uses_fences=True,
+    injection_sites={
+        "barrier:load": "barrier",
+        **{f"barrier:tree{k}": "barrier" for k in range(_TREE_STEPS)},
+        "fence": "fence",
+        "xblock": "xblock",
+    },
+    description="single-pass parallel reduction with __threadfence",
+)

@@ -1,0 +1,127 @@
+"""SCAN: parallel prefix sum (CUDA SDK `scan`), paper input 512 elements.
+
+The SDK's naive scan kernel processes the whole input inside *one* thread
+block using a double-buffered shared array and a barrier per log-step.
+The documented bug the paper detects (§VI-A): the kernel is "designed to
+execute as a single thread-block, but multiple thread-blocks are launched
+to scale up the workload. Consequently, all thread-blocks operate on the
+same data, causing data dependences that otherwise would not exist." We
+reproduce both configurations: ``num_blocks=1`` is race-free and verified;
+the default multi-block launch carries the real global-memory races.
+
+Injection sites (``barrier:step{k}`` omit a per-step barrier;
+``xblock`` emits a cross-block dummy write).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+#: log2 of the fixed per-block scan width (the SDK uses 512 = 2**9;
+#: barriers per kernel = 2 * steps)
+_STEPS = 9
+
+
+def scan_kernel(ctx, g_in, g_out, n, inj):
+    """Naive Hillis-Steele scan of ``n`` elements in shared memory.
+
+    Every launched block runs the identical code over the *same* global
+    range [0, n) — the SDK scaling bug.
+    """
+    tid = ctx.tid_x
+    sh = ctx.shared["temp"]  # double buffer: 2 * n entries
+    pout, pin = 0, 1
+
+    if tid < n:
+        # exclusive scan: element tid seeds with input[tid - 1]
+        if tid > 0:
+            v = yield ctx.load(g_in, tid - 1)
+            yield ctx.store(sh, pout * n + tid, v)
+        else:
+            yield ctx.store(sh, pout * n + tid, 0.0)
+            yield ctx.compute(1)
+    yield ctx.syncthreads()
+
+    offset = 1
+    step = 0
+    while offset < n:
+        pout, pin = pin, pout
+        if tid < n:
+            if tid >= offset:
+                a = yield ctx.load(sh, pin * n + tid)
+                b = yield ctx.load(sh, pin * n + tid - offset)
+                yield ctx.store(sh, pout * n + tid, a + b)
+            else:
+                a = yield ctx.load(sh, pin * n + tid)
+                yield ctx.store(sh, pout * n + tid, a)
+        if inj.keep(f"barrier:step{step}"):
+            yield ctx.syncthreads()
+        offset <<= 1
+        step += 1
+
+    if tid < n:
+        r = yield ctx.load(sh, pout * n + tid)
+        yield ctx.store(g_out, tid, r)
+        if inj.inject("xblock") and tid == 0 and ctx.block_id_x == 0:
+            # dummy write into the range another block also writes
+            yield ctx.store(g_out, n - 1, -1.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION,
+          num_blocks: int = 4) -> RunPlan:
+    n = scaled(512, scale, minimum=64, multiple=32)
+    rng = rng_for(seed)
+    data = rng.integers(0, 10, size=n).astype(np.float64)
+
+    g_in = sim.malloc("scan_in", n)
+    g_out = sim.malloc("scan_out", n)
+    g_in.host_write(data)
+
+    kernel = Kernel(scan_kernel, name="scan",
+                    shared={"temp": (2 * n, 4)})
+
+    expected = np.concatenate(([0.0], np.cumsum(data)[:-1]))
+
+    def verify() -> None:
+        got = g_out.host_read()
+        assert np.allclose(got, expected), (
+            f"scan mismatch: {got[:8]} vs {expected[:8]}"
+        )
+
+    racy = num_blocks > 1
+    return RunPlan(
+        name="SCAN",
+        launches=[LaunchSpec(kernel, grid=num_blocks, block=n,
+                             args=(g_in, g_out, n, injection))],
+        verify=None if racy else verify,
+        data_bytes=2 * n * 4,
+        racy_by_design=racy,
+        notes="multi-block launch reproduces the documented SDK bug"
+        if racy else "single-block launch is race-free",
+    )
+
+
+BENCHMARK = Benchmark(
+    name="SCAN",
+    paper_input="512 elements",
+    scaled_input="512 elements, 4 blocks over the same data (SDK bug)",
+    build=build,
+    has_real_race=True,
+    injection_sites={
+        **{f"barrier:step{k}": "barrier" for k in range(_STEPS)},
+        "xblock": "xblock",
+    },
+    description="parallel prefix sum; shared-memory double buffer",
+)

@@ -1,0 +1,112 @@
+"""SORTNW: bitonic sorting network (CUDA SDK `sortingNetworks`).
+
+Each block sorts a 2*blockDim tile in shared memory with the classic
+bitonic stages; every compare-exchange step is separated by a barrier.
+Strides shrink from tile/2 down to 1, so at coarse tracking granularities
+the small-stride steps put both elements of a compare-exchange pair —
+owned by threads of different warps in earlier steps — into one shadow
+entry, which is where this benchmark's granularity false positives come
+from. Paper input: 12K elements / 2K values (scaled to 1K elements).
+
+Injection sites: ``barrier:step{k}`` and ``xblock``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import (
+    Benchmark,
+    Injection,
+    LaunchSpec,
+    NO_INJECTION,
+    RunPlan,
+    rng_for,
+    scaled,
+)
+from repro.gpu.kernel import Kernel
+
+_BLOCK = 128
+_TILE = 2 * _BLOCK  # elements sorted per block
+
+
+def sortnw_kernel(ctx, g_data, inj):
+    tid = ctx.tid_x
+    base = ctx.block_id_x * _TILE
+    sh = ctx.shared["tile"]
+
+    for k in range(2):
+        i = tid + k * ctx.block_dim.x
+        v = yield ctx.load(g_data, base + i)
+        yield ctx.store(sh, i, v)
+    yield ctx.syncthreads()
+
+    step = 0
+    size = 2
+    while size <= _TILE:
+        # direction alternates per `size`-aligned chunk (bitonic merge)
+        stride = size // 2
+        while stride > 0:
+            pos = 2 * tid - (tid & (stride - 1))
+            lo, hi = pos, pos + stride
+            ddd = 1 if ((tid & (size // 2)) == 0) else 0
+            a = yield ctx.load(sh, lo)
+            b = yield ctx.load(sh, hi)
+            if (a > b) == bool(ddd):
+                yield ctx.store(sh, lo, b)
+                yield ctx.store(sh, hi, a)
+            else:
+                yield ctx.compute(1)
+            if inj.keep(f"barrier:step{step % 8}"):
+                yield ctx.syncthreads()
+            stride //= 2
+            step += 1
+        size *= 2
+
+    for k in range(2):
+        i = tid + k * ctx.block_dim.x
+        v = yield ctx.load(sh, i)
+        yield ctx.store(g_data, base + i, v)
+        if inj.inject("xblock") and tid == 0 and k == 0:
+            yield ctx.store(g_data, (base + _TILE) % g_data.length, 0.0)
+
+
+def build(sim, scale: float = 1.0, seed: int = 0,
+          injection: Injection = NO_INJECTION) -> RunPlan:
+    n = scaled(1024, scale, minimum=_TILE, multiple=_TILE)
+    rng = rng_for(seed)
+    data = rng.permutation(n).astype(np.float64)
+
+    g_data = sim.malloc("sortnw_data", n)
+    g_data.host_write(data)
+
+    kernel = Kernel(sortnw_kernel, name="sortnw",
+                    shared={"tile": (_TILE, 4)})
+
+    expected = data.reshape(-1, _TILE).copy()
+    expected.sort(axis=1)
+
+    def verify() -> None:
+        got = g_data.host_read().reshape(-1, _TILE)
+        assert np.array_equal(got, expected), "sortnw mismatch"
+
+    return RunPlan(
+        name="SORTNW",
+        launches=[LaunchSpec(kernel, grid=n // _TILE, block=_BLOCK,
+                             args=(g_data, injection))],
+        verify=verify,
+        data_bytes=n * 4,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="SORTNW",
+    paper_input="12K elements, 2K values",
+    scaled_input="1K elements, 256-element tiles",
+    build=build,
+    injection_sites={
+        **{f"barrier:step{k}": "barrier" for k in range(8)},
+        "xblock": "xblock",
+    },
+    description="bitonic sorting network in shared memory",
+)

@@ -1,0 +1,74 @@
+"""Benchmark registry and per-benchmark characteristics (paper Table II).
+
+``SUITE`` lists the ten benchmarks in the paper's order. Helper functions
+run a plan on a fresh simulator and extract the Table II characteristics
+(instruction mix, shared/global access fractions) from the collected
+:class:`repro.common.types.KernelStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench import fwalsh, hash as hash_bench, hist, kmeans, mcarlo
+from repro.bench import offt, psum, reduce as reduce_bench, scan, sortnw
+from repro.bench.common import Benchmark, Injection, NO_INJECTION, RunPlan
+
+#: Paper order (Table II).
+SUITE: List[Benchmark] = [
+    mcarlo.BENCHMARK,
+    scan.BENCHMARK,
+    fwalsh.BENCHMARK,
+    hist.BENCHMARK,
+    sortnw.BENCHMARK,
+    reduce_bench.BENCHMARK,
+    psum.BENCHMARK,
+    offt.BENCHMARK,
+    kmeans.BENCHMARK,
+    hash_bench.BENCHMARK,
+]
+
+_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in SUITE}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by its paper name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+@dataclass
+class Characteristics:
+    """Table II row: dynamic instruction/access mix of one benchmark."""
+
+    name: str
+    instructions: int
+    shared_access_pct: float
+    shared_read_pct: float
+    global_access_pct: float
+    global_read_pct: float
+    atomics: int
+    barriers: int
+    fences: int
+
+    @staticmethod
+    def from_stats(name: str, stats) -> "Characteristics":
+        instr = max(1, stats.instructions)
+        sh = stats.shared_accesses
+        gl = stats.global_accesses
+        return Characteristics(
+            name=name,
+            instructions=stats.instructions,
+            shared_access_pct=100.0 * sh / instr,
+            shared_read_pct=100.0 * stats.shared_reads / sh if sh else 0.0,
+            global_access_pct=100.0 * gl / instr,
+            global_read_pct=100.0 * stats.global_reads / gl if gl else 0.0,
+            atomics=stats.atomics,
+            barriers=stats.barriers,
+            fences=stats.fences,
+        )

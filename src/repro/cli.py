@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — show the benchmark suite and its metadata;
+- ``run BENCH`` — run one benchmark under a chosen detection mode and
+  print races + performance counters;
+- ``experiment ID`` — regenerate one paper artifact (table1, table2,
+  effectiveness, injected, table3, bloom, idsizes, fig7, fig8, fig9,
+  table4, hwcost, ablations, vmtlb);
+- ``reproduce`` — regenerate everything, in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.suite import SUITE
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    HAccRGConfig,
+)
+from repro.harness import ablations as ab
+from repro.harness import experiments as ex
+from repro.harness import report
+from repro.harness import vm_experiment as vme
+from repro.harness.runner import run_benchmark
+
+_MODES = {
+    "off": DetectionMode.OFF,
+    "shared": DetectionMode.SHARED,
+    "global": DetectionMode.GLOBAL,
+    "full": DetectionMode.FULL,
+}
+
+_BACKENDS = {
+    "hardware": DetectorBackend.HARDWARE,
+    "software": DetectorBackend.SOFTWARE,
+    "grace": DetectorBackend.GRACE,
+}
+
+
+def _cmd_list(args) -> int:
+    print(f"{'name':8s} {'fences':>7s} {'locks':>6s} {'real bug':>9s}  inputs")
+    for b in SUITE:
+        print(f"{b.name:8s} {'yes' if b.uses_fences else '-':>7s} "
+              f"{'yes' if b.uses_locks else '-':>6s} "
+              f"{'yes' if b.has_real_race else '-':>9s}  {b.scaled_input}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    mode = _MODES[args.mode]
+    cfg = None
+    if mode != DetectionMode.OFF:
+        cfg = HAccRGConfig(
+            mode=mode,
+            backend=_BACKENDS[args.backend],
+            shared_granularity=args.shared_granularity,
+            global_granularity=args.global_granularity,
+        )
+    res = run_benchmark(args.bench.upper(), cfg, scale=args.scale)
+    print(f"{res.name}: {res.cycles} cycles, "
+          f"{res.stats.instructions} instructions, "
+          f"DRAM util {res.dram_utilization:.1%}, "
+          f"L1 hit {res.l1_hit_rate:.1%}")
+    if res.races is not None:
+        print(f"races: {len(res.races)} distinct "
+              f"({res.shared_races()} shared, {res.global_races()} global)")
+        for r in res.races.reports[: args.max_races]:
+            print("  " + r.describe())
+        hidden = len(res.races) - args.max_races
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
+        if args.diagnose and len(res.races):
+            from repro.harness.diagnose import diagnose
+            sim = getattr(res.detector, "sim", None)
+            mem = sim.device_mem if sim is not None else None
+            print()
+            print(diagnose(res.races, mem).render())
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": lambda s: report.render_table1(ex.table1_config()),
+    "table2": lambda s: report.render_table2(
+        ex.table2_characteristics(scale=s)),
+    "effectiveness": lambda s: report.render_effectiveness(
+        ex.effectiveness_real_races(scale=s)),
+    "injected": lambda s: report.render_injected(
+        ex.effectiveness_injected_races(scale=s)),
+    "table3": lambda s: report.render_table3(ex.table3_granularity(scale=s)),
+    "bloom": lambda s: report.render_bloom(ex.bloom_accuracy_study()),
+    "idsizes": lambda s: report.render_idsizes(ex.id_size_study(scale=s)),
+    "fig7": lambda s: _figure(ex.fig7_performance(scale=s),
+                              report.render_fig7, "chart_fig7"),
+    "fig8": lambda s: _figure(ex.fig8_shadow_split(scale=s),
+                              report.render_fig8, "chart_fig8"),
+    "fig9": lambda s: _figure(ex.fig9_bandwidth(scale=s),
+                              report.render_fig9, "chart_fig9"),
+    "table4": lambda s: report.render_table4(
+        ex.table4_memory_overhead(scale=s)),
+    "hwcost": lambda s: report.render_hw_cost(ex.hw_cost_report()),
+    "vmtlb": lambda s: vme.render_vm_tlb(vme.vm_tlb_study(scale=s)),
+    "ablations": lambda s: "\n\n".join([
+        ab.render_ablation("fence-ID suppression",
+                           ab.ablation_fence_suppression(scale=s),
+                           "races (with)", "races (without)"),
+        ab.render_ablation("warp-aware suppression",
+                           ab.ablation_warp_suppression(scale=s),
+                           "races (with)", "races (without)"),
+        ab.render_ablation("lazy sync-ID increment",
+                           ab.ablation_sync_id_optimization(scale=s),
+                           "max incr (lazy)", "max incr (eager)"),
+        ab.render_ablation("dirty-only shadow write-back",
+                           ab.ablation_shadow_writeback(scale=s),
+                           "shadow txns", "shadow txns (naive)"),
+    ]),
+}
+
+
+def _figure(data, table_renderer, chart_name: str) -> str:
+    """Figures print both the numeric table and the ASCII bar chart."""
+    from repro.harness import charts
+
+    return "\n\n".join([table_renderer(data),
+                        getattr(charts, chart_name)(data)])
+
+
+def _cmd_experiment(args) -> int:
+    print(_EXPERIMENTS[args.id](args.scale))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    order = ["table1", "table2", "effectiveness", "injected", "table3",
+             "bloom", "idsizes", "fig7", "fig8", "fig9", "table4",
+             "hwcost", "vmtlb", "ablations"]
+    for exp_id in order:
+        print(_EXPERIMENTS[exp_id](args.scale))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="HAccRG reproduction: run benchmarks and regenerate "
+                    "the paper's tables and figures.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(
+        fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one benchmark with detection")
+    run_p.add_argument("bench", choices=[b.name for b in SUITE],
+                       type=str.upper)
+    run_p.add_argument("--mode", choices=sorted(_MODES), default="full")
+    run_p.add_argument("--backend", choices=sorted(_BACKENDS),
+                       default="hardware")
+    run_p.add_argument("--shared-granularity", type=int, default=4)
+    run_p.add_argument("--global-granularity", type=int, default=4)
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--max-races", type=int, default=10)
+    run_p.add_argument("--diagnose", action="store_true",
+                       help="group races into per-array findings with "
+                            "suggested fixes")
+    run_p.set_defaults(fn=_cmd_run)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate one paper artifact")
+    exp_p.add_argument("id", choices=sorted(_EXPERIMENTS))
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.set_defaults(fn=_cmd_experiment)
+
+    rep_p = sub.add_parser("reproduce",
+                           help="regenerate every table and figure")
+    rep_p.add_argument("--scale", type=float, default=1.0)
+    rep_p.set_defaults(fn=_cmd_reproduce)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

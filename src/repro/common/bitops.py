@@ -1,0 +1,44 @@
+"""Small bit-manipulation and integer-math helpers.
+
+These are used on hot paths of the simulator (address decomposition, cache
+indexing, granularity mapping), so they avoid allocation and stay branch-lean.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Return log2(x) for a power of two; raise ValueError otherwise."""
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    return -(-a // b)
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment`` (a power of two)."""
+    return addr & ~(alignment - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def mask_bits(value: int, nbits: int) -> int:
+    """Keep only the low-order ``nbits`` bits of ``value``."""
+    return value & ((1 << nbits) - 1)
+
+
+def extract_bits(value: int, lo: int, nbits: int) -> int:
+    """Extract ``nbits`` bits of ``value`` starting at bit ``lo``."""
+    return (value >> lo) & ((1 << nbits) - 1)

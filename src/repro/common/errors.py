@@ -1,0 +1,21 @@
+"""Exception hierarchy for the HAccRG reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware or detector configuration was supplied."""
+
+
+class KernelError(ReproError):
+    """A kernel misused the device API (bad address, bad barrier, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No warp can make progress (e.g. divergent barrier within a block)."""

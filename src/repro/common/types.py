@@ -1,0 +1,193 @@
+"""Core typed vocabulary of the simulator and detector.
+
+Everything that flows between the GPU model, the memory hierarchy, and the
+race-detection units is expressed in terms of the types defined here:
+memory spaces, access kinds, race classifications, and the per-lane /
+per-warp access records that warps emit when they execute memory
+instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class MemSpace(enum.IntEnum):
+    """Which memory module an access targets (paper §II-A)."""
+
+    SHARED = 0  #: per-SM on-chip scratchpad, banked
+    GLOBAL = 1  #: off-chip device memory, cached in L1/L2
+    LOCAL = 2   #: per-thread spill space in device memory
+
+
+class AccessKind(enum.IntEnum):
+    """The dynamic kind of one memory operation."""
+
+    READ = 0
+    WRITE = 1
+    ATOMIC = 2  #: read-modify-write executed by the atomic unit
+
+
+class RaceKind(enum.IntEnum):
+    """Pairwise ordering classification of a detected race (Fig. 3)."""
+
+    WAR = 0  #: write-after-read
+    RAW = 1  #: read-after-write
+    WAW = 2  #: write-after-write
+
+
+class RaceCategory(enum.IntEnum):
+    """The four reporting categories of §VI-A."""
+
+    SHARED_BARRIER = 0   #: shared memory, incorrect barrier synchronization
+    GLOBAL_BARRIER = 1   #: global memory, incorrect barrier synchronization
+    GLOBAL_LOCKSET = 2   #: global memory, lack of / inconsistent critical sections
+    GLOBAL_FENCE = 3     #: global memory, missing memory fence
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA-style three-component dimension; y/z default to 1."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if self.x < 1 or self.y < 1 or self.z < 1:
+            raise ValueError(f"Dim3 components must be >= 1, got {self}")
+
+    @property
+    def count(self) -> int:
+        """Total number of elements spanned by this dimension."""
+        return self.x * self.y * self.z
+
+    def linearize(self, x: int, y: int = 0, z: int = 0) -> int:
+        """Flatten an (x, y, z) coordinate to a linear index."""
+        return (z * self.y + y) * self.x + x
+
+    @staticmethod
+    def of(value: "Dim3 | int | Tuple[int, ...]") -> "Dim3":
+        """Coerce an int or tuple into a :class:`Dim3`."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return Dim3(value)
+        return Dim3(*value)
+
+
+@dataclass(frozen=True)
+class LaneAccess:
+    """One lane's contribution to a warp memory instruction.
+
+    Addresses are byte addresses within the target space. ``size`` is the
+    access width in bytes (1, 2, 4 or 8 in our benchmarks). ``sig`` is the
+    issuing thread's atomic-ID Bloom signature and ``critical`` whether the
+    thread was inside a critical section — the per-thread state the RDUs
+    read (paper §III-B).
+    """
+
+    lane: int
+    addr: int
+    size: int
+    kind: AccessKind
+    sig: int = 0
+    critical: bool = False
+
+    def footprint(self) -> Tuple[int, int]:
+        """Return the [start, end) byte range touched by this lane."""
+        return (self.addr, self.addr + self.size)
+
+
+@dataclass
+class WarpAccess:
+    """A warp-wide memory instruction: the unit the RDUs operate on.
+
+    The detector needs to know *who* issued the access (thread/warp/block/SM
+    identifiers), what synchronization state the issuer was in (sync ID,
+    fence ID, atomic-ID signature, whether inside a critical section), and
+    the per-lane address vector. The timing model additionally uses the
+    coalesced transaction list attached by the coalescer.
+    """
+
+    space: MemSpace
+    kind: AccessKind
+    lanes: Sequence[LaneAccess]
+    # issuer identity
+    sm_id: int
+    block_id: int          # global (grid-wide) linear block id
+    warp_id: int           # grid-wide unique warp id
+    warp_in_block: int     # warp index within its block
+    base_tid: int          # grid-wide linear thread id of lane 0
+    # synchronization state at issue time
+    sync_id: int = 0
+    fence_id: int = 0
+    atomic_sig: int = 0    # Bloom-filter signature of held locks (0 = none)
+    in_critical: bool = False
+    # bookkeeping
+    pc: int = 0            # abstract program counter (op sequence number)
+    regroup: bool = False  # warp re-grouping active => ignore warp suppression
+
+    def thread_id(self, lane: int) -> int:
+        """Grid-wide linear thread id of ``lane`` in this warp."""
+        return self.base_tid + lane
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != AccessKind.READ
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One coalesced memory transaction produced from a :class:`WarpAccess`."""
+
+    addr: int        # aligned base byte address
+    size: int        # transaction size in bytes (32/64/128)
+    is_write: bool
+    is_shadow: bool = False  # True for RDU-generated shadow-memory traffic
+
+
+@dataclass
+class KernelStats:
+    """Dynamic instruction/access counts gathered while a kernel executes.
+
+    Used to regenerate the paper's Table II characteristics.
+    """
+
+    instructions: int = 0
+    shared_reads: int = 0
+    shared_writes: int = 0
+    global_reads: int = 0
+    global_writes: int = 0
+    atomics: int = 0
+    barriers: int = 0
+    fences: int = 0
+
+    @property
+    def shared_accesses(self) -> int:
+        return self.shared_reads + self.shared_writes
+
+    @property
+    def global_accesses(self) -> int:
+        return self.global_reads + self.global_writes
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.shared_accesses + self.global_accesses + self.atomics
+
+    def frac(self, part: int) -> float:
+        """Fraction of all dynamic instructions represented by ``part``."""
+        return part / self.instructions if self.instructions else 0.0
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another stats record into this one (in place)."""
+        self.instructions += other.instructions
+        self.shared_reads += other.shared_reads
+        self.shared_writes += other.shared_writes
+        self.global_reads += other.global_reads
+        self.global_writes += other.global_writes
+        self.atomics += other.atomics
+        self.barriers += other.barriers
+        self.fences += other.fences

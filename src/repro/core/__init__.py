@@ -1,0 +1,28 @@
+"""HAccRG core: the paper's contribution — hardware race detection units.
+
+Public surface:
+
+- :class:`repro.core.detector.HAccRGDetector` — the orchestrator that plugs
+  into :class:`repro.gpu.GPUSimulator` via the hook interface and hosts one
+  shared-memory RDU per SM plus one global-memory RDU per memory slice;
+- :class:`repro.core.races.RaceReport` / :class:`RaceLog` — typed race
+  reports, deduplicated the way the paper counts them;
+- :class:`repro.core.bloom.BloomSignature` — atomic-ID lock signatures;
+- :mod:`repro.core.hw_cost` — the §VI-C2 hardware overhead model.
+"""
+
+from repro.core.bloom import BloomSignature
+from repro.core.detector import HAccRGDetector
+from repro.core.races import RaceLog, RaceReport
+from repro.core.shadow import SharedShadowTable
+from repro.core.shadow_memory import GlobalShadowMemory, global_shadow_footprint
+
+__all__ = [
+    "BloomSignature",
+    "HAccRGDetector",
+    "RaceLog",
+    "RaceReport",
+    "SharedShadowTable",
+    "GlobalShadowMemory",
+    "global_shadow_footprint",
+]

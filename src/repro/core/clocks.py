@@ -1,0 +1,79 @@
+"""Sync-ID and fence-ID logical clocks (paper §III-C, §IV-B).
+
+- The *sync ID* is a per-thread-block counter incremented when the block
+  reaches a barrier, but only if the block accessed global memory since its
+  previous barrier (the traffic-limiting optimization). It is carried with
+  every global memory request; matching stored/current sync IDs mean the
+  two accesses fall in the same barrier epoch and must be race-checked,
+  differing IDs mean a barrier ordered them.
+- The *fence ID* is a per-warp counter incremented when the warp completes
+  a memory-fence instruction. The global RDUs read the *current* fence ID
+  of a shadow entry's owner warp from the replicated race register file: a
+  match with the stored ID means the owner has not fenced since its write.
+
+Both are small hardware counters (8 bits in the paper) that wrap; the
+masking behaviour — and hence the rare aliasing the paper accepts — is
+modelled faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ClockStats:
+    """Increment statistics backing the §VI-A2 ID-size study."""
+
+    max_sync_increments: int = 0
+    max_fence_increments: int = 0
+    sync_overflows: int = 0
+    fence_overflows: int = 0
+
+
+class RaceRegisterFile:
+    """Current fence IDs of all warps, replicated per global-memory RDU.
+
+    Physically the paper replicates this register file in every memory
+    slice (§IV-B, Fig. 6); functionally it is one mapping from grid-wide
+    warp id to the warp's current (masked) fence epoch. The replication
+    cost is captured by the hardware-overhead model, not here.
+    """
+
+    def __init__(self, fence_id_bits: int = 8) -> None:
+        self.mask = (1 << fence_id_bits) - 1
+        self._fence: Dict[int, int] = {}
+        self._raw: Dict[int, int] = {}
+        self.stats = ClockStats()
+
+    def on_fence(self, warp_id: int, new_raw_value: int) -> int:
+        """Record a completed fence; returns the masked stored epoch."""
+        self._raw[warp_id] = new_raw_value
+        masked = new_raw_value & self.mask
+        if new_raw_value > self.mask and masked != new_raw_value:
+            self.stats.fence_overflows += 1
+        self._fence[warp_id] = masked
+        self.stats.max_fence_increments = max(
+            self.stats.max_fence_increments, new_raw_value
+        )
+        return masked
+
+    def current_fence(self, warp_id: int) -> int:
+        """Masked current fence epoch of ``warp_id`` (0 if never fenced)."""
+        return self._fence.get(warp_id, 0)
+
+    def raw_fence(self, warp_id: int) -> int:
+        return self._raw.get(warp_id, 0)
+
+    def note_sync_increment(self, raw_value: int, mask: int) -> None:
+        """Track sync-ID increments for the ID-size study."""
+        self.stats.max_sync_increments = max(
+            self.stats.max_sync_increments, raw_value
+        )
+        if raw_value > mask:
+            self.stats.sync_overflows += 1
+
+    def clear(self) -> None:
+        self._fence.clear()
+        self._raw.clear()

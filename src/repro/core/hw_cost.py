@@ -1,0 +1,120 @@
+"""Hardware overhead model (paper §VI-C2).
+
+Computes the control-logic (comparator) and storage requirements of HAccRG
+from the configuration, reproducing the paper's numbers:
+
+- shared memory: 12-bit shadow entries (1 M + 1 S + 10 tid); one comparator
+  per bank for parallel checking at the tracking granularity — 8 twelve-bit
+  comparators per SM at 16-byte granularity with 16 banks serving
+  4-byte words (128 bytes per row / 16 B per entry = 8 entries per row);
+- global memory: 28-bit basic entries (M, S, tid, bid, sid, sync ID),
+  plus 8-bit fence or 16-bit atomic IDs; per memory slice one comparator
+  per shadow entry covered by a cache line (32 at 4-byte granularity for
+  128-byte lines) plus 16 comparators for fence/atomic ID checks;
+- per-SM ID storage: per-block sync IDs, per-warp fence IDs, per-thread
+  atomic IDs (3 KB per Fermi SM at 8 blocks / 48 warps / 1536 threads);
+- the race register file replicated per memory slice (0.75 KB per copy for
+  Fermi-scale warp counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import ceil_div
+from repro.common.config import GPUConfig, HAccRGConfig
+
+
+@dataclass(frozen=True)
+class ComparatorBudget:
+    """Comparators needed by the RDUs."""
+
+    shared_per_sm: int
+    shared_width_bits: int
+    global_basic_per_slice: int
+    global_basic_width_bits: int
+    global_id_per_slice: int
+    global_id_width_bits: int
+
+
+@dataclass(frozen=True)
+class StorageBudget:
+    """Storage (bytes) needed by HAccRG state."""
+
+    shared_shadow_per_sm: int
+    sync_ids_per_sm: int
+    fence_ids_per_sm: int
+    atomic_ids_per_sm: int
+    race_register_file_per_slice: int
+    global_shadow_per_data_byte: float
+
+    @property
+    def id_storage_per_sm(self) -> int:
+        return self.sync_ids_per_sm + self.fence_ids_per_sm + self.atomic_ids_per_sm
+
+
+def comparator_budget(gpu: GPUConfig, cfg: HAccRGConfig) -> ComparatorBudget:
+    """Comparator counts/widths for the configured RDUs."""
+    # the RDU checks a full warp's shared access footprint per step:
+    # warp_size lanes x bank width of data spans warp_size*4 bytes
+    span_bytes = gpu.warp_size * gpu.shared_bank_width
+    shared_per_sm = max(1, span_bytes // cfg.shared_granularity)
+    shared_width = cfg.shared_entry_bits()
+
+    basic_per_slice = gpu.l2_line // cfg.global_granularity
+    basic_width = cfg.global_entry_bits(with_fence=False, with_atomic=False)
+
+    # fence/atomic ID comparisons are only needed for half the entries per
+    # line in the worst case (the paper provisions 16 24-bit comparators
+    # per slice for 32 entries)
+    id_per_slice = basic_per_slice // 2
+    id_width = cfg.fence_id_bits + cfg.atomic_sig_bits
+
+    return ComparatorBudget(
+        shared_per_sm=shared_per_sm,
+        shared_width_bits=shared_width,
+        global_basic_per_slice=basic_per_slice,
+        global_basic_width_bits=basic_width,
+        global_id_per_slice=id_per_slice,
+        global_id_width_bits=id_width,
+    )
+
+
+def storage_budget(gpu: GPUConfig, cfg: HAccRGConfig,
+                   shared_mem_bytes: int = 48 * 1024,
+                   blocks_per_sm: int = 8,
+                   warps_per_sm: int = 48,
+                   threads_per_sm: int = 1536,
+                   num_sms: int = 16) -> StorageBudget:
+    """Storage bytes for HAccRG state.
+
+    Defaults use the Fermi parameters the paper quotes in §VI-C2 (48 KB
+    shared memory, 8 blocks / 48 warps / 1536 threads per SM, 16 SMs), so
+    the returned numbers can be compared directly against the paper's
+    4.5 KB / 3 KB / 0.75 KB figures.
+    """
+    shared_entries = ceil_div(shared_mem_bytes, cfg.shared_granularity)
+    shared_shadow = ceil_div(shared_entries * cfg.shared_entry_bits(), 8)
+
+    sync_ids = ceil_div(blocks_per_sm * cfg.sync_id_bits, 8)
+    fence_ids = ceil_div(warps_per_sm * cfg.fence_id_bits, 8)
+    atomic_ids = ceil_div(threads_per_sm * cfg.atomic_sig_bits, 8)
+
+    # race register file: current fence IDs of every warp in the GPU,
+    # replicated per memory slice
+    total_warps = num_sms * warps_per_sm
+    rrf = ceil_div(total_warps * cfg.fence_id_bits, 8)
+
+    shadow_per_byte = cfg.global_entry_bits(with_fence=True,
+                                            with_atomic=False) / (
+        8.0 * cfg.global_granularity
+    )
+
+    return StorageBudget(
+        shared_shadow_per_sm=shared_shadow,
+        sync_ids_per_sm=sync_ids,
+        fence_ids_per_sm=fence_ids,
+        atomic_ids_per_sm=atomic_ids,
+        race_register_file_per_slice=rrf,
+        global_shadow_per_data_byte=shadow_per_byte,
+    )

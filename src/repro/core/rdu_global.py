@@ -1,0 +1,83 @@
+"""Global-memory Race Detection Unit (paper §IV-B, Fig. 6).
+
+One global RDU sits in every memory slice. Functionally the RDUs share the
+global shadow memory (entries are partitioned by address exactly like the
+L2 slices), so this module models them as a single checker plus a traffic
+generator: for every global warp access the RDU
+
+1. race-checks the touched shadow entries against the access (using the
+   replicated race register file for owner fence IDs), and
+2. issues the shadow-memory read-modify-write traffic into the memory
+   system as *background* requests — they consume L2 capacity and DRAM
+   bandwidth but never stall the issuing warp, which is precisely why the
+   hardware detector's overhead is contention-only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.config import GPUConfig, HAccRGConfig
+from repro.common.types import Transaction, WarpAccess
+from repro.core.clocks import RaceRegisterFile
+from repro.core.races import RaceLog
+from repro.core.shadow_memory import GlobalShadowMemory
+
+
+class GlobalRDU:
+    """The global-memory race checker + shadow traffic generator."""
+
+    def __init__(self, gpu_config: GPUConfig, config: HAccRGConfig,
+                 log: RaceLog, rrf: RaceRegisterFile) -> None:
+        self.gpu_config = gpu_config
+        self.config = config
+        self.log = log
+        self.rrf = rrf
+        self.shadow: Optional[GlobalShadowMemory] = None
+        self.shadow_transactions = 0
+
+    # ------------------------------------------------------------------
+
+    def kernel_started(self, region_bytes: int, shadow_base: int) -> None:
+        """Allocate shadow entries covering the kernel's device data."""
+        self.shadow = GlobalShadowMemory(
+            region_bytes, self.config, self.log, self.rrf,
+            shadow_base=shadow_base,
+        )
+
+    def kernel_ended(self) -> None:
+        if self.shadow is not None:
+            self.shadow.invalidate()
+
+    # ------------------------------------------------------------------
+
+    def check_access(self, access: WarpAccess,
+                     lane_l1_hit: Optional[Sequence[bool]] = None
+                     ) -> List[Transaction]:
+        """Race-check one access; returns the shadow RMW transactions.
+
+        Each distinct touched shadow entry becomes part of a shadow-line
+        read-modify-write; distinct lines become one write-allocating
+        transaction each (the RDU's L2 access pattern).
+        """
+        if self.shadow is None:
+            return []
+        entries = self.shadow.check(access, lane_l1_hit=lane_l1_hit)
+        line = self.gpu_config.l2_line
+        lines = sorted({
+            self.shadow.shadow_addr_of_entry(e) // line * line
+            for e in entries
+        })
+        txns = [Transaction(a, line, is_write=True, is_shadow=True)
+                for a in lines]
+        self.shadow_transactions += len(txns)
+        return txns
+
+    # ------------------------------------------------------------------
+
+    @property
+    def id_bits(self) -> int:
+        """Identifier bits carried by request packets (§V): sync + fence +
+        atomic IDs travel with every global request when detection is on."""
+        c = self.config
+        return c.sync_id_bits + c.fence_id_bits + c.atomic_sig_bits

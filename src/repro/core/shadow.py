@@ -1,0 +1,193 @@
+"""Shared-memory shadow table: the Fig. 3 state machine.
+
+Each shared-memory shadow entry holds ``(tid, M, S)``:
+
+- **State 1** ``M=1, S=1`` — virgin (no access since the last barrier);
+- **State 2** ``M=0, S=0`` — read by exactly the thread in ``tid``;
+- **State 3** ``M=1, S=0`` — written (at least once) by ``tid``;
+- **State 4** ``M=0, S=1`` — read by threads of more than one warp.
+
+Races are reported only between threads of *different warps* (threads of a
+warp execute in lockstep and cannot race across instructions), except that
+same-instruction WAW between lanes of one warp is caught before issue
+(:meth:`SharedShadowTable.intra_warp_waw`). When dynamic warp re-grouping is
+enabled, warp membership is unstable and comparisons fall back to thread
+identity (§III-A).
+
+Barriers reset every entry of the block to virgin. Fences and locksets are
+evaluated only for global memory (§VI-C2), so this table is the pure
+happens-before detector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.types import (
+    AccessKind,
+    MemSpace,
+    RaceCategory,
+    RaceKind,
+    WarpAccess,
+)
+from repro.core.granularity import GranularityMap
+from repro.core.races import RaceLog, RaceReport
+
+
+def _overlapping_write(seen: dict, entry: int, la) -> Optional[object]:
+    """Register write lane ``la`` under ``entry``; return a previously
+    registered lane whose byte footprint overlaps it (None otherwise)."""
+    lo, hi = la.footprint()
+    bucket = seen.setdefault(entry, [])
+    for prev in bucket:
+        p_lo, p_hi = prev.footprint()
+        if lo < p_hi and p_lo < hi:
+            return prev
+    bucket.append(la)
+    return None
+
+
+class SharedShadowTable:
+    """Shadow entries for one thread block's shared memory."""
+
+    def __init__(self, region_bytes: int, granularity: int,
+                 log: RaceLog, regroup: bool = False) -> None:
+        self.gmap = GranularityMap(granularity)
+        self.n = self.gmap.num_entries(region_bytes)
+        self.log = log
+        self.regroup = regroup
+        # entry fields; virgin encoded as M=1, S=1
+        self.tid = np.full(self.n, -1, dtype=np.int64)
+        self.wid = np.full(self.n, -1, dtype=np.int64)
+        self.M = np.ones(self.n, dtype=bool)
+        self.S = np.ones(self.n, dtype=bool)
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+
+    def barrier_reset(self) -> int:
+        """Invalidate all entries at a barrier; returns entries reset."""
+        self.M[:] = True
+        self.S[:] = True
+        self.tid[:] = -1
+        self.wid[:] = -1
+        self.resets += 1
+        return self.n
+
+    # ------------------------------------------------------------------
+
+    def intra_warp_waw(self, access: WarpAccess) -> int:
+        """Same-instruction WAW: two lanes of one warp write one *location*.
+
+        The RDU checks simultaneous requests to the same location
+        associatively before issue (§III-A / §IV-B). The comparison is on
+        byte footprints, not shadow entries: a warp whose lanes write
+        successive addresses covered by one coarse entry is implicitly
+        synchronized and must not be reported (§VI-A1). Returns the number
+        of distinct new races reported.
+        """
+        if access.kind == AccessKind.READ:
+            return 0
+        seen: dict = {}
+        new = 0
+        for entry, la in self.gmap.lanes_to_entries(access.lanes):
+            if la.kind == AccessKind.READ:
+                continue
+            prev = _overlapping_write(seen, entry, la)
+            if prev is None:
+                continue
+            if self.log.report(RaceReport(
+                category=RaceCategory.SHARED_BARRIER,
+                kind=RaceKind.WAW,
+                space=MemSpace.SHARED,
+                entry=entry,
+                addr=la.addr,
+                owner_tid=access.thread_id(prev.lane),
+                access_tid=access.thread_id(la.lane),
+                owner_block=access.block_id,
+                access_block=access.block_id,
+                pc=access.pc,
+            )):
+                new += 1
+        return new
+
+    def check(self, access: WarpAccess) -> int:
+        """Run the state machine for every (entry, lane) of a warp access.
+
+        Returns the number of distinct new races reported.
+        """
+        new = self.intra_warp_waw(access)
+        for entry, la in self.gmap.lanes_to_entries(access.lanes):
+            tid = access.thread_id(la.lane)
+            race = self._check_one(
+                entry, tid, access.warp_id,
+                is_write=la.kind != AccessKind.READ,
+            )
+            if race is not None:
+                if self.log.report(RaceReport(
+                    category=RaceCategory.SHARED_BARRIER,
+                    kind=race,
+                    space=MemSpace.SHARED,
+                    entry=entry,
+                    addr=la.addr,
+                    owner_tid=int(self.tid[entry]),
+                    access_tid=tid,
+                    owner_block=access.block_id,
+                    access_block=access.block_id,
+                    pc=access.pc,
+                )):
+                    new += 1
+                # after reporting, a write takes ownership so later
+                # conflicts are still observable
+                if la.kind != AccessKind.READ:
+                    self._take_ownership(entry, tid, access.warp_id, True)
+        return new
+
+    # ------------------------------------------------------------------
+
+    def _same_owner(self, entry: int, tid: int, wid: int) -> bool:
+        """Owner comparison: by warp normally, by thread under re-grouping."""
+        if self.regroup:
+            return self.tid[entry] == tid
+        return self.wid[entry] == wid
+
+    def _take_ownership(self, entry: int, tid: int, wid: int,
+                        is_write: bool) -> None:
+        self.tid[entry] = tid
+        self.wid[entry] = wid
+        self.M[entry] = is_write
+        self.S[entry] = False
+
+    def _check_one(self, entry: int, tid: int, wid: int,
+                   is_write: bool) -> Optional[RaceKind]:
+        m = self.M[entry]
+        s = self.S[entry]
+
+        if m and s:  # State 1: virgin
+            self._take_ownership(entry, tid, wid, is_write)
+            return None
+
+        if not m and not s:  # State 2: single reader
+            if not is_write:
+                if not self._same_owner(entry, tid, wid):
+                    self.S[entry] = True
+                return None
+            if self._same_owner(entry, tid, wid):
+                # same warp's ordered write upgrades the entry
+                self._take_ownership(entry, tid, wid, True)
+                return None
+            return RaceKind.WAR
+
+        if m and not s:  # State 3: written by owner
+            if self._same_owner(entry, tid, wid):
+                if is_write:
+                    self.tid[entry] = tid  # latest writer
+                return None
+            return RaceKind.RAW if not is_write else RaceKind.WAW
+
+        # State 4: read by multiple warps
+        if not is_write:
+            return None
+        return RaceKind.WAR

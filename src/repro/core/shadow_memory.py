@@ -1,0 +1,399 @@
+"""Global shadow memory: extended shadow entries for device memory (§IV-B).
+
+Global shadow entries extend the shared-memory triple ``(tid, M, S)`` with:
+
+- ``bid`` / ``sid`` — the owner's thread-block and SM, because global memory
+  is visible to all blocks across all SMs;
+- ``sync_id`` — the owner block's barrier epoch at access time: matching
+  IDs from the *same* block mean the accesses share an epoch and must be
+  race-checked, different IDs mean a barrier ordered them and the entry is
+  refreshed with the new access;
+- ``fence_id`` — the owner warp's fence epoch at write time, compared on a
+  cross-warp read against the owner warp's *current* epoch in the race
+  register file: a match means the producer never fenced, i.e. the consumer
+  may see a stale value (§III-C);
+- ``sig`` — the atomic-ID lockset protecting the location so far (bitwise
+  intersection over protected accesses, §III-B);
+- ``atomic`` — whether every access so far was a hardware atomic (atomics
+  serialize in the memory partition and do not race with each other).
+
+Race dispatch order (documented here because the paper distributes it over
+three sections): same-block sync refresh -> lockset (which "has priority
+over barrier synchronizations" in critical sections) -> atomic-atomic
+exemption -> happens-before state machine with fence suppression and the
+L1-hit stale-read check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.bitops import ceil_div
+from repro.common.config import HAccRGConfig
+from repro.common.types import (
+    AccessKind,
+    MemSpace,
+    RaceCategory,
+    RaceKind,
+    WarpAccess,
+)
+from repro.core.clocks import RaceRegisterFile
+from repro.core.granularity import GranularityMap
+from repro.core.races import RaceLog, RaceReport
+
+
+def global_shadow_footprint(data_bytes: int, granularity: int = 4,
+                            entry_bits: int = 36) -> int:
+    """Shadow storage (bytes) for ``data_bytes`` of kernel data (Table IV).
+
+    The paper's Table IV reports the fixed global-memory overhead at 4-byte
+    granularity; 36-bit entries (basic 28 bits + 8-bit fence ID, §VI-C2)
+    reproduce its footprints.
+    """
+    entries = ceil_div(data_bytes, granularity)
+    return ceil_div(entries * entry_bits, 8)
+
+
+@dataclass
+class GlobalShadowStats:
+    """Detection-side counters (shadow checks, refreshes, suppressions)."""
+
+    checks: int = 0
+    sync_refreshes: int = 0
+    fence_suppressed: int = 0
+    lockset_checks: int = 0
+    atomic_exemptions: int = 0
+    stale_l1_reports: int = 0
+
+
+class GlobalShadowMemory:
+    """Shadow entries covering the kernel's global-memory allocations."""
+
+    def __init__(self, region_bytes: int, config: HAccRGConfig,
+                 log: RaceLog, rrf: RaceRegisterFile,
+                 shadow_base: int = 0) -> None:
+        self.config = config
+        self.gmap = GranularityMap(config.global_granularity)
+        self.n = self.gmap.num_entries(max(1, region_bytes))
+        self.log = log
+        self.rrf = rrf
+        self.regroup = config.warp_regrouping
+        self.shadow_base = shadow_base  # device address of the shadow region
+        self.stats = GlobalShadowStats()
+
+        n = self.n
+        self.tid = np.full(n, -1, dtype=np.int64)
+        self.wid = np.full(n, -1, dtype=np.int64)
+        self.bid = np.full(n, -1, dtype=np.int32)
+        self.sid = np.full(n, -1, dtype=np.int32)
+        self.M = np.ones(n, dtype=bool)
+        self.S = np.ones(n, dtype=bool)
+        self.sync = np.zeros(n, dtype=np.int32)
+        self.fence = np.zeros(n, dtype=np.int32)
+        self.sig = np.zeros(n, dtype=np.int64)
+        self.atomic = np.zeros(n, dtype=bool)
+        #: set by mutators during one _check_one; drives write-back traffic
+        self._dirtied = False
+
+    # ------------------------------------------------------------------
+    # shadow-address arithmetic (drives the RDU's shadow traffic)
+
+    def entry_bits(self) -> int:
+        """Bits stored per shadow entry in device memory.
+
+        The in-memory entry is the 28-bit basic record plus the 8-bit
+        fence ID (36 bits, the paper's Table IV configuration); atomic-ID
+        signatures are kept in the RDU-side structures for the small set
+        of critical-section lines, not in every entry.
+        """
+        return self.config.global_entry_bits(with_fence=True,
+                                             with_atomic=False)
+
+    def shadow_addr_of_entry(self, entry: int) -> int:
+        """Device byte address where ``entry`` is stored (packed layout)."""
+        return self.shadow_base + (entry * self.entry_bits()) // 8
+
+    def footprint_bytes(self) -> int:
+        return ceil_div(self.n * self.entry_bits(), 8)
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """``cudaMemset`` of the shadow region at kernel end (§IV-B)."""
+        self.tid[:] = -1
+        self.wid[:] = -1
+        self.bid[:] = -1
+        self.sid[:] = -1
+        self.M[:] = True
+        self.S[:] = True
+        self.sync[:] = 0
+        self.fence[:] = 0
+        self.sig[:] = 0
+        self.atomic[:] = False
+
+    # ------------------------------------------------------------------
+
+    def intra_warp_waw(self, access: WarpAccess) -> int:
+        """Same-instruction WAW between lanes (associative request check)."""
+        if access.kind == AccessKind.READ:
+            return 0
+        from repro.core.shadow import _overlapping_write
+        seen: dict = {}
+        new = 0
+        for entry, la in self.gmap.lanes_to_entries(access.lanes):
+            if la.kind == AccessKind.READ:
+                continue
+            prev = _overlapping_write(seen, entry, la)
+            if prev is None:
+                continue
+            # concurrent atomics to one location serialize; not a race
+            if la.kind == AccessKind.ATOMIC and prev.kind == AccessKind.ATOMIC:
+                continue
+            if self.log.report(RaceReport(
+                category=RaceCategory.GLOBAL_BARRIER,
+                kind=RaceKind.WAW,
+                space=MemSpace.GLOBAL,
+                entry=entry,
+                addr=la.addr,
+                owner_tid=access.thread_id(prev.lane),
+                access_tid=access.thread_id(la.lane),
+                owner_block=access.block_id,
+                access_block=access.block_id,
+                pc=access.pc,
+            )):
+                new += 1
+        return new
+
+    def check(self, access: WarpAccess,
+              lane_l1_hit: Optional[Sequence[bool]] = None) -> List[int]:
+        """Process one warp access; returns the distinct entries touched.
+
+        The entry list is what the RDU turns into shadow-memory traffic
+        (one read-modify-write of each entry's shadow word).
+        """
+        self.intra_warp_waw(access)
+        dirty_only = self.config.shadow_writeback_dirty_only
+        dirtied: List[int] = []
+        seen = set()
+        for i, la in enumerate(access.lanes):
+            l1_hit = bool(lane_l1_hit[i]) if lane_l1_hit is not None else False
+            for entry in self.gmap.entries_of_range(la.addr, la.size):
+                self._dirtied = False
+                self._check_one(entry, la, access, l1_hit)
+                if (self._dirtied or not dirty_only) and entry not in seen:
+                    seen.add(entry)
+                    dirtied.append(entry)
+        # only *modified* entries need a shadow write-back; re-checks that
+        # leave the entry unchanged are satisfied from the RDU's copy
+        # (unless the dirty-only optimization is ablated away)
+        return dirtied
+
+    # ------------------------------------------------------------------
+
+    def _same_owner(self, entry: int, tid: int, wid: int) -> bool:
+        if self.regroup:
+            return self.tid[entry] == tid
+        return self.wid[entry] == wid
+
+    def _init_entry(self, entry: int, la, access: WarpAccess,
+                    is_write: bool) -> None:
+        """Set an entry from a first (or epoch-refreshing) access."""
+        self._dirtied = True
+        self.tid[entry] = access.thread_id(la.lane)
+        self.wid[entry] = access.warp_id
+        self.bid[entry] = access.block_id
+        self.sid[entry] = access.sm_id
+        self.M[entry] = is_write
+        self.S[entry] = False
+        self.sync[entry] = access.sync_id & self.config.sync_id_mask
+        self.fence[entry] = access.fence_id & self.config.fence_id_mask
+        self.sig[entry] = la.sig if la.critical else 0
+        self.atomic[entry] = la.kind == AccessKind.ATOMIC
+
+    def _report(self, entry: int, la, access: WarpAccess, kind: RaceKind,
+                category: RaceCategory, stale_l1: bool = False) -> None:
+        self.log.report(RaceReport(
+            category=category,
+            kind=kind,
+            space=MemSpace.GLOBAL,
+            entry=entry,
+            addr=la.addr,
+            owner_tid=int(self.tid[entry]),
+            access_tid=access.thread_id(la.lane),
+            owner_block=int(self.bid[entry]),
+            access_block=access.block_id,
+            pc=access.pc,
+            stale_l1=stale_l1,
+        ))
+        if stale_l1:
+            self.stats.stale_l1_reports += 1
+
+    def _check_one(self, entry: int, la, access: WarpAccess,
+                   l1_hit: bool) -> None:
+        self.stats.checks += 1
+        cfg = self.config
+        is_write = la.kind != AccessKind.READ
+        is_atomic = la.kind == AccessKind.ATOMIC
+        tid = access.thread_id(la.lane)
+        wid = access.warp_id
+
+        # -- virgin entry --------------------------------------------------
+        if self.M[entry] and self.S[entry]:
+            self._init_entry(entry, la, access, is_write)
+            return
+
+        # -- same-block sync-ID refresh (§IV-B) -----------------------------
+        cur_sync = access.sync_id & cfg.sync_id_mask
+        if (self.bid[entry] == access.block_id
+                and self.sync[entry] != cur_sync):
+            # a barrier separates the stored and current accesses
+            self.stats.sync_refreshes += 1
+            self._init_entry(entry, la, access, is_write)
+            return
+
+        # -- lockset path (priority inside critical sections, §III-B) -------
+        entry_sig = int(self.sig[entry])
+        if la.critical or entry_sig != 0:
+            self.stats.lockset_checks += 1
+            self._lockset_check(entry, la, access, tid, wid,
+                                is_write, entry_sig)
+            return
+
+        # -- atomic-atomic exemption ----------------------------------------
+        if is_atomic and self.atomic[entry]:
+            self.stats.atomic_exemptions += 1
+            # serialized RMW chain: latest atomic becomes the owner
+            self._init_entry(entry, la, access, True)
+            return
+
+        # -- happens-before state machine ------------------------------------
+        same_block = self.bid[entry] == access.block_id
+        category = (RaceCategory.GLOBAL_BARRIER if same_block
+                    else RaceCategory.GLOBAL_FENCE)
+
+        if self.M[entry]:  # owner has written (state 3, since S=0 with M=1)
+            if self._same_owner(entry, tid, wid):
+                if is_write:
+                    self._dirtied = True
+                    self.tid[entry] = tid
+                    self.fence[entry] = access.fence_id & cfg.fence_id_mask
+                    self.atomic[entry] = is_atomic
+                return
+            if not is_write:
+                # RAW candidate: stale-L1 coherence check first (§IV-B)
+                if (self.config.stale_l1_check_enabled and l1_hit
+                        and self.sid[entry] != access.sm_id):
+                    self._report(entry, la, access, RaceKind.RAW,
+                                 RaceCategory.GLOBAL_FENCE, stale_l1=True)
+                    return
+                # fence suppression: owner fenced since its write => safe
+                if self.config.fence_check_enabled:
+                    owner_now = self.rrf.current_fence(int(self.wid[entry]))
+                    if owner_now != self.fence[entry]:
+                        self.stats.fence_suppressed += 1
+                        return
+                self._report(entry, la, access, RaceKind.RAW, category)
+                return
+            # cross-warp write over a write
+            self._report(entry, la, access, RaceKind.WAW,
+                         RaceCategory.GLOBAL_BARRIER if same_block
+                         else RaceCategory.GLOBAL_BARRIER)
+            self._init_entry(entry, la, access, True)
+            return
+
+        if not self.S[entry]:  # state 2: single reader
+            if not is_write:
+                if not self._same_owner(entry, tid, wid) \
+                        or self.bid[entry] != access.block_id:
+                    self._dirtied = True
+                    self.S[entry] = True
+                return
+            if self._same_owner(entry, tid, wid):
+                self._init_entry(entry, la, access, True)
+                return
+            self._report(entry, la, access, RaceKind.WAR,
+                         RaceCategory.GLOBAL_BARRIER)
+            self._init_entry(entry, la, access, True)
+            return
+
+        # state 4: read by multiple warps/blocks
+        if not is_write:
+            return
+        self._report(entry, la, access, RaceKind.WAR,
+                     RaceCategory.GLOBAL_BARRIER)
+        self._init_entry(entry, la, access, True)
+
+    # ------------------------------------------------------------------
+
+    def _lockset_check(self, entry: int, la, access: WarpAccess,
+                       tid: int, wid: int, is_write: bool,
+                       entry_sig: int) -> None:
+        """§III-B: different-lock and protected/unprotected mixing rules."""
+        cur_sig = la.sig if la.critical else 0
+        conflict = bool(self.M[entry]) or is_write
+
+        if self._same_owner(entry, tid, wid):
+            # a thread (warp) cannot race with itself; fold in its lockset
+            new_sig = entry_sig & cur_sig if entry_sig else cur_sig
+            if new_sig != entry_sig:
+                self._dirtied = True
+            self.sig[entry] = new_sig
+            if is_write:
+                self._dirtied = True
+                self.M[entry] = True
+                self.tid[entry] = tid
+                self.atomic[entry] = la.kind == AccessKind.ATOMIC
+            return
+
+        if entry_sig != 0 and cur_sig != 0:
+            inter = entry_sig & cur_sig
+            if inter == 0 and conflict:
+                self._report(entry, la, access,
+                             RaceKind.WAW if (self.M[entry] and is_write)
+                             else (RaceKind.RAW if self.M[entry]
+                                   else RaceKind.WAR),
+                             RaceCategory.GLOBAL_LOCKSET)
+                self._init_entry(entry, la, access, is_write or bool(self.M[entry]))
+                return
+            # common lock held — but a critical-section read of another
+            # warp's write still needs the producer to have fenced before
+            # releasing the lock (Fig. 2(b)): the lock hand-off does not
+            # order the data write on a non-coherent memory system
+            if (self.config.fence_check_enabled
+                    and not is_write and self.M[entry]
+                    and self.rrf.current_fence(int(self.wid[entry]))
+                    == self.fence[entry]):
+                self._report(entry, la, access, RaceKind.RAW,
+                             RaceCategory.GLOBAL_FENCE)
+                return
+            # store the lockset intersection
+            if inter != entry_sig:
+                self._dirtied = True
+            self.sig[entry] = inter
+            if is_write:
+                self._dirtied = True
+                self.M[entry] = True
+                self.tid[entry] = tid
+                self.wid[entry] = access.warp_id
+                self.fence[entry] = access.fence_id & self.config.fence_id_mask
+            elif not self._same_owner(entry, tid, wid):
+                self.S[entry] = bool(self.S[entry]) and not self.M[entry]
+            return
+
+        # protected/unprotected mixing
+        if conflict:
+            self._report(entry, la, access,
+                         RaceKind.WAW if (self.M[entry] and is_write)
+                         else (RaceKind.RAW if self.M[entry]
+                               else RaceKind.WAR),
+                         RaceCategory.GLOBAL_LOCKSET)
+            self._init_entry(entry, la, access, is_write or bool(self.M[entry]))
+            return
+        # read-read across protection domains: drop to unprotected
+        if self.sig[entry] != 0 or not self.S[entry]:
+            self._dirtied = True
+        self.sig[entry] = 0
+        self.S[entry] = True

@@ -1,0 +1,14 @@
+"""Extensions sketched by the paper beyond the core detector.
+
+§VII: "the same hardware support can be shared with other
+functionalities. For example, hardware transactional memory in GPUs can
+utilize the data race detection support to track dependence violations
+among concurrent transactions." :mod:`repro.ext.htm` builds that HTM: the
+RDU's per-location tracking structures (owner, modified, shared — the
+shadow-entry fields) become a transactional conflict detector, with lazy
+versioning (per-transaction write buffers) so aborts are free.
+"""
+
+from repro.ext.htm import Transaction, TransactionManager, TxStatus
+
+__all__ = ["Transaction", "TransactionManager", "TxStatus"]

@@ -1,0 +1,227 @@
+"""GPU hardware transactional memory on the race-detection substrate (§VII).
+
+The mapping from HAccRG's shadow entries to transactional conflict
+tracking is direct:
+
+| shadow entry field | HTM meaning |
+|---|---|
+| ``tid`` (owner) | transaction that wrote the location |
+| ``M`` (modified) | an active transaction has written it |
+| ``S`` (shared) + sharer list | active transactions that read it |
+| granularity map | conflict-detection granularity |
+
+Design:
+
+- **eager conflict detection** — every transactional read/write checks the
+  location's entry against the *active* transaction set, exactly like an
+  RDU check; conflicts follow the race rules (RAW / WAR / WAW between
+  different transactions);
+- **lazy versioning** — writes go to a per-transaction write buffer
+  (reads see the transaction's own buffer first), so an abort simply
+  drops the buffer; commit publishes it to the backing store;
+- **requester-aborts resolution** — the transaction that detects the
+  conflict aborts itself and may retry, the simple policy GPU HTM
+  proposals favour (no inter-SM arbitration hardware).
+
+Committed transactions are conflict-serializable: a location conflict
+between two concurrent transactions always aborts one of them, so the
+commit order is a valid serial order (asserted by the property tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import ReproError
+from repro.core.granularity import GranularityMap
+
+
+class TxStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TxError(ReproError):
+    """Illegal transaction API usage (operating on a finished txn, ...)."""
+
+
+@dataclass
+class Transaction:
+    """One transaction: identity, footprint, and its write buffer."""
+
+    txid: int
+    thread_id: int
+    status: TxStatus = TxStatus.ACTIVE
+    read_set: Set[int] = field(default_factory=set)    # entries
+    write_set: Set[int] = field(default_factory=set)   # entries
+    write_buffer: Dict[int, float] = field(default_factory=dict)  # addr->val
+    aborts: int = 0  # times this logical transaction was retried
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == TxStatus.ACTIVE
+
+
+@dataclass
+class HTMStats:
+    begins: int = 0
+    commits: int = 0
+    aborts: int = 0
+    conflicts_raw: int = 0
+    conflicts_war: int = 0
+    conflicts_waw: int = 0
+
+
+class TransactionManager:
+    """Conflict detector + version manager over one memory region."""
+
+    def __init__(self, region_bytes: int, granularity: int = 4) -> None:
+        self.gmap = GranularityMap(granularity)
+        self.n = self.gmap.num_entries(max(1, region_bytes))
+        self.values: Dict[int, float] = {}            # committed state
+        self._writer: Dict[int, int] = {}             # entry -> active txid
+        self._readers: Dict[int, Set[int]] = {}       # entry -> active txids
+        self._next_txid = 0
+        self._txns: Dict[int, Transaction] = {}
+        self.stats = HTMStats()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def begin(self, thread_id: int) -> Transaction:
+        tx = Transaction(txid=self._next_txid, thread_id=thread_id)
+        self._next_txid += 1
+        self._txns[tx.txid] = tx
+        self.stats.begins += 1
+        return tx
+
+    def _require_active(self, tx: Transaction) -> None:
+        if not tx.is_active:
+            raise TxError(f"transaction {tx.txid} is {tx.status.value}")
+
+    def _writer_of(self, entry: int, exclude: int) -> Optional[int]:
+        """Active conflicting writer of ``entry`` (None if free)."""
+        w = self._writer.get(entry)
+        if w is None or w == exclude:
+            return None
+        if self._txns[w].is_active:
+            return w
+        del self._writer[entry]  # lazily drop finished owners
+        return None
+
+    def _other_readers(self, entry: int, exclude: int) -> Set[int]:
+        readers = self._readers.get(entry)
+        if not readers:
+            return set()
+        live = {r for r in readers if r != exclude
+                and self._txns[r].is_active}
+        self._readers[entry] = {r for r in readers
+                                if self._txns[r].is_active}
+        return live
+
+    # ------------------------------------------------------------------
+    # transactional accesses
+
+    def read(self, tx: Transaction, addr: int, size: int = 4) -> float:
+        """Transactional load; aborts ``tx`` on a RAW conflict.
+
+        Raises :class:`ConflictAbort` is *not* used — the call returns the
+        value on success and the caller must check ``tx.is_active`` (an
+        aborted read returns 0.0), mirroring the flat abort-and-retry flow
+        of GPU HTM proposals.
+        """
+        self._require_active(tx)
+        for entry in self.gmap.entries_of_range(addr, size):
+            if self._writer_of(entry, tx.txid) is not None:
+                self.stats.conflicts_raw += 1
+                self.abort(tx)
+                return 0.0
+            tx.read_set.add(entry)
+            self._readers.setdefault(entry, set()).add(tx.txid)
+        if addr in tx.write_buffer:
+            return tx.write_buffer[addr]
+        return self.values.get(addr, 0.0)
+
+    def write(self, tx: Transaction, addr: int, value: float,
+              size: int = 4) -> bool:
+        """Transactional store; returns False when a conflict aborted it."""
+        self._require_active(tx)
+        for entry in self.gmap.entries_of_range(addr, size):
+            if self._writer_of(entry, tx.txid) is not None:
+                self.stats.conflicts_waw += 1
+                self.abort(tx)
+                return False
+            if self._other_readers(entry, tx.txid):
+                self.stats.conflicts_war += 1
+                self.abort(tx)
+                return False
+        for entry in self.gmap.entries_of_range(addr, size):
+            self._writer[entry] = tx.txid
+            tx.write_set.add(entry)
+        tx.write_buffer[addr] = value
+        return True
+
+    # ------------------------------------------------------------------
+    # outcome
+
+    def commit(self, tx: Transaction) -> bool:
+        """Publish the write buffer; returns False if already aborted."""
+        if tx.status == TxStatus.ABORTED:
+            return False
+        self._require_active(tx)
+        for addr, value in tx.write_buffer.items():
+            self.values[addr] = value
+        tx.status = TxStatus.COMMITTED
+        self._release(tx)
+        self.stats.commits += 1
+        return True
+
+    def abort(self, tx: Transaction) -> None:
+        """Drop the write buffer and release the footprint."""
+        if tx.status == TxStatus.ABORTED:
+            return
+        self._require_active(tx)
+        tx.status = TxStatus.ABORTED
+        tx.aborts += 1
+        self._release(tx)
+        self.stats.aborts += 1
+
+    def _release(self, tx: Transaction) -> None:
+        for entry in tx.write_set:
+            if self._writer.get(entry) == tx.txid:
+                del self._writer[entry]
+        for entry in tx.read_set:
+            readers = self._readers.get(entry)
+            if readers:
+                readers.discard(tx.txid)
+
+    # ------------------------------------------------------------------
+    # convenience
+
+    def run_atomic(self, thread_id: int, body, max_retries: int = 64):
+        """Retry loop: ``body(tx, read, write)`` until commit.
+
+        ``body`` receives bound ``read(addr)`` / ``write(addr, value)``
+        helpers that short-circuit once the transaction aborts; the body
+        is re-executed from scratch on retry (flat nesting, as in GPU HTM
+        proposals).
+        """
+        for _ in range(max_retries):
+            tx = self.begin(thread_id)
+
+            def read(addr: int) -> float:
+                return self.read(tx, addr) if tx.is_active else 0.0
+
+            def write(addr: int, value: float) -> None:
+                if tx.is_active:
+                    self.write(tx, addr, value)
+
+            result = body(tx, read, write)
+            if tx.is_active and self.commit(tx):
+                return result
+        raise TxError(
+            f"thread {thread_id}: transaction failed after {max_retries} retries"
+        )

@@ -1,0 +1,100 @@
+"""Atomic operation semantics and the device lock table.
+
+Atomic read-modify-write ops execute functionally here with CUDA semantics
+(each returns the *old* value). The :class:`LockTable` backs the kernel-level
+``lock``/``unlock`` markers: acquisition is an atomic-exchange spin loop in
+real kernels, which we model as a grant/retry protocol serialized per lock
+address.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.errors import KernelError, SimulationError
+
+
+def apply_atomic(name: str, old: float, operand: float,
+                 operand2: float) -> float:
+    """Return the new memory value for atomic op ``name``.
+
+    Semantics match the CUDA intrinsics:
+
+    - ``add``/``sub``/``min``/``max``: arithmetic on the old value
+    - ``inc``: ``old >= operand ? 0 : old + 1`` (``atomicInc``)
+    - ``dec``: ``old == 0 or old > operand ? operand : old - 1``
+    - ``exch``: new value is ``operand``
+    - ``cas``: ``old == operand ? operand2 : old``
+    - ``or``/``and``: bitwise on integer-valued cells
+    """
+    if name == "add":
+        return old + operand
+    if name == "sub":
+        return old - operand
+    if name == "inc":
+        return 0.0 if old >= operand else old + 1.0
+    if name == "dec":
+        return operand if (old == 0.0 or old > operand) else old - 1.0
+    if name == "exch":
+        return operand
+    if name == "cas":
+        return operand2 if old == operand else old
+    if name == "min":
+        return min(old, operand)
+    if name == "max":
+        return max(old, operand)
+    if name == "or":
+        return float(int(old) | int(operand))
+    if name == "and":
+        return float(int(old) & int(operand))
+    raise KernelError(f"unknown atomic op {name!r}")
+
+
+class LockTable:
+    """Device-wide lock ownership: lock byte-address -> holder thread id.
+
+    ``try_acquire`` models one iteration of an ``atomicExch`` spin loop; a
+    failed attempt costs the caller a retry (the SM re-issues later). Locks
+    are not re-entrant across distinct ``lock`` calls by design — GPU
+    spin-lock idioms are not — but a thread re-acquiring a lock it already
+    holds is granted immediately (depth counted), since the benchmarks that
+    use nesting rely on it.
+    """
+
+    def __init__(self) -> None:
+        self._holder: Dict[int, Tuple[int, int]] = {}  # addr -> (tid, depth)
+        self.acquisitions = 0
+        self.contended_attempts = 0
+
+    def try_acquire(self, addr: int, tid: int) -> bool:
+        entry = self._holder.get(addr)
+        if entry is None:
+            self._holder[addr] = (tid, 1)
+            self.acquisitions += 1
+            return True
+        holder, depth = entry
+        if holder == tid:
+            self._holder[addr] = (tid, depth + 1)
+            self.acquisitions += 1
+            return True
+        self.contended_attempts += 1
+        return False
+
+    def release(self, addr: int, tid: int) -> None:
+        entry = self._holder.get(addr)
+        if entry is None or entry[0] != tid:
+            raise SimulationError(
+                f"thread {tid} released lock {addr:#x} it does not hold"
+            )
+        holder, depth = entry
+        if depth == 1:
+            del self._holder[addr]
+        else:
+            self._holder[addr] = (holder, depth - 1)
+
+    def holder_of(self, addr: int) -> Optional[int]:
+        entry = self._holder.get(addr)
+        return entry[0] if entry else None
+
+    def held_count(self) -> int:
+        return len(self._holder)

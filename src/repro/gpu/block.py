@@ -1,0 +1,133 @@
+"""Thread-block lifecycle: thread creation, warps, barriers, shared memory.
+
+A :class:`ThreadBlock` instantiates its threads' generators lazily when the
+block is dispatched to an SM, partitions them into warps, owns the block's
+shared-memory value store, and arbitrates block-wide barriers. It also
+carries the block's HAccRG sync-ID logical clock (§IV-B): incremented at each
+barrier, but only if the block touched global memory since its previous
+barrier — the paper's traffic-limiting optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.types import Dim3
+from repro.gpu.context import ThreadCtx
+from repro.gpu.device import DeviceArray
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.warp import ThreadState, Warp
+
+
+class ThreadBlock:
+    """One CTA: warps, shared memory instance, barrier state, sync clock."""
+
+    def __init__(self, launch: KernelLaunch, block_id: int, warp_size: int,
+                 shared_capacity: int) -> None:
+        self.launch = launch
+        self.block_id = block_id            # grid-wide linear block id
+        self.warp_size = warp_size
+        self.shared_capacity = shared_capacity
+        self.sm_id: Optional[int] = None
+        self.warps: List[Warp] = []
+        self.done = False
+        # shared-memory value store (byte-address indexed, like DeviceMemory)
+        self.shared_values: Optional[np.ndarray] = None
+        self.shared_arrays: Dict[str, DeviceArray] = {}
+        # HAccRG per-block state
+        self.sync_id = 0
+        self.global_accessed_since_barrier = False
+        # statistics
+        self.barriers_executed = 0
+        self.sync_id_increments = 0
+
+    # ------------------------------------------------------------------
+
+    def materialize(self, sm_id: int, base_warp_id: int) -> None:
+        """Create thread generators and warps when dispatched onto ``sm_id``."""
+        self.sm_id = sm_id
+        kernel = self.launch.kernel
+        block_dim: Dim3 = self.launch.block
+        grid_dim: Dim3 = self.launch.grid
+
+        if kernel.shared:
+            self.shared_values = np.zeros(self.shared_capacity, dtype=np.float64)
+            self.shared_arrays = kernel.make_shared_arrays(self.shared_capacity)
+
+        bx = self.block_id % grid_dim.x
+        by = self.block_id // grid_dim.x
+
+        threads: List[ThreadState] = []
+        for z in range(block_dim.z):
+            for y in range(block_dim.y):
+                for x in range(block_dim.x):
+                    ctx = ThreadCtx(
+                        (x, y, z), (bx, by), block_dim, grid_dim,
+                        self.warp_size, self.shared_arrays,
+                    )
+                    gen = kernel.fn(ctx, *self.launch.args)
+                    threads.append(ThreadState(gen, ctx.global_tid))
+
+        nthreads = len(threads)
+        nwarps = (nthreads + self.warp_size - 1) // self.warp_size
+        self.warps = []
+        for w in range(nwarps):
+            lanes = threads[w * self.warp_size:(w + 1) * self.warp_size]
+            self.warps.append(Warp(base_warp_id + w, w, self, lanes))
+
+    # ------------------------------------------------------------------
+
+    def all_at_barrier(self) -> bool:
+        """True when every unfinished warp is parked at the barrier."""
+        pending = [w for w in self.warps if not w.finished]
+        return bool(pending) and all(w.at_barrier for w in pending)
+
+    def any_at_barrier(self) -> bool:
+        return any(w.at_barrier for w in self.warps)
+
+    def release_barrier(self, cycle: int, lazy_sync: bool = True) -> List[Warp]:
+        """Release a completed block-wide barrier; returns released warps.
+
+        Handles the sync-ID clock: per §IV-B, the block's sync ID is
+        incremented only if the block issued global-memory accesses since
+        its last barrier (``lazy_sync``; pass False to ablate the
+        optimization and increment at every barrier).
+        """
+        if not self.all_at_barrier():
+            raise SimulationError("release_barrier without full arrival")
+        released = []
+        for w in self.warps:
+            if w.at_barrier:
+                w.release_barrier()
+                w.ready_at = cycle
+                released.append(w)
+        self.barriers_executed += 1
+        if self.global_accessed_since_barrier or not lazy_sync:
+            self.sync_id += 1
+            self.sync_id_increments += 1
+            self.global_accessed_since_barrier = False
+        return released
+
+    def check_done(self) -> bool:
+        if not self.done and all(w.finished for w in self.warps):
+            self.done = True
+        return self.done
+
+    # -- shared-memory value access (functional semantics) -----------------
+
+    def shared_load(self, addr: int) -> float:
+        assert self.shared_values is not None
+        return float(self.shared_values[addr])
+
+    def shared_store(self, addr: int, value: float) -> None:
+        assert self.shared_values is not None
+        self.shared_values[addr] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThreadBlock(id={self.block_id}, sm={self.sm_id}, "
+            f"warps={len(self.warps)}, done={self.done})"
+        )

@@ -1,0 +1,67 @@
+"""Memory access coalescing (paper §II-A).
+
+Consecutive global/local accesses from the lanes of a warp are combined into
+the minimum set of aligned memory transactions, the unit the caches and DRAM
+operate on. We implement the Fermi-style scheme: lanes are grouped by the
+128-byte segment they touch; a segment's transaction is then shrunk to 64 or
+32 bytes when the lanes only span half/quarter of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.bitops import align_down
+from repro.common.types import LaneAccess, Transaction
+
+_SEGMENT = 128
+
+
+def coalesce(lanes: Sequence[LaneAccess], is_write: bool,
+             is_shadow: bool = False) -> List[Transaction]:
+    """Coalesce lane accesses into aligned 32/64/128-byte transactions.
+
+    Returns transactions ordered by base address (deterministic). Lane
+    accesses that straddle a 128-byte boundary contribute to both segments,
+    like hardware's replay mechanism.
+    """
+    segments: Dict[int, Tuple[int, int]] = {}  # seg base -> (lo, hi) touched
+    for la in lanes:
+        lo, hi = la.footprint()
+        seg = align_down(lo, _SEGMENT)
+        while seg < hi:
+            s_lo = max(lo, seg)
+            s_hi = min(hi, seg + _SEGMENT)
+            if seg in segments:
+                p_lo, p_hi = segments[seg]
+                segments[seg] = (min(p_lo, s_lo), max(p_hi, s_hi))
+            else:
+                segments[seg] = (s_lo, s_hi)
+            seg += _SEGMENT
+
+    out: List[Transaction] = []
+    for seg in sorted(segments):
+        lo, hi = segments[seg]
+        out.extend(_shrink(seg, lo, hi, is_write, is_shadow))
+    return out
+
+
+def _shrink(seg: int, lo: int, hi: int, is_write: bool,
+            is_shadow: bool) -> List[Transaction]:
+    """Shrink one 128B segment transaction to 64B/32B when possible."""
+    # try the two 64-byte halves
+    for half in (seg, seg + 64):
+        if half <= lo and hi <= half + 64:
+            # try the two 32-byte quarters of that half
+            for quarter in (half, half + 32):
+                if quarter <= lo and hi <= quarter + 32:
+                    return [Transaction(quarter, 32, is_write, is_shadow)]
+            return [Transaction(half, 64, is_write, is_shadow)]
+    return [Transaction(seg, _SEGMENT, is_write, is_shadow)]
+
+
+def transactions_for_lines(line_addrs: Sequence[int], line_size: int,
+                           is_write: bool, is_shadow: bool = False) -> List[Transaction]:
+    """Build one transaction per distinct cache line (used for shadow traffic)."""
+    seen = sorted(set(align_down(a, line_size) for a in line_addrs))
+    return [Transaction(a, line_size, is_write, is_shadow) for a in seen]

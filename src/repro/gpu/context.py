@@ -1,0 +1,154 @@
+"""Per-thread kernel execution context (the CUDA device API surface).
+
+A kernel is a Python generator function ``def kernel(ctx, *args)``. The
+``ctx`` object exposes thread/block/grid identity (``threadIdx`` etc.) and
+*op constructors*: methods that build the device-operation tuples the thread
+yields to the simulator. Example::
+
+    def copy_kernel(ctx, src, dst):
+        i = ctx.global_tid_x
+        if i < src.length:
+            v = yield ctx.load(src, i)
+            yield ctx.store(dst, i, v)
+
+Op constructors only build tuples; all effects happen when the simulator
+executes the yielded op. Load-like ops deliver their result as the value of
+the ``yield`` expression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.errors import KernelError
+from repro.common.types import Dim3
+from repro.gpu.device import DeviceArray
+from repro.gpu.ops import (
+    ATOMIC_OPS,
+    OP_ATOMIC,
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_LOCK,
+    OP_STORE,
+    OP_UNLOCK,
+)
+
+_BARRIER_OP = (OP_BARRIER,)
+_FENCE_OP = (OP_FENCE,)
+
+
+class ThreadCtx:
+    """Identity and device-API for one kernel thread.
+
+    Attributes mirror CUDA built-ins: ``tid_x`` is ``threadIdx.x``,
+    ``block_id_x`` is ``blockIdx.x``, ``block_dim`` / ``grid_dim`` are
+    launch dimensions, and ``global_tid_x`` is the usual
+    ``blockIdx.x * blockDim.x + threadIdx.x``.
+    """
+
+    __slots__ = (
+        "tid_x", "tid_y", "tid_z",
+        "block_id_x", "block_id_y",
+        "block_dim", "grid_dim",
+        "block_linear", "thread_linear",
+        "global_tid", "lane", "warp_in_block",
+        "shared",
+    )
+
+    def __init__(self, tid: Tuple[int, int, int], block_id: Tuple[int, int],
+                 block_dim: Dim3, grid_dim: Dim3, warp_size: int,
+                 shared: Dict[str, DeviceArray]) -> None:
+        self.tid_x, self.tid_y, self.tid_z = tid
+        self.block_id_x, self.block_id_y = block_id
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.block_linear = block_id[1] * grid_dim.x + block_id[0]
+        self.thread_linear = block_dim.linearize(*tid)
+        self.global_tid = self.block_linear * block_dim.count + self.thread_linear
+        self.lane = self.thread_linear % warp_size
+        self.warp_in_block = self.thread_linear // warp_size
+        self.shared = shared
+
+    # -- convenience aliases ------------------------------------------------
+
+    @property
+    def global_tid_x(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x`` (1-D launches)."""
+        return self.block_id_x * self.block_dim.x + self.tid_x
+
+    @property
+    def num_threads(self) -> int:
+        """Total threads in the grid."""
+        return self.grid_dim.count * self.block_dim.count
+
+    # -- op constructors ------------------------------------------------
+
+    def load(self, arr: DeviceArray, index: int) -> tuple:
+        """Read element ``index`` of ``arr``; yields the stored value."""
+        return (OP_LOAD, arr.space, arr.addr(index), arr.itemsize)
+
+    def store(self, arr: DeviceArray, index: int, value: float) -> tuple:
+        """Write ``value`` to element ``index`` of ``arr``."""
+        return (OP_STORE, arr.space, arr.addr(index), arr.itemsize, value)
+
+    def load_addr(self, space, addr: int, size: int = 4) -> tuple:
+        """Raw-address read (used by injection and address-bug modelling)."""
+        return (OP_LOAD, space, addr, size)
+
+    def store_addr(self, space, addr: int, size: int = 4, value: float = 0.0) -> tuple:
+        """Raw-address write."""
+        return (OP_STORE, space, addr, size, value)
+
+    def atomic(self, name: str, arr: DeviceArray, index: int,
+               operand: float = 0.0, operand2: float = 0.0) -> tuple:
+        """Atomic read-modify-write; yields the *old* value (CUDA semantics).
+
+        ``name`` is one of ``add sub inc dec exch cas min max or and``.
+        For ``cas``, ``operand`` is the compare value and ``operand2`` the
+        swap value.
+        """
+        if name not in ATOMIC_OPS:
+            raise KernelError(f"unknown atomic op {name!r}")
+        return (OP_ATOMIC, arr.space, arr.addr(index), arr.itemsize,
+                name, operand, operand2)
+
+    def atomic_inc(self, arr: DeviceArray, index: int, limit: float) -> tuple:
+        """``atomicInc``: old = v; v = (old >= limit) ? 0 : old + 1."""
+        return self.atomic("inc", arr, index, limit)
+
+    def atomic_add(self, arr: DeviceArray, index: int, value: float) -> tuple:
+        return self.atomic("add", arr, index, value)
+
+    def atomic_exch(self, arr: DeviceArray, index: int, value: float) -> tuple:
+        return self.atomic("exch", arr, index, value)
+
+    def atomic_cas(self, arr: DeviceArray, index: int, compare: float,
+                   value: float) -> tuple:
+        return self.atomic("cas", arr, index, compare, value)
+
+    def compute(self, n: int = 1) -> tuple:
+        """Account ``n`` ALU instructions (no memory effect)."""
+        return (OP_COMPUTE, n)
+
+    def syncthreads(self) -> tuple:
+        """Block-wide barrier (``__syncthreads``)."""
+        return _BARRIER_OP
+
+    def threadfence(self) -> tuple:
+        """Device-wide memory fence (``__threadfence``)."""
+        return _FENCE_OP
+
+    def lock(self, arr: DeviceArray, index: int) -> tuple:
+        """Acquire the lock stored at ``arr[index]`` (spins until granted).
+
+        Models an atomic-exchange loop plus the HAccRG critical-section
+        *marker* inserted after lock acquisition (§III-B): on success the
+        lock address enters the thread's atomic-ID Bloom signature.
+        """
+        return (OP_LOCK, arr.addr(index))
+
+    def unlock(self, arr: DeviceArray, index: int) -> tuple:
+        """Release the lock at ``arr[index]`` (marker before release)."""
+        return (OP_UNLOCK, arr.addr(index))

@@ -1,0 +1,174 @@
+"""Device memory: allocation, typed array views, and value storage.
+
+The functional half of the simulator needs real values so that benchmarks
+compute verifiable results (prefix sums, histograms, reductions...). Global
+memory is backed by one numpy float64 array indexed by *byte address*; an
+access of width ``w`` at address ``a`` stores/loads its value at cell ``a``.
+Values are never reinterpreted at a different width in our kernels, so this
+word-per-byte-address scheme is exact for them while keeping address
+arithmetic (which drives coalescing, caching, and race detection) fully
+faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.bitops import align_up
+from repro.common.errors import KernelError
+from repro.common.types import MemSpace
+
+
+class DeviceMemory:
+    """The GPU's global (device) memory: a bump allocator plus value store.
+
+    Allocations are 256-byte aligned, matching ``cudaMalloc`` alignment, so
+    that coalescing behaviour of array bases is realistic.
+    """
+
+    ALLOC_ALIGN = 256
+
+    def __init__(self, capacity: int = 1 << 26) -> None:
+        self.capacity = int(capacity)
+        self._next = 0
+        self._values: Optional[np.ndarray] = None
+        self._allocs: Dict[int, int] = {}  # base -> size
+        self._names: Dict[int, str] = {}   # base -> allocation name
+
+    def _ensure_backing(self) -> None:
+        if self._values is None:
+            self._values = np.zeros(self.capacity, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        self._ensure_backing()
+        assert self._values is not None
+        return self._values
+
+    @property
+    def allocated_bytes(self) -> int:
+        """High-water mark of allocated device memory."""
+        return self._next
+
+    def malloc(self, nbytes: int, name: str = "") -> int:
+        """Allocate ``nbytes`` of device memory; return the base address."""
+        if nbytes <= 0:
+            raise KernelError(f"malloc size must be positive, got {nbytes}")
+        base = self._next
+        self._next = align_up(base + nbytes, self.ALLOC_ALIGN)
+        if self._next > self.capacity:
+            raise KernelError(
+                f"device memory exhausted: need {self._next}, have {self.capacity}"
+            )
+        self._allocs[base] = nbytes
+        if name:
+            self._names[base] = name
+        return base
+
+    def allocations(self) -> Dict[int, int]:
+        """Return a copy of the {base: size} allocation map."""
+        return dict(self._allocs)
+
+    def allocation_of(self, addr: int) -> Optional[Tuple[str, int, int]]:
+        """Map a device address to its allocation: (name, base, size).
+
+        Returns None for addresses outside every allocation (e.g. the
+        shadow region gap). Used by race diagnosis to attribute races to
+        the arrays kernels declared.
+        """
+        for base, size in self._allocs.items():
+            if base <= addr < base + size:
+                return (self._names.get(base, f"alloc@{base:#x}"),
+                        base, size)
+        return None
+
+    # -- raw value access (functional semantics) ---------------------------
+
+    def load(self, addr: int) -> float:
+        self._ensure_backing()
+        return float(self._values[addr])
+
+    def store(self, addr: int, value: float) -> None:
+        self._ensure_backing()
+        self._values[addr] = value
+
+    def fill(self, base: int, count: int, stride: int, values: np.ndarray) -> None:
+        """Bulk-initialize ``count`` cells starting at ``base`` (host memcpy)."""
+        self._ensure_backing()
+        idx = base + stride * np.arange(count)
+        self._values[idx] = values
+
+    def read_array(self, base: int, count: int, stride: int) -> np.ndarray:
+        """Bulk-read ``count`` cells (host memcpy back)."""
+        self._ensure_backing()
+        idx = base + stride * np.arange(count)
+        return self._values[idx].copy()
+
+
+class DeviceArray:
+    """A typed view over a region of device or shared memory.
+
+    Carries (space, base byte address, element size, length). Kernels index
+    it logically (element index), and the op constructors translate to byte
+    addresses. For shared-space arrays the address is an offset within the
+    owning block's shared memory; the value store is the block's, resolved
+    at execution time.
+    """
+
+    __slots__ = ("space", "base", "itemsize", "length", "name", "_mem")
+
+    def __init__(self, space: MemSpace, base: int, itemsize: int, length: int,
+                 name: str = "", mem: Optional[DeviceMemory] = None) -> None:
+        self.space = space
+        self.base = base
+        self.itemsize = itemsize
+        self.length = length
+        self.name = name
+        self._mem = mem
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index`` (bounds-checked)."""
+        if index < 0 or index >= self.length:
+            raise KernelError(
+                f"index {index} out of bounds for array {self.name!r} "
+                f"of length {self.length}"
+            )
+        return self.base + index * self.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.itemsize * self.length
+
+    # -- host-side helpers (functional init / readback) --------------------
+
+    def host_write(self, values: np.ndarray) -> None:
+        """Host -> device copy into this (global-space) array."""
+        if self._mem is None or self.space != MemSpace.GLOBAL:
+            raise KernelError("host_write requires a global-memory array")
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) != self.length:
+            raise KernelError(
+                f"host_write length mismatch: {len(values)} != {self.length}"
+            )
+        self._mem.fill(self.base, self.length, self.itemsize, values)
+
+    def host_read(self) -> np.ndarray:
+        """Device -> host copy of this (global-space) array."""
+        if self._mem is None or self.space != MemSpace.GLOBAL:
+            raise KernelError("host_read requires a global-memory array")
+        return self._mem.read_array(self.base, self.length, self.itemsize)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceArray({self.name!r}, space={self.space.name}, "
+            f"base={self.base:#x}, itemsize={self.itemsize}, len={self.length})"
+        )
+
+
+def device_alloc(mem: DeviceMemory, name: str, length: int,
+                 itemsize: int = 4) -> DeviceArray:
+    """Allocate a global-memory array and return its typed view."""
+    base = mem.malloc(length * itemsize, name=name)
+    return DeviceArray(MemSpace.GLOBAL, base, itemsize, length, name=name, mem=mem)

@@ -1,0 +1,78 @@
+"""Hook interfaces through which detectors observe the GPU substrate.
+
+The GPU package depends only on :mod:`repro.common`; race detectors (the
+hardware RDUs of :mod:`repro.core`, the software baselines of
+:mod:`repro.swdetect`) plug in by implementing :class:`DetectorHooks`. Every
+hook may return a :class:`TimingEffect` describing cycles the *issuing warp*
+must additionally stall (software instrumentation, barrier shadow
+invalidation, ...). Hardware RDU shadow traffic that does not stall the warp
+is injected by the detector directly into the memory system it holds a
+handle to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.types import WarpAccess
+
+
+@dataclass(frozen=True)
+class TimingEffect:
+    """Extra cost a hook imposes on the hooked event.
+
+    ``stall_cycles`` delays the issuing warp (or, for barriers, the release
+    of the whole block). ``extra_instructions`` inflates the dynamic
+    instruction count (software instrumentation executes real instructions).
+    """
+
+    stall_cycles: int = 0
+    extra_instructions: int = 0
+
+
+NO_EFFECT = TimingEffect()
+
+
+class DetectorHooks:
+    """No-op base detector: simulate with race detection disabled."""
+
+    #: extra identifier bits attached to global memory request packets
+    request_id_bits: int = 0
+
+    def on_kernel_start(self, launch, device_mem) -> None:
+        """A kernel is about to execute (allocate shadow state here)."""
+
+    def on_kernel_end(self) -> None:
+        """The kernel finished (implicit closing barrier)."""
+
+    def on_block_start(self, block) -> None:
+        """A thread block was dispatched onto an SM."""
+
+    def on_block_end(self, block) -> None:
+        """A thread block retired."""
+
+    def on_warp_access(self, access: WarpAccess, now: int,
+                       lane_l1_hit: Optional[Sequence[bool]] = None) -> TimingEffect:
+        """A warp memory instruction executed (shared/global/atomic)."""
+        return NO_EFFECT
+
+    def on_barrier(self, block, now: int) -> TimingEffect:
+        """A block-wide barrier completed (shadow invalidation point)."""
+        return NO_EFFECT
+
+    def on_fence(self, warp, now: int) -> TimingEffect:
+        """A warp completed a memory-fence instruction."""
+        return NO_EFFECT
+
+    def on_lock_acquire(self, thread, addr: int) -> int:
+        """A thread acquired the lock at ``addr``; return its new signature."""
+        return thread.lock_sig
+
+    def on_lock_release(self, thread, addr: int) -> int:
+        """A thread released the lock at ``addr``; return its new signature."""
+        return 0 if not thread.held_locks else thread.lock_sig
+
+
+#: Singleton null detector used when detection is off.
+NULL_DETECTOR = DetectorHooks()

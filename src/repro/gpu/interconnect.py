@@ -1,0 +1,44 @@
+"""SM <-> memory-slice interconnect cost model (paper §V).
+
+The network carries memory request/response packets between SM clusters and
+the memory partitions. Packets are serialized into flits; HAccRG attaches
+sync, fence, and atomic IDs to request headers (§V: "network packets carry
+sync IDs, fence IDs, and atomic IDs along with the other control
+information"), which lengthens request packets slightly when detection is
+enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import ceil_div
+
+
+@dataclass
+class InterconnectModel:
+    """Latency/serialization model for one request/response round trip."""
+
+    flit_size: int = 32
+    hop_latency: int = 12
+    header_bytes: int = 8
+
+    def request_flits(self, payload_bytes: int, id_bits: int = 0) -> int:
+        """Flits for a request carrying ``payload_bytes`` of data.
+
+        Read requests carry no payload (header only); write requests carry
+        the store data. ``id_bits`` is the HAccRG identifier overhead.
+        """
+        total = self.header_bytes + payload_bytes + ceil_div(id_bits, 8)
+        return max(1, ceil_div(total, self.flit_size))
+
+    def response_flits(self, payload_bytes: int) -> int:
+        total = self.header_bytes + payload_bytes
+        return max(1, ceil_div(total, self.flit_size))
+
+    def round_trip_cycles(self, request_payload: int, response_payload: int,
+                          id_bits: int = 0) -> int:
+        """Cycles for request + response traversal including serialization."""
+        flits = (self.request_flits(request_payload, id_bits)
+                 + self.response_flits(response_payload))
+        return 2 * self.hop_latency + flits

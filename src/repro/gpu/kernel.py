@@ -1,0 +1,93 @@
+"""Kernel and launch descriptors.
+
+A :class:`Kernel` wraps a generator function plus its declared shared-memory
+arrays. A :class:`KernelLaunch` binds a kernel to a grid/block shape and
+arguments — the unit the simulator executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+from repro.common.bitops import align_up
+from repro.common.errors import KernelError
+from repro.common.types import Dim3, MemSpace
+from repro.gpu.device import DeviceArray
+
+#: Declaration of one shared-memory array: (element count, element size).
+SharedDecl = Tuple[int, int]
+
+
+@dataclass
+class Kernel:
+    """A device kernel: generator function + shared-memory declarations.
+
+    ``shared`` maps array names to ``(length, itemsize)``. Every block
+    executing the kernel gets its own instance of each declared array,
+    laid out sequentially (16-byte aligned) in the block's shared memory.
+    """
+
+    fn: Callable[..., Any]
+    name: str = ""
+    shared: Dict[str, SharedDecl] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = getattr(self.fn, "__name__", "kernel")
+
+    def shared_layout(self, shared_capacity: int) -> Dict[str, Tuple[int, int, int]]:
+        """Compute {name: (offset, itemsize, length)} within block shared mem."""
+        offset = 0
+        layout: Dict[str, Tuple[int, int, int]] = {}
+        for name, (length, itemsize) in self.shared.items():
+            offset = align_up(offset, 16)
+            layout[name] = (offset, itemsize, length)
+            offset += length * itemsize
+        if offset > shared_capacity:
+            raise KernelError(
+                f"kernel {self.name!r} declares {offset}B of shared memory, "
+                f"SM provides {shared_capacity}B"
+            )
+        return layout
+
+    def shared_bytes(self) -> int:
+        """Total shared memory bytes this kernel declares per block."""
+        offset = 0
+        for length, itemsize in self.shared.values():
+            offset = align_up(offset, 16) + length * itemsize
+        return offset
+
+    def make_shared_arrays(self, shared_capacity: int) -> Dict[str, DeviceArray]:
+        """Instantiate the per-block shared arrays (shared-space views)."""
+        return {
+            name: DeviceArray(MemSpace.SHARED, off, itemsize, length, name=name)
+            for name, (off, itemsize, length)
+            in self.shared_layout(shared_capacity).items()
+        }
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel invocation: ``kernel<<<grid, block>>>(*args)``."""
+
+    kernel: Kernel
+    grid: Dim3
+    block: Dim3
+    args: Sequence[Any] = ()
+
+    def __post_init__(self) -> None:
+        self.grid = Dim3.of(self.grid)
+        self.block = Dim3.of(self.block)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.count
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block

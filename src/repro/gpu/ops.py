@@ -1,0 +1,63 @@
+"""Device-operation protocol between kernel threads and the simulator.
+
+Kernel threads are Python generators. Each ``yield`` hands the simulator one
+*device operation* encoded as a plain tuple whose first element is an opcode
+constant from this module. Tuples (rather than dataclasses) are used because
+op construction sits on the hottest path of the simulator — one tuple per
+dynamic instruction per lane.
+
+Op layouts::
+
+    (OP_LOAD,   space, addr, size)                 -> value sent back
+    (OP_STORE,  space, addr, size, value)
+    (OP_ATOMIC, space, addr, size, name, operand, operand2) -> old value
+    (OP_COMPUTE, n)                                 # n ALU instructions
+    (OP_BARRIER,)
+    (OP_FENCE,)
+    (OP_LOCK,   addr)                               # acquire (marker + spin)
+    (OP_UNLOCK, addr)                               # release
+
+Addresses are byte addresses in the target space; ``size`` is the access
+width in bytes.
+"""
+
+from __future__ import annotations
+
+OP_LOAD = 0
+OP_STORE = 1
+OP_ATOMIC = 2
+OP_COMPUTE = 3
+OP_BARRIER = 4
+OP_FENCE = 5
+OP_LOCK = 6
+OP_UNLOCK = 7
+
+#: Number of distinct opcodes (used for dispatch tables).
+NUM_OPS = 8
+
+OP_NAMES = {
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_ATOMIC: "atomic",
+    OP_COMPUTE: "compute",
+    OP_BARRIER: "barrier",
+    OP_FENCE: "fence",
+    OP_LOCK: "lock",
+    OP_UNLOCK: "unlock",
+}
+
+#: Supported atomic operation names and their semantics (CUDA equivalents).
+ATOMIC_OPS = ("add", "sub", "inc", "dec", "exch", "cas", "min", "max", "or", "and")
+
+
+def group_key(op: tuple) -> tuple:
+    """Key by which divergent lane ops are grouped into issue slots.
+
+    Lanes whose pending ops share a group key execute in the same simulated
+    warp instruction; distinct keys serialize (branch divergence).
+    Memory ops group by (opcode, space, size); everything else by opcode.
+    """
+    code = op[0]
+    if code in (OP_LOAD, OP_STORE, OP_ATOMIC):
+        return (code, op[1], op[3])
+    return (code,)

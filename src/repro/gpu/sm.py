@@ -1,0 +1,413 @@
+"""Streaming multiprocessor: round-robin warp scheduling + event timing.
+
+One :class:`StreamingMultiprocessor` hosts up to ``max_blocks_per_sm``
+resident thread blocks (bounded also by threads and shared memory). Each
+scheduling step it issues one warp-instruction group from the next ready
+warp in round-robin order. Timing is event-driven: warps carry a
+``ready_at`` cycle; compute ops cost issue slots, memory ops cost the full
+coalesced round trip through the memory hierarchy the simulator provides.
+
+Detector hooks fire synchronously with execution, so detection results are
+exact with respect to the simulated interleaving even though timing is
+warp-granular rather than cycle-accurate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.types import AccessKind, KernelStats, LaneAccess, MemSpace, WarpAccess
+from repro.gpu.atomics import apply_atomic
+from repro.gpu.block import ThreadBlock
+from repro.gpu.coalescer import coalesce
+from repro.gpu.ops import (
+    OP_ATOMIC,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_LOCK,
+    OP_STORE,
+    OP_UNLOCK,
+)
+from repro.gpu.shared_memory import SharedMemoryModel
+from repro.gpu.warp import ThreadState, Warp
+
+#: Cycles a warp waits before re-attempting a contended lock acquire.
+LOCK_RETRY_INTERVAL = 40
+#: Retry budget before the simulator declares a lock deadlock.
+LOCK_RETRY_LIMIT = 1_000_000
+#: Fixed barrier pipeline cost (arrival/scoreboard handshake).
+BARRIER_BASE_COST = 4
+#: Fence completion cost: drain outstanding stores to the L2 point of
+#: coherence before the epoch advances.
+FENCE_BASE_COST = 60
+
+
+class StreamingMultiprocessor:
+    """One SM: resident blocks, warp scheduler, and per-SM timing state."""
+
+    def __init__(self, sm_id: int, config, gpu) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.gpu = gpu  # GPUSimulator: memory system, detector, lock table
+        self.cycle = 0
+        self.blocks: List[ThreadBlock] = []
+        self.warps: List[Warp] = []
+        self._rr = 0
+        self.shared_model = SharedMemoryModel(
+            config.shared_mem_banks, config.shared_bank_width
+        )
+        self.stats = KernelStats()
+        self.idle_cycles = 0
+        self.retired_blocks = 0
+
+    # ------------------------------------------------------------------
+    # residency
+
+    def can_accept(self, launch) -> bool:
+        """Check residency limits for one more block of ``launch``."""
+        if len(self.blocks) >= self.config.max_blocks_per_sm:
+            return False
+        resident_threads = sum(
+            b.launch.threads_per_block for b in self.blocks
+        )
+        if resident_threads + launch.threads_per_block > self.config.max_threads_per_sm:
+            return False
+        shared_needed = launch.kernel.shared_bytes()
+        resident_shared = sum(b.launch.kernel.shared_bytes() for b in self.blocks)
+        return resident_shared + shared_needed <= self.config.shared_mem_per_sm
+
+    def admit(self, block: ThreadBlock) -> None:
+        """Dispatch a block onto this SM."""
+        base_warp_id = (
+            block.block_id * -(-block.launch.threads_per_block // self.config.warp_size)
+        )
+        block.materialize(self.sm_id, base_warp_id)
+        for w in block.warps:
+            w.ready_at = self.cycle
+        self.blocks.append(block)
+        self.warps.extend(block.warps)
+        self.gpu.detector.on_block_start(block)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.blocks)
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    def step(self) -> None:
+        """Make one scheduling decision and advance local time."""
+        warp = self._select_warp()
+        if warp is None:
+            self._advance_idle()
+            return
+        self._issue(warp)
+
+    def _select_warp(self) -> Optional[Warp]:
+        n = len(self.warps)
+        for k in range(n):
+            w = self.warps[(self._rr + k) % n]
+            if w.finished or w.at_barrier:
+                continue
+            if w.ready_at <= self.cycle:
+                self._rr = (self._rr + k + 1) % n
+                return w
+        return None
+
+    def _advance_idle(self) -> None:
+        """No warp is ready: jump local time to the next wake-up event."""
+        pending = [
+            w.ready_at for w in self.warps if not w.finished and not w.at_barrier
+        ]
+        if pending:
+            target = max(self.cycle + 1, min(pending))
+            self.idle_cycles += target - self.cycle
+            self.cycle = target
+            return
+        # every unfinished warp is parked at a barrier: barriers should have
+        # been released when the last warp arrived, so this is a divergent
+        # barrier (a genuine kernel bug) or an internal error.
+        if any(not w.finished for w in self.warps):
+            raise DeadlockError(
+                f"SM {self.sm_id}: all unfinished warps parked at barrier "
+                "with no release possible (divergent barrier?)"
+            )
+        raise SimulationError(f"SM {self.sm_id}: step() with no unfinished warps")
+
+    # ------------------------------------------------------------------
+    # issue
+
+    def _issue(self, warp: Warp) -> None:
+        group = warp.next_group()
+        issue = self.config.warp_issue_cycles
+        if group is None:
+            if warp.finished:
+                self._maybe_retire(warp.block)
+                return
+            if warp.at_barrier:
+                self._maybe_release_barrier(warp.block)
+                return
+            raise SimulationError("warp yielded no group but is schedulable")
+
+        key, lanes = group
+        code = key[0]
+        warp.pc += 1
+
+        if code == OP_COMPUTE:
+            self._exec_compute(warp, lanes, issue)
+        elif code in (OP_LOAD, OP_STORE, OP_ATOMIC):
+            space = key[1]
+            if space == MemSpace.SHARED:
+                self._exec_shared(warp, code, lanes, issue)
+            else:
+                self._exec_global(warp, code, lanes, issue)
+        elif code == OP_FENCE:
+            self._exec_fence(warp, lanes, issue)
+        elif code == OP_LOCK:
+            self._exec_lock(warp, lanes, issue)
+        elif code == OP_UNLOCK:
+            self._exec_unlock(warp, lanes, issue)
+        else:  # pragma: no cover - barrier never reaches here
+            raise SimulationError(f"unexpected opcode {code} in issue path")
+
+        self.cycle += issue
+
+    def _exec_compute(self, warp: Warp, lanes, issue: int) -> None:
+        n = 0
+        for _, t in lanes:
+            n = max(n, t.pending[1])
+            self.stats.instructions += t.pending[1]
+            warp.complete_lane(t)
+        warp.ready_at = self.cycle + max(1, n) * issue
+
+    # -- shared memory ---------------------------------------------------
+
+    def _exec_shared(self, warp: Warp, code: int, lanes, issue: int) -> None:
+        block = warp.block
+        lane_accesses = []
+        kind = AccessKind.READ
+        for lane_idx, t in lanes:
+            op = t.pending
+            if code == OP_LOAD:
+                k = AccessKind.READ
+            elif code == OP_STORE:
+                k = AccessKind.WRITE
+                kind = AccessKind.WRITE
+            else:
+                k = AccessKind.ATOMIC
+                kind = AccessKind.ATOMIC
+            lane_accesses.append(
+                LaneAccess(lane_idx, op[2], op[3], k,
+                           sig=t.lock_sig, critical=t.critical_depth > 0)
+            )
+
+        passes = self.shared_model.conflict_passes(lane_accesses)
+        cost = self.config.shared_latency + passes * issue
+
+        access = self._make_warp_access(warp, MemSpace.SHARED, kind, lane_accesses)
+        effect = self.gpu.detector.on_warp_access(access, self.cycle)
+        cost += effect.stall_cycles
+        self.stats.instructions += len(lanes) + effect.extra_instructions
+
+        # functional execution (shared atomics serialize per address in
+        # lane order, matching the hardware's conflict replay)
+        if code == OP_LOAD:
+            self.stats.shared_reads += len(lanes)
+            for la, (_, t) in zip(lane_accesses, lanes):
+                warp.complete_lane(t, block.shared_load(la.addr))
+        elif code == OP_STORE:
+            self.stats.shared_writes += len(lanes)
+            for (_, t) in lanes:
+                op = t.pending
+                block.shared_store(op[2], op[4])
+                warp.complete_lane(t)
+        else:
+            self.stats.atomics += len(lanes)
+            for (_, t) in lanes:
+                op = t.pending
+                old = block.shared_load(op[2])
+                block.shared_store(op[2], apply_atomic(op[4], old, op[5], op[6]))
+                warp.complete_lane(t, old)
+
+        warp.ready_at = self.cycle + cost
+
+    # -- global memory -----------------------------------------------------
+
+    def _exec_global(self, warp: Warp, code: int, lanes, issue: int) -> None:
+        mem = self.gpu.device_mem
+        lane_accesses = []
+        kind = AccessKind.READ
+        for lane_idx, t in lanes:
+            op = t.pending
+            if code == OP_LOAD:
+                k = AccessKind.READ
+            elif code == OP_STORE:
+                k = AccessKind.WRITE
+                kind = AccessKind.WRITE
+            else:
+                k = AccessKind.ATOMIC
+                kind = AccessKind.ATOMIC
+            lane_accesses.append(
+                LaneAccess(lane_idx, op[2], op[3], k,
+                           sig=t.lock_sig, critical=t.critical_depth > 0)
+            )
+
+        is_write = code != OP_LOAD
+        txns = coalesce(lane_accesses, is_write)
+        latency, txn_levels = self.gpu.memory.warp_access(
+            self.sm_id, txns, self.cycle,
+            id_bits=self.gpu.detector.request_id_bits,
+        )
+
+        # per-lane L1-hit flags for the stale-read check (§IV-B)
+        lane_l1_hit = self._lane_hit_flags(lane_accesses, txns, txn_levels)
+
+        # atomics bypass L1 and serialize per distinct address
+        if code == OP_ATOMIC:
+            per_addr: dict = {}
+            for la in lane_accesses:
+                per_addr[la.addr] = per_addr.get(la.addr, 0) + 1
+            latency += (max(per_addr.values()) - 1) * issue
+
+        access = self._make_warp_access(warp, MemSpace.GLOBAL, kind, lane_accesses)
+        effect = self.gpu.detector.on_warp_access(access, self.cycle,
+                                                  lane_l1_hit=lane_l1_hit)
+        warp.block.global_accessed_since_barrier = True
+        self.stats.instructions += len(lanes) + effect.extra_instructions
+
+        # functional execution
+        if code == OP_LOAD:
+            self.stats.global_reads += len(lanes)
+            for la, (_, t) in zip(lane_accesses, lanes):
+                warp.complete_lane(t, mem.load(la.addr))
+        elif code == OP_STORE:
+            self.stats.global_writes += len(lanes)
+            for (_, t) in lanes:
+                op = t.pending
+                mem.store(op[2], op[4])
+                warp.complete_lane(t)
+        else:
+            self.stats.atomics += len(lanes)
+            # serialize same-address atomics in lane order
+            for (_, t) in lanes:
+                op = t.pending
+                old = mem.load(op[2])
+                mem.store(op[2], apply_atomic(op[4], old, op[5], op[6]))
+                warp.complete_lane(t, old)
+
+        warp.ready_at = self.cycle + latency + effect.stall_cycles
+
+    @staticmethod
+    def _lane_hit_flags(lane_accesses, txns, txn_levels) -> List[bool]:
+        """Map per-transaction hit levels back to per-lane L1-hit flags."""
+        flags = []
+        for la in lane_accesses:
+            hit = False
+            for txn, level in zip(txns, txn_levels):
+                if txn.addr <= la.addr < txn.addr + txn.size:
+                    hit = level == "l1"
+                    break
+            flags.append(hit)
+        return flags
+
+    # -- synchronization -----------------------------------------------------
+
+    def _exec_fence(self, warp: Warp, lanes, issue: int) -> None:
+        for _, t in lanes:
+            warp.complete_lane(t)
+        warp.note_fence()
+        effect = self.gpu.detector.on_fence(warp, self.cycle)
+        self.stats.instructions += len(lanes) + effect.extra_instructions
+        self.stats.fences += 1
+        warp.ready_at = self.cycle + FENCE_BASE_COST + effect.stall_cycles
+
+    def _exec_lock(self, warp: Warp, lanes, issue: int) -> None:
+        table = self.gpu.lock_table
+        granted = 0
+        for lane_idx, t in lanes:
+            addr = t.pending[1]
+            if table.try_acquire(addr, t.global_tid):
+                t.held_locks.append(addr)
+                t.critical_depth += 1
+                t.lock_sig = self.gpu.detector.on_lock_acquire(t, addr)
+                warp.complete_lane(t)
+                granted += 1
+            # ungranted lanes keep their pending op; the warp retries
+        self.stats.instructions += len(lanes)
+        self.stats.atomics += len(lanes)  # each attempt is an atomicExch
+        if granted:
+            warp.retries = 0
+            # atomic-exchange round trip to acquire the lock line
+            warp.ready_at = self.cycle + self.config.l2_latency
+        else:
+            warp.retries += 1
+            if warp.retries > LOCK_RETRY_LIMIT:
+                raise DeadlockError(
+                    f"warp {warp.warp_id} exceeded lock retry budget"
+                )
+            warp.ready_at = self.cycle + LOCK_RETRY_INTERVAL
+
+    def _exec_unlock(self, warp: Warp, lanes, issue: int) -> None:
+        table = self.gpu.lock_table
+        for lane_idx, t in lanes:
+            addr = t.pending[1]
+            table.release(addr, t.global_tid)
+            t.held_locks.remove(addr)
+            t.critical_depth -= 1
+            t.lock_sig = self.gpu.detector.on_lock_release(t, addr)
+            warp.complete_lane(t)
+        self.stats.instructions += len(lanes)
+        self.stats.atomics += len(lanes)  # release is an atomic store
+        warp.ready_at = self.cycle + self.config.l2_latency
+
+    # ------------------------------------------------------------------
+    # barriers and retirement
+
+    def _maybe_release_barrier(self, block: ThreadBlock) -> None:
+        if not block.all_at_barrier():
+            return
+        effect = self.gpu.detector.on_barrier(block, self.cycle)
+        release_at = self.cycle + BARRIER_BASE_COST + effect.stall_cycles
+        released = block.release_barrier(release_at,
+                                         lazy_sync=self.gpu.sync_id_lazy)
+        self.stats.barriers += sum(len(w.live_lanes()) for w in released)
+        self.stats.instructions += (
+            sum(len(w.live_lanes()) for w in released) + effect.extra_instructions
+        )
+
+    def _maybe_retire(self, block: ThreadBlock) -> None:
+        if not block.check_done():
+            return
+        self.blocks.remove(block)
+        self.warps = [w for w in self.warps if w.block is not block]
+        self._rr = 0
+        self.retired_blocks += 1
+        self.gpu.detector.on_block_end(block)
+        self.gpu.on_block_retired(self)
+
+    # ------------------------------------------------------------------
+
+    def _make_warp_access(self, warp: Warp, space: MemSpace, kind: AccessKind,
+                          lane_accesses) -> WarpAccess:
+        block = warp.block
+        base_tid = (
+            block.block_id * block.launch.threads_per_block
+            + warp.warp_in_block * self.config.warp_size
+        )
+        return WarpAccess(
+            space=space,
+            kind=kind,
+            lanes=lane_accesses,
+            sm_id=self.sm_id,
+            block_id=block.block_id,
+            warp_id=warp.warp_id,
+            warp_in_block=warp.warp_in_block,
+            base_tid=base_tid,
+            sync_id=block.sync_id,
+            fence_id=warp.fence_id,
+            in_critical=any(la.critical for la in lane_accesses),
+            pc=warp.pc,
+            regroup=self.gpu.warp_regrouping,
+        )

@@ -1,0 +1,158 @@
+"""Warp-lockstep execution of kernel thread generators.
+
+A :class:`Warp` owns up to ``warp_size`` thread generators. Each scheduling
+step the warp (1) advances every live lane that has no pending op, (2) groups
+pending ops by :func:`repro.gpu.ops.group_key` — lanes in the same group
+execute as one SIMD instruction, distinct groups serialize (branch
+divergence) — and (3) hands one group to the SM for execution.
+
+Lockstep ordering is exactly the property HAccRG's warp-aware race
+suppression relies on (§III-A "Impact of Warps on Reporting Races"), so the
+warp model is the fidelity-critical piece of the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import KernelError, SimulationError
+from repro.gpu.ops import (
+    OP_BARRIER,
+    OP_LOCK,
+    group_key,
+)
+
+#: Sentinel stored in ``pending`` for a finished lane.
+_DONE = None
+
+
+class ThreadState:
+    """Execution state of one lane: its generator plus lock/critical state."""
+
+    __slots__ = ("gen", "pending", "send_value", "done", "global_tid",
+                 "lock_sig", "held_locks", "critical_depth")
+
+    def __init__(self, gen: Generator, global_tid: int) -> None:
+        self.gen = gen
+        self.pending: Optional[tuple] = None
+        self.send_value: Any = None
+        self.done = False
+        self.global_tid = global_tid
+        # HAccRG atomic-ID state (maintained by the lock unit, read by RDUs)
+        self.lock_sig = 0           # Bloom signature of held locks
+        self.held_locks: List[int] = []
+        self.critical_depth = 0
+
+    def advance(self) -> None:
+        """Resume the generator once, capturing the next yielded op."""
+        try:
+            self.pending = self.gen.send(self.send_value)
+        except StopIteration:
+            self.pending = _DONE
+            self.done = True
+        self.send_value = None
+
+
+class Warp:
+    """A warp: lockstep bundle of lanes plus its scheduling/timing state."""
+
+    __slots__ = ("warp_id", "warp_in_block", "block", "lanes", "ready_at",
+                 "at_barrier", "fence_id", "pc", "finished", "retries")
+
+    def __init__(self, warp_id: int, warp_in_block: int, block,
+                 lanes: Sequence[ThreadState]) -> None:
+        self.warp_id = warp_id              # grid-wide unique
+        self.warp_in_block = warp_in_block
+        self.block = block
+        self.lanes: List[ThreadState] = list(lanes)
+        self.ready_at = 0                   # SM cycle at which issue is legal
+        self.at_barrier = False
+        self.fence_id = 0                   # per-warp fence epoch (§III-C)
+        self.pc = 0                         # dynamic op-group counter
+        self.finished = False
+        self.retries = 0                    # consecutive failed lock attempts
+
+    # ------------------------------------------------------------------
+
+    def live_lanes(self) -> List[Tuple[int, ThreadState]]:
+        """(lane index, state) pairs for lanes that have not finished."""
+        return [(i, t) for i, t in enumerate(self.lanes) if not t.done]
+
+    def refill(self) -> None:
+        """Advance every live lane that has no pending op."""
+        for t in self.lanes:
+            if not t.done and t.pending is _DONE:
+                t.advance()
+
+    def check_finished(self) -> bool:
+        """Mark and report completion once every lane's generator is done."""
+        if not self.finished and all(t.done for t in self.lanes):
+            self.finished = True
+        return self.finished
+
+    def next_group(self) -> Optional[Tuple[tuple, List[Tuple[int, ThreadState]]]]:
+        """Select the next SIMD group to issue.
+
+        Returns ``(group_key, [(lane, thread), ...])`` or ``None`` when the
+        warp has nothing issuable (finished, or all lanes parked at a
+        barrier). Barrier groups are deferred until *every* live lane is at
+        the barrier, matching reconvergence-before-sync semantics; among
+        divergent non-barrier groups the one whose lowest lane index is
+        smallest issues first (deterministic immediate-post-dominator-free
+        approximation of a SIMT stack).
+        """
+        self.refill()
+        if self.check_finished():
+            return None
+
+        groups: Dict[tuple, List[Tuple[int, ThreadState]]] = {}
+        barrier_lanes = 0
+        live = 0
+        for i, t in enumerate(self.lanes):
+            if t.done:
+                continue
+            live += 1
+            op = t.pending
+            if op is None:
+                raise SimulationError("live lane with no pending op after refill")
+            if op[0] == OP_BARRIER:
+                barrier_lanes += 1
+                continue
+            groups.setdefault(group_key(op), []).append((i, t))
+
+        if not groups:
+            if barrier_lanes == live and live > 0:
+                self.at_barrier = True
+            return None
+
+        # Lock-acquire groups issue last: lanes that already hold a lock
+        # must drain their critical sections before spinners retry, which
+        # is how the divergent do-while spin-lock idiom behaves on real
+        # SIMT hardware (the acquiring branch runs while losers loop).
+        key = min(groups,
+                  key=lambda k: (k[0] == OP_LOCK, groups[k][0][0]))
+        return key, groups[key]
+
+    def release_barrier(self) -> None:
+        """Resume all lanes parked at a barrier (block-wide release)."""
+        if not self.at_barrier:
+            raise SimulationError("release_barrier on a warp not at barrier")
+        for t in self.lanes:
+            if not t.done and t.pending is not None and t.pending[0] == OP_BARRIER:
+                t.pending = _DONE
+                t.send_value = None
+        self.at_barrier = False
+
+    def complete_lane(self, t: ThreadState, result: Any = None) -> None:
+        """Mark one lane's pending op as executed, queueing its result."""
+        t.pending = _DONE
+        t.send_value = result
+
+    def note_fence(self) -> int:
+        """Record completion of a warp-wide fence; returns the new epoch."""
+        self.fence_id += 1
+        return self.fence_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fin" if self.finished else ("bar" if self.at_barrier else "run")
+        return f"Warp(id={self.warp_id}, blk={self.block.block_id}, {state})"

@@ -1,0 +1,13 @@
+"""Experiment harness: one function per paper table/figure.
+
+:mod:`repro.harness.runner` provides the uniform benchmark runner (build a
+simulator, attach the requested detector, run the plan, collect a
+:class:`RunResult`). :mod:`repro.harness.experiments` implements every
+experiment of the DESIGN.md index; :mod:`repro.harness.report` renders
+their results as the paper's rows/series.
+"""
+
+from repro.harness.runner import RunResult, run_benchmark
+from repro.harness import experiments, report
+
+__all__ = ["RunResult", "run_benchmark", "experiments", "report"]

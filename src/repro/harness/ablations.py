@@ -1,0 +1,186 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation disables one mechanism of the detector and measures what it
+was buying:
+
+- **fence suppression** (§III-C): without the fence-ID check every fenced
+  producer/consumer hand-off (REDUCE, PSUM, KMEANS, HASH) is reported as
+  a false RAW race;
+- **warp-aware suppression** (§III-A): comparing threads instead of warps
+  (the re-grouping mode) turns lockstep-ordered intra-warp sharing into
+  reported races;
+- **lazy sync-ID increment** (§IV-B): incrementing at every barrier
+  instead of only after global accesses inflates the logical clocks that
+  8-bit counters must hold;
+- **dirty-only shadow write-back**: writing every checked entry back
+  (naive RDU) multiplies shadow DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.harness.experiments import ALL_BENCH, RACE_FREE_OVERRIDES, WORD_CONFIG
+from repro.harness.runner import run_benchmark
+
+
+@dataclass
+class AblationRow:
+    name: str
+    baseline: float
+    ablated: float
+
+    @property
+    def delta(self) -> float:
+        return self.ablated - self.baseline
+
+
+def ablation_fence_suppression(
+        names: Sequence[str] = ("REDUCE", "PSUM", "KMEANS", "HASH"),
+        scale: float = 1.0) -> List[AblationRow]:
+    """False races reported when the fence-ID check is disabled."""
+    rows = []
+    off = replace(WORD_CONFIG, fence_check_enabled=False)
+    for name in names:
+        overrides = RACE_FREE_OVERRIDES.get(name, {})
+        base = run_benchmark(name, WORD_CONFIG, scale=scale,
+                             timing_enabled=False, **overrides)
+        abl = run_benchmark(name, off, scale=scale,
+                            timing_enabled=False, **overrides)
+        rows.append(AblationRow(name, float(len(base.races)),
+                                float(len(abl.races))))
+    return rows
+
+
+def _warp_synchronous_reduce(ctx, g_in, g_out):
+    """The classic SDK warp-synchronous reduction tail: the last five
+    levels (s < 32) skip ``__syncthreads`` because a single warp's lanes
+    are lockstep-ordered. Correct on real hardware *only* because of warp
+    execution — exactly what the §III-A suppression encodes."""
+    tid = ctx.tid_x
+    sh = ctx.shared["sdata"]
+    v = yield ctx.load(g_in, ctx.global_tid_x)
+    yield ctx.store(sh, tid, v)
+    yield ctx.syncthreads()
+    s = ctx.block_dim.x // 2
+    while s >= 32:
+        if tid < s:
+            a = yield ctx.load(sh, tid)
+            b = yield ctx.load(sh, tid + s)
+            yield ctx.store(sh, tid, a + b)
+        yield ctx.syncthreads()
+        s //= 2
+    # warp-synchronous tail: no barriers below warp width
+    while s > 0:
+        if tid < s:
+            a = yield ctx.load(sh, tid)
+            b = yield ctx.load(sh, tid + s)
+            yield ctx.store(sh, tid, a + b)
+        s //= 2
+    if tid == 0:
+        r = yield ctx.load(sh, 0)
+        yield ctx.store(g_out, ctx.block_id_x, r)
+
+
+def ablation_warp_suppression(scale: float = 1.0) -> List[AblationRow]:
+    """False races reported when warp-lockstep suppression is removed.
+
+    Uses workloads that *depend* on lockstep ordering: the SDK-style
+    warp-synchronous reduction tail (barrier-free below warp width) and
+    HIST (one thread's byte counter is re-used by a warp-mate in a later
+    iteration). With suppression both are race-free; comparing threads
+    instead of warps (the re-grouping mode, §III-A) reports their
+    intra-warp sharing.
+    """
+    import numpy as np
+
+    from repro.common.config import scaled_gpu_config
+    from repro.core.detector import HAccRGDetector
+    from repro.gpu import GPUSimulator, Kernel
+
+    rows = []
+    for regroup in (False, True):
+        cfg = replace(WORD_CONFIG, warp_regrouping=regroup)
+        sim = GPUSimulator(scaled_gpu_config(), timing_enabled=False)
+        det = HAccRGDetector(cfg, sim)
+        sim.attach_detector(det)
+        n = 512
+        g_in = sim.malloc("wsr_in", n)
+        g_out = sim.malloc("wsr_out", n // 128)
+        g_in.host_write(np.arange(n, dtype=np.float64))
+        sim.launch(Kernel(_warp_synchronous_reduce,
+                          shared={"sdata": (128, 4)}),
+                   grid=n // 128, block=128, args=(g_in, g_out))
+        expected = np.arange(n).reshape(-1, 128).sum(axis=1)
+        assert np.array_equal(g_out.host_read(), expected)
+        if not regroup:
+            base_races = len(det.log)
+        else:
+            rows.append(AblationRow("WSREDUCE", float(base_races),
+                                    float(len(det.log))))
+
+    regroup_cfg = replace(WORD_CONFIG, warp_regrouping=True)
+    base = run_benchmark("HIST", WORD_CONFIG, scale=scale,
+                         timing_enabled=False)
+    abl = run_benchmark("HIST", regroup_cfg, scale=scale,
+                        timing_enabled=False)
+    rows.append(AblationRow("HIST", float(len(base.races)),
+                            float(len(abl.races))))
+    return rows
+
+
+def ablation_sync_id_optimization(
+        names: Sequence[str] = ("SORTNW", "FWALSH", "SCAN", "REDUCE"),
+        scale: float = 1.0) -> List[AblationRow]:
+    """Max sync-ID increments with/without the lazy-increment rule."""
+    rows = []
+    eager = replace(WORD_CONFIG, sync_id_lazy_increment=False)
+    for name in names:
+        overrides = RACE_FREE_OVERRIDES.get(name, {})
+        base = run_benchmark(name, WORD_CONFIG, scale=scale,
+                             timing_enabled=False, **overrides)
+        abl = run_benchmark(name, eager, scale=scale,
+                            timing_enabled=False, **overrides)
+        rows.append(AblationRow(
+            name,
+            float(base.detector.rrf.stats.max_sync_increments),
+            float(abl.detector.rrf.stats.max_sync_increments),
+        ))
+    return rows
+
+
+def ablation_shadow_writeback(
+        names: Sequence[str] = ("KMEANS", "MCARLO", "REDUCE"),
+        scale: float = 1.0) -> List[AblationRow]:
+    """RDU shadow-line transactions with dirty-only vs always-write RDUs.
+
+    The metric is the RDU's L2-port traffic (shadow line RMWs issued):
+    redundant write-backs mostly re-dirty lines that are already resident,
+    so DRAM bytes barely move, but every extra transaction occupies the
+    L2 and the interconnect.
+    """
+    rows = []
+    naive = HAccRGConfig(mode=DetectionMode.FULL,
+                         shadow_writeback_dirty_only=False)
+    smart = HAccRGConfig(mode=DetectionMode.FULL)
+    for name in names:
+        overrides = RACE_FREE_OVERRIDES.get(name, {})
+        base = run_benchmark(name, smart, scale=scale, **overrides)
+        abl = run_benchmark(name, naive, scale=scale, **overrides)
+        rows.append(AblationRow(
+            name,
+            float(base.detector.global_rdu.shadow_transactions),
+            float(abl.detector.global_rdu.shadow_transactions),
+        ))
+    return rows
+
+
+def render_ablation(title: str, rows: List[AblationRow],
+                    base_label: str, abl_label: str) -> str:
+    out = [f"ABLATION: {title}", "-" * 72,
+           f"{'Bench':8s} {base_label:>16s} {abl_label:>16s}"]
+    for r in rows:
+        out.append(f"{r.name:8s} {r.baseline:>16.0f} {r.ablated:>16.0f}")
+    return "\n".join(out)

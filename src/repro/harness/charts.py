@@ -1,0 +1,73 @@
+"""ASCII bar charts for the figure experiments.
+
+The paper's Figs. 7-9 are grouped bar charts; the text tables in
+:mod:`repro.harness.report` carry the numbers, and these renderers carry
+the *shape* — per-benchmark grouped bars scaled to the terminal — so a
+reproduction run visually resembles the figures it regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness import experiments as ex
+
+_BAR = "#"
+_WIDTH = 46
+
+
+def _bar(value: float, vmax: float, width: int = _WIDTH) -> str:
+    n = 0 if vmax <= 0 else max(0, min(width, round(value / vmax * width)))
+    return _BAR * n
+
+
+def grouped_bars(title: str, groups: Sequence[Tuple[str, List[Tuple[str, float]]]],
+                 unit: str = "", vmax: Optional[float] = None) -> str:
+    """Render grouped horizontal bars.
+
+    ``groups`` is ``[(group label, [(series label, value), ...]), ...]``;
+    all bars share one scale (``vmax`` or the data maximum).
+    """
+    all_vals = [v for _, series in groups for _, v in series]
+    scale = vmax if vmax is not None else (max(all_vals) if all_vals else 1)
+    out = [title, "=" * (len(title))]
+    for label, series in groups:
+        out.append(label)
+        for sname, value in series:
+            out.append(f"  {sname:>8s} |{_bar(value, scale):<{_WIDTH}s}| "
+                       f"{value:.2f}{unit}")
+    return "\n".join(out)
+
+
+def chart_fig7(result: ex.Fig7Result) -> str:
+    groups = []
+    for r in result.rows:
+        series = [("shared", r.shared_norm), ("shr+glb", r.full_norm)]
+        groups.append((r.name, series))
+    groups.append(("GEOMEAN", [("shared", result.shared_geomean),
+                               ("shr+glb", result.full_geomean)]))
+    return grouped_bars(
+        "Fig 7: normalized execution time (1.00 = detection off)",
+        groups, unit="x",
+    )
+
+
+def chart_fig8(rows: List[ex.Fig8Row]) -> str:
+    groups = [(r.name, [("hw", r.hardware_norm),
+                        ("sw-split", r.software_split_norm)])
+              for r in rows]
+    return grouped_bars(
+        "Fig 8: shared shadow in hardware vs global memory",
+        groups, unit="x",
+    )
+
+
+def chart_fig9(rows: List[ex.Fig9Row]) -> str:
+    groups = [(r.name, [("base", r.baseline_util * 100),
+                        ("shared", r.shared_util * 100),
+                        ("shr+glb", r.full_util * 100)])
+              for r in rows]
+    return grouped_bars(
+        "Fig 9: average DRAM bandwidth utilization",
+        groups, unit="%", vmax=100.0,
+    )

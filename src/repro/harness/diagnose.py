@@ -1,0 +1,128 @@
+"""Race diagnosis: turn raw race reports into array-level bug summaries.
+
+A raw :class:`RaceReport` names a byte address and two thread ids — useful
+for the detector's evaluation, but a developer debugging a kernel wants
+*which array*, *which elements*, and *what kind of bug*. This module maps
+race addresses back to the named device allocations and groups the
+reports into per-array findings with a suggested fix derived from the
+race category (barrier / fence / lockset / stale-L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.core.races import RaceLog, RaceReport
+from repro.gpu.device import DeviceMemory
+
+_SUGGESTIONS = {
+    RaceCategory.SHARED_BARRIER:
+        "add a __syncthreads() between the conflicting shared-memory "
+        "accesses (or restructure so only one warp touches the range)",
+    RaceCategory.GLOBAL_BARRIER:
+        "order the conflicting global accesses: a barrier if the threads "
+        "share a block, or split the work so blocks own disjoint ranges",
+    RaceCategory.GLOBAL_LOCKSET:
+        "protect every access to this data with one common lock "
+        "(a consistent bucket-to-lock mapping)",
+    RaceCategory.GLOBAL_FENCE:
+        "insert a __threadfence() after the producer's write and before "
+        "the synchronization that publishes it",
+}
+
+
+@dataclass
+class ArrayFinding:
+    """All races attributed to one device array."""
+
+    array: str
+    base: int
+    size: int
+    races: int
+    kinds: Dict[str, int]
+    categories: Dict[str, int]
+    element_range: Tuple[int, int]   # first/last racy byte offset
+    blocks_involved: List[int]
+    stale_l1: int = 0
+
+    def headline(self) -> str:
+        kinds = "/".join(sorted(self.kinds))
+        lo, hi = self.element_range
+        return (f"{self.array}: {self.races} {kinds} race(s) over bytes "
+                f"[{lo}, {hi}] involving blocks {self.blocks_involved}")
+
+    def suggestion(self) -> str:
+        top = max(self.categories, key=self.categories.get)
+        return _SUGGESTIONS[RaceCategory[top]]
+
+
+@dataclass
+class Diagnosis:
+    findings: List[ArrayFinding]
+    unattributed: int  # races whose address matched no named allocation
+
+    def render(self) -> str:
+        if not self.findings and not self.unattributed:
+            return "no races detected."
+        out = [f"{len(self.findings)} racy array(s):"]
+        for f in self.findings:
+            out.append(f"  - {f.headline()}")
+            out.append(f"    fix: {f.suggestion()}")
+        if self.unattributed:
+            out.append(f"  ({self.unattributed} race(s) outside named "
+                       "allocations)")
+        return "\n".join(out)
+
+
+def diagnose(log: RaceLog, device_mem: Optional[DeviceMemory] = None,
+             shared_label: str = "<shared memory>") -> Diagnosis:
+    """Group a race log into per-array findings.
+
+    Global races are attributed through ``device_mem``'s named
+    allocations; shared-memory races are grouped under ``shared_label``
+    (per-block offsets, so the label is the kernel's shared declaration).
+    """
+    groups: Dict[Tuple[str, int, int], List[RaceReport]] = {}
+    unattributed = 0
+    for r in log.reports:
+        if r.space == MemSpace.SHARED:
+            key = (shared_label, 0, 0)
+        else:
+            alloc = (device_mem.allocation_of(r.addr)
+                     if device_mem is not None else None)
+            if alloc is None:
+                unattributed += 1
+                continue
+            key = alloc
+        groups.setdefault(key, []).append(r)
+
+    findings = []
+    for (name, base, size), races in sorted(groups.items(),
+                                            key=lambda kv: -len(kv[1])):
+        kinds: Dict[str, int] = {}
+        cats: Dict[str, int] = {}
+        offsets = []
+        blocks = set()
+        stale = 0
+        for r in races:
+            kinds[r.kind.name] = kinds.get(r.kind.name, 0) + 1
+            cats[r.category.name] = cats.get(r.category.name, 0) + 1
+            offsets.append(r.addr - base)
+            blocks.add(r.owner_block)
+            blocks.add(r.access_block)
+            if r.stale_l1:
+                stale += 1
+        findings.append(ArrayFinding(
+            array=name,
+            base=base,
+            size=size,
+            races=len(races),
+            kinds=kinds,
+            categories=cats,
+            element_range=(min(offsets), max(offsets)),
+            blocks_involved=sorted(b for b in blocks if b >= 0),
+            stale_l1=stale,
+        ))
+    return Diagnosis(findings=findings, unattributed=unattributed)

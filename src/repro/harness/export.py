@@ -1,0 +1,82 @@
+"""Structured (JSON-serializable) export of runs, races, and experiments.
+
+A downstream tool — CI regression tracking, a race-report viewer, a
+notebook — wants machine-readable output rather than the text tables of
+:mod:`repro.harness.report`. These helpers flatten the result objects
+into plain dicts of primitives; everything returned is ``json.dumps``-safe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.races import RaceLog, RaceReport
+from repro.harness.runner import RunResult
+
+
+def race_to_dict(race: RaceReport) -> Dict[str, Any]:
+    """One race report as a flat dict of primitives."""
+    return {
+        "category": race.category.name,
+        "kind": race.kind.name,
+        "space": race.space.name,
+        "entry": int(race.entry),
+        "addr": int(race.addr),
+        "owner_tid": int(race.owner_tid),
+        "access_tid": int(race.access_tid),
+        "owner_block": int(race.owner_block),
+        "access_block": int(race.access_block),
+        "pc": int(race.pc),
+        "stale_l1": bool(race.stale_l1),
+        "description": race.describe(),
+    }
+
+
+def race_log_to_dict(log: RaceLog, max_races: Optional[int] = None
+                     ) -> Dict[str, Any]:
+    """Summary + (optionally truncated) race list."""
+    races = log.reports if max_races is None else log.reports[:max_races]
+    return {
+        "distinct_races": len(log),
+        "distinct_pairs": log.distinct_pairs(),
+        "total_trips": log.total_trips(),
+        "by_category": {c.name: n for c, n in log.by_category().items()},
+        "by_kind": {k.name: n for k, n in log.by_kind().items()},
+        "races": [race_to_dict(r) for r in races],
+        "truncated": max_races is not None and len(log) > max_races,
+    }
+
+
+def run_result_to_dict(res: RunResult,
+                       max_races: Optional[int] = 100) -> Dict[str, Any]:
+    """One benchmark run as a flat record."""
+    out: Dict[str, Any] = {
+        "benchmark": res.name,
+        "cycles": int(res.cycles),
+        "instructions": int(res.stats.instructions),
+        "shared_reads": int(res.stats.shared_reads),
+        "shared_writes": int(res.stats.shared_writes),
+        "global_reads": int(res.stats.global_reads),
+        "global_writes": int(res.stats.global_writes),
+        "atomics": int(res.stats.atomics),
+        "barriers": int(res.stats.barriers),
+        "fences": int(res.stats.fences),
+        "dram_utilization": float(res.dram_utilization),
+        "dram_bytes": int(res.dram_bytes),
+        "dram_shadow_bytes": int(res.dram_shadow_bytes),
+        "l1_hit_rate": float(res.l1_hit_rate),
+        "l2_hit_rate": float(res.l2_hit_rate),
+        "data_bytes": int(res.data_bytes),
+        "verified": res.verified,
+    }
+    if res.races is not None:
+        out["race_log"] = race_log_to_dict(res.races, max_races=max_races)
+    return out
+
+
+def to_json(obj: Any, indent: int = 2) -> str:
+    """Serialize an exported record (round-trip safety asserted)."""
+    text = json.dumps(obj, indent=indent, sort_keys=True)
+    json.loads(text)  # must always round-trip
+    return text

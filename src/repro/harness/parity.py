@@ -1,0 +1,80 @@
+"""Detection-parity checking across detector implementations.
+
+The repository carries four implementations of (subsets of) the same
+detection semantics: the hardware detector, the software-instrumented
+detector, trace replay, and the offline log analyzer. Parity between
+them is a strong correctness signal — they share the semantics but not
+the code path that applies it. This module runs a benchmark under each
+and diffs the race sets; the `parity` tests keep them locked together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.common.config import DetectionMode, DetectorBackend, HAccRGConfig
+from repro.common.types import MemSpace
+from repro.harness.runner import run_benchmark
+from repro.harness.trace import record, replay
+
+#: a race's identity for cross-implementation comparison
+RaceKey = Tuple[MemSpace, int, str, str]
+
+
+def _keys(log) -> FrozenSet[RaceKey]:
+    return frozenset(
+        (r.space, r.entry, r.kind.name, r.category.name)
+        for r in log.reports
+    )
+
+
+@dataclass
+class ParityResult:
+    benchmark: str
+    hardware: FrozenSet[RaceKey]
+    software: FrozenSet[RaceKey]
+    replayed: FrozenSet[RaceKey]
+
+    @property
+    def consistent(self) -> bool:
+        return self.hardware == self.software == self.replayed
+
+    def differences(self) -> Dict[str, FrozenSet[RaceKey]]:
+        out = {}
+        if self.software != self.hardware:
+            out["software-only"] = self.software - self.hardware
+            out["hardware-not-software"] = self.hardware - self.software
+        if self.replayed != self.hardware:
+            out["replay-only"] = self.replayed - self.hardware
+            out["hardware-not-replay"] = self.hardware - self.replayed
+        return {k: v for k, v in out.items() if v}
+
+
+def check_parity(name: str, scale: float = 0.5,
+                 config: HAccRGConfig = None,
+                 **overrides) -> ParityResult:
+    """Run ``name`` under all comparable implementations and diff."""
+    cfg = config or HAccRGConfig(mode=DetectionMode.FULL,
+                                 shared_granularity=4)
+    hw = run_benchmark(name, cfg, scale=scale, timing_enabled=False,
+                       **overrides)
+    sw = run_benchmark(name, cfg.with_backend(DetectorBackend.SOFTWARE),
+                       scale=scale, timing_enabled=False, **overrides)
+    events = record(name, scale=scale, **overrides)
+    rep = replay(events, cfg)
+    return ParityResult(
+        benchmark=name,
+        hardware=_keys(hw.races),
+        software=_keys(sw.races),
+        replayed=_keys(rep),
+    )
+
+
+def parity_sweep(names: Sequence[str], scale: float = 0.5,
+                 overrides_by_name: Dict[str, dict] = None
+                 ) -> List[ParityResult]:
+    overrides_by_name = overrides_by_name or {}
+    return [check_parity(n, scale=scale,
+                         **overrides_by_name.get(n, {}))
+            for n in names]

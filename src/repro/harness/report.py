@@ -1,0 +1,221 @@
+"""Text renderers: print each experiment as the paper's rows/series.
+
+Each ``render_*`` takes the corresponding experiment result and returns a
+string (also printable by the CLI-style examples). Keeping rendering apart
+from measurement lets tests assert on data and humans read tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness import experiments as ex
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return f"{n}B"
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_table1(rows: Dict[str, str]) -> str:
+    out = ["TABLE I: GPU HARDWARE PARAMETERS", _rule()]
+    for key, val in rows.items():
+        out.append(f"{key:<42s} {val}")
+    return "\n".join(out)
+
+
+def render_table2(rows: List[ex.Characteristics]) -> str:
+    out = [
+        "TABLE II: BENCHMARK CHARACTERISTICS",
+        _rule(),
+        f"{'Bench':8s} {'Instr':>9s} {'Shared%':>8s} {'ShRd%':>6s} "
+        f"{'Global%':>8s} {'GlRd%':>6s} {'Atomics':>8s} {'Barr':>6s} "
+        f"{'Fence':>6s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:8s} {r.instructions:>9d} {r.shared_access_pct:>7.1f}% "
+            f"{r.shared_read_pct:>5.1f}% {r.global_access_pct:>7.1f}% "
+            f"{r.global_read_pct:>5.1f}% {r.atomics:>8d} {r.barriers:>6d} "
+            f"{r.fences:>6d}"
+        )
+    return "\n".join(out)
+
+
+def render_effectiveness(rows: List[ex.EffectivenessRow]) -> str:
+    out = [
+        "EFFECTIVENESS: REAL RACES (paper VI-A)",
+        _rule(),
+        f"{'Bench':8s} {'Shared':>7s} {'Global':>7s}  categories / kinds",
+    ]
+    for r in rows:
+        extra = ""
+        if r.single_block_clean is not None:
+            extra = (" [race-free config clean]" if r.single_block_clean
+                     else " [race-free config NOT clean!]")
+        out.append(
+            f"{r.name:8s} {r.shared_races:>7d} {r.global_races:>7d}  "
+            f"{r.by_category} {r.by_kind}{extra}"
+        )
+    return "\n".join(out)
+
+
+def render_injected(results: List[ex.InjectedResult]) -> str:
+    detected = sum(1 for r in results if r.detected)
+    out = [
+        f"INJECTED RACES: {detected}/{len(results)} detected "
+        f"(paper: 41/41)",
+        _rule(),
+    ]
+    for r in results:
+        sites = ",".join(r.spec.omit + r.spec.emit)
+        mark = "DETECTED" if r.detected else "MISSED  "
+        out.append(
+            f"{mark} {r.spec.bench:8s} {r.spec.category:8s} {sites:24s} "
+            f"(+{r.new_races} races)"
+        )
+    return "\n".join(out)
+
+
+def render_table3(rows: List[ex.GranularityRow],
+                  granularities: Sequence[int] = ex.GRANULARITIES) -> str:
+    hdr = " ".join(f"{g:>4d}B" for g in granularities)
+    out = [
+        "TABLE III: FALSE RACES vs TRACKING GRANULARITY "
+        "(distinct entries / thread pairs)",
+        _rule(),
+        f"{'Bench':8s} shared: {hdr}    global: {hdr}",
+    ]
+    for r in rows:
+        sh = " ".join(f"{r.shared[g][0]:>5d}" for g in granularities)
+        gl = " ".join(f"{r.global_[g][0]:>5d}" for g in granularities)
+        out.append(f"{r.name:8s}         {sh}            {gl}")
+    return "\n".join(out)
+
+
+def render_bloom(rows: List[ex.BloomRow]) -> str:
+    out = [
+        "BLOOM SIGNATURE ACCURACY (paper VI-A2)",
+        _rule(),
+        f"{'Bits':>5s} {'Bins':>5s} {'Miss rate':>10s} {'Paper':>8s}",
+    ]
+    for r in rows:
+        paper = f"{r.expected_2bin:.4f}" if r.expected_2bin else "-"
+        out.append(
+            f"{r.sig_bits:>5d} {r.bins:>5d} {r.miss_rate:>10.4f} {paper:>8s}"
+        )
+    return "\n".join(out)
+
+
+def render_idsizes(rows: List[ex.IdSizeRow]) -> str:
+    out = [
+        "SYNC/FENCE ID INCREMENTS (paper VI-A2: small, 8-bit suffices)",
+        _rule(),
+        f"{'Bench':8s} {'maxSync':>8s} {'maxFence':>9s} {'overflow':>9s}",
+    ]
+    for r in rows:
+        ovf = r.sync_overflows + r.fence_overflows
+        out.append(
+            f"{r.name:8s} {r.max_sync_increments:>8d} "
+            f"{r.max_fence_increments:>9d} {ovf:>9d}"
+        )
+    return "\n".join(out)
+
+
+def render_fig7(result: ex.Fig7Result) -> str:
+    out = [
+        "FIG 7: NORMALIZED EXECUTION TIME (baseline = detection off)",
+        _rule(),
+        f"{'Bench':8s} {'Shared':>8s} {'Shr+Glb':>8s} {'Software':>9s} "
+        f"{'GRace':>10s}",
+    ]
+    for r in result.rows:
+        sw = f"{r.software_norm:>8.2f}x" if r.software_norm else "        -"
+        gr = f"{r.grace_norm:>9.1f}x" if r.grace_norm else "         -"
+        out.append(
+            f"{r.name:8s} {r.shared_norm:>8.3f} {r.full_norm:>8.3f} {sw} {gr}"
+        )
+    out.append(_rule())
+    out.append(
+        f"{'GEOMEAN':8s} {result.shared_geomean:>8.3f} "
+        f"{result.full_geomean:>8.3f}   (paper: 1.01 / 1.27)"
+    )
+    return "\n".join(out)
+
+
+def render_fig8(rows: List[ex.Fig8Row]) -> str:
+    out = [
+        "FIG 8: SHARED SHADOW ENTRIES IN HARDWARE vs GLOBAL MEMORY",
+        _rule(),
+        f"{'Bench':8s} {'HW shadow':>10s} {'SW shadow':>10s} "
+        f"{'L1 misses':>10s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:8s} {r.hardware_norm:>10.3f} "
+            f"{r.software_split_norm:>10.3f} {r.shadow_l1_misses:>10d}"
+        )
+    return "\n".join(out)
+
+
+def render_fig9(rows: List[ex.Fig9Row]) -> str:
+    out = [
+        "FIG 9: AVERAGE DRAM BANDWIDTH UTILIZATION",
+        _rule(),
+        f"{'Bench':8s} {'Base':>7s} {'Shared':>7s} {'Shr+Glb':>8s} "
+        f"{'L1 hit':>7s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:8s} {r.baseline_util:>6.1%} {r.shared_util:>6.1%} "
+            f"{r.full_util:>7.1%} {r.l1_hit_rate:>6.1%}"
+        )
+    return "\n".join(out)
+
+
+def render_table4(rows: List[ex.Table4Row]) -> str:
+    out = [
+        "TABLE IV: GLOBAL SHADOW MEMORY OVERHEAD (4-byte granularity)",
+        _rule(),
+        f"{'Bench':8s} {'Data':>9s} {'Shadow':>9s} {'@paper inputs':>14s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:8s} {_fmt_bytes(r.data_bytes):>9s} "
+            f"{_fmt_bytes(r.shadow_bytes):>9s} "
+            f"{_fmt_bytes(r.paper_projection_bytes):>14s}"
+        )
+    return "\n".join(out)
+
+
+def render_hw_cost(report: Dict) -> str:
+    c = report["comparators"]
+    s = report["storage"]
+    return "\n".join([
+        "HARDWARE OVERHEAD (paper VI-C2)",
+        _rule(),
+        f"shared shadow entry: {report['shared_entry_bits']} bits "
+        "(paper: 12)",
+        f"global shadow entry: {report['global_entry_bits_basic']} basic / "
+        f"{report['global_entry_bits_fence']} +fence / "
+        f"{report['global_entry_bits_full']} +atomic bits "
+        "(paper: 28 / 36 / 52)",
+        f"shared comparators per SM: {c.shared_per_sm} x "
+        f"{c.shared_width_bits}-bit (paper: 8 x 12-bit)",
+        f"global comparators per slice: {c.global_basic_per_slice} x "
+        f"{c.global_basic_width_bits}-bit + {c.global_id_per_slice} x "
+        f"{c.global_id_width_bits}-bit (paper: 32 x 28-bit + 16 x 24-bit)",
+        f"shared shadow storage per Fermi SM: "
+        f"{_fmt_bytes(s.shared_shadow_per_sm)} (paper: 4.5KB)",
+        f"ID storage per Fermi SM: {_fmt_bytes(s.id_storage_per_sm)} "
+        "(paper: 3KB)",
+        f"race register file per slice: "
+        f"{_fmt_bytes(s.race_register_file_per_slice)} (paper: 0.75KB)",
+    ])

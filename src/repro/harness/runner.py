@@ -1,0 +1,120 @@
+"""Uniform benchmark runner used by every experiment.
+
+``run_benchmark`` builds a fresh simulator with the requested detector
+configuration, runs a benchmark's full plan (all kernel launches), and
+collects a :class:`RunResult` with everything any experiment needs: cycles,
+instruction statistics, race log, DRAM utilization, cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.bench.common import Injection, NO_INJECTION
+from repro.bench.suite import get_benchmark
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    GPUConfig,
+    HAccRGConfig,
+    scaled_gpu_config,
+)
+from repro.common.types import KernelStats, MemSpace
+from repro.core.detector import HAccRGDetector
+from repro.core.races import RaceLog
+from repro.gpu.simulator import GPUSimulator
+from repro.swdetect.grace import GRaceAddrDetector
+from repro.swdetect.software_haccrg import SoftwareHAccRG
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produced."""
+
+    name: str
+    cycles: int
+    stats: KernelStats
+    dram_utilization: float
+    dram_bytes: int
+    dram_shadow_bytes: int
+    l1_hit_rate: float
+    l2_hit_rate: float
+    races: Optional[RaceLog] = None
+    detector: Optional[object] = None
+    verified: Optional[bool] = None
+    data_bytes: int = 0
+
+    def shared_races(self) -> int:
+        return self.races.count(space=MemSpace.SHARED) if self.races else 0
+
+    def global_races(self) -> int:
+        return (len(self.races) - self.shared_races()) if self.races else 0
+
+
+def make_detector(config: HAccRGConfig, sim: GPUSimulator):
+    """Instantiate the detector for ``config.backend`` (None when OFF)."""
+    if config.mode == DetectionMode.OFF:
+        return None
+    if config.backend == DetectorBackend.HARDWARE:
+        return HAccRGDetector(config, sim)
+    if config.backend == DetectorBackend.SOFTWARE:
+        return SoftwareHAccRG(config, sim)
+    return GRaceAddrDetector(config, sim)
+
+
+def run_benchmark(name: str,
+                  detector_config: Optional[HAccRGConfig] = None,
+                  gpu_config: Optional[GPUConfig] = None,
+                  scale: float = 1.0,
+                  seed: int = 0,
+                  injection: Injection = NO_INJECTION,
+                  timing_enabled: bool = True,
+                  verify: bool = False,
+                  **overrides) -> RunResult:
+    """Run one benchmark under one detection configuration.
+
+    ``detector_config=None`` (or mode OFF) runs the unmodified GPU — the
+    Fig. 7 baseline. ``timing_enabled=False`` skips the cache/DRAM timing
+    for detection-only experiments (granularity sweeps run ~3x faster).
+    ``overrides`` are forwarded to the benchmark's builder (e.g.
+    ``num_blocks=1`` for the race-free SCAN configuration).
+    """
+    bench = get_benchmark(name)
+    sim = GPUSimulator(gpu_config or scaled_gpu_config(),
+                       timing_enabled=timing_enabled)
+    detector = None
+    if detector_config is not None and detector_config.mode != DetectionMode.OFF:
+        detector = make_detector(detector_config, sim)
+        sim.attach_detector(detector)
+
+    plan = bench.plan(sim, scale=scale, seed=seed, injection=injection,
+                      **overrides)
+    results = plan.run(sim)
+
+    verified: Optional[bool] = None
+    if verify and plan.verify is not None:
+        plan.verify()  # raises on functional mismatch
+        verified = True
+
+    stats = KernelStats()
+    for r in results:
+        stats.merge(r.stats)
+    cycles = sum(r.cycles for r in results)
+    return RunResult(
+        name=name,
+        cycles=cycles,
+        stats=stats,
+        dram_utilization=(sum(r.dram_utilization for r in results)
+                          / max(1, len(results))),
+        dram_bytes=results[-1].dram_bytes if results else 0,
+        dram_shadow_bytes=results[-1].dram_shadow_bytes if results else 0,
+        l1_hit_rate=(sum(r.l1_hit_rate for r in results)
+                     / max(1, len(results))),
+        l2_hit_rate=(sum(r.l2_hit_rate for r in results)
+                     / max(1, len(results))),
+        races=detector.log if detector is not None else None,
+        detector=detector,
+        verified=verified,
+        data_bytes=plan.data_bytes,
+    )

@@ -1,0 +1,229 @@
+"""Access-trace recording and detector replay.
+
+Detection experiments often re-run the same benchmark under many detector
+configurations (granularity sweeps, ablations). The kernel execution —
+generators, scheduling, functional memory — dominates that cost, yet the
+access stream it produces is identical every time (execution is
+deterministic and hardware detection never perturbs it). This module
+splits the two:
+
+- :class:`TraceRecorder` is a detector hook that captures every warp
+  access plus the synchronization events (barriers with block sync-IDs,
+  fences, kernel/block boundaries) as compact records;
+- :func:`replay` feeds a recorded trace back through any
+  :class:`~repro.core.detector.HAccRGDetector`-compatible detector's
+  *detection* structures, producing the identical race log at a fraction
+  of the cost;
+- traces serialize to/from a JSON-lines text format for offline analysis
+  or cross-tool exchange.
+
+Replay fidelity: hardware detection is passive, so replayed race results
+are bit-identical to live runs at any granularity (asserted by the
+tests). Timing-dependent detectors (the software baselines) cannot be
+replayed — they change the interleaving they measure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.common.types import AccessKind, LaneAccess, MemSpace, WarpAccess
+from repro.core.clocks import RaceRegisterFile
+from repro.core.races import RaceLog
+from repro.core.rdu_shared import SharedRDU
+from repro.core.shadow import SharedShadowTable
+from repro.core.shadow_memory import GlobalShadowMemory
+from repro.gpu.hooks import NO_EFFECT, DetectorHooks
+
+#: trace record kinds
+_ACCESS, _BARRIER, _FENCE, _BLOCK_START, _BLOCK_END, _KERNEL = (
+    "A", "B", "F", "S", "E", "K")
+
+
+@dataclass
+class TraceEvent:
+    """One trace record (see the ``kind`` constants above)."""
+
+    kind: str
+    # access fields
+    space: int = 0
+    access_kind: int = 0
+    lanes: List[Tuple[int, int, int, int, bool]] = field(
+        default_factory=list)  # (lane, addr, size, sig, critical)
+    sm_id: int = 0
+    block_id: int = 0
+    warp_id: int = 0
+    warp_in_block: int = 0
+    base_tid: int = 0
+    sync_id: int = 0
+    fence_id: int = 0
+    l1_hits: Optional[List[bool]] = None
+    # barrier / fence / block fields
+    shared_bytes: int = 0
+    region_bytes: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        d = json.loads(line)
+        d["lanes"] = [tuple(l) for l in d.get("lanes", [])]
+        return TraceEvent(**d)
+
+    def to_warp_access(self) -> WarpAccess:
+        lanes = [
+            LaneAccess(lane, addr, size, AccessKind(kind_), sig=sig,
+                       critical=crit)
+            for lane, addr, size, kind_, sig, crit in (
+                (l[0], l[1], l[2], self.access_kind, l[3], l[4])
+                for l in self.lanes
+            )
+        ]
+        return WarpAccess(
+            space=MemSpace(self.space),
+            kind=AccessKind(self.access_kind),
+            lanes=lanes,
+            sm_id=self.sm_id,
+            block_id=self.block_id,
+            warp_id=self.warp_id,
+            warp_in_block=self.warp_in_block,
+            base_tid=self.base_tid,
+            sync_id=self.sync_id,
+            fence_id=self.fence_id,
+        )
+
+
+class TraceRecorder(DetectorHooks):
+    """Hook that records every detection-relevant event of a run."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.region_bytes = 0
+
+    def on_kernel_start(self, launch, device_mem) -> None:
+        self.region_bytes = max(self.region_bytes,
+                                device_mem.allocated_bytes)
+        self.events.append(TraceEvent(
+            kind=_KERNEL, region_bytes=device_mem.allocated_bytes))
+
+    def on_block_start(self, block) -> None:
+        self.events.append(TraceEvent(
+            kind=_BLOCK_START, block_id=block.block_id,
+            sm_id=block.sm_id or 0,
+            shared_bytes=block.launch.kernel.shared_bytes()))
+
+    def on_block_end(self, block) -> None:
+        self.events.append(TraceEvent(kind=_BLOCK_END,
+                                      block_id=block.block_id))
+
+    def on_warp_access(self, access: WarpAccess, now,
+                       lane_l1_hit=None):
+        self.events.append(TraceEvent(
+            kind=_ACCESS,
+            space=int(access.space),
+            access_kind=int(access.kind),
+            lanes=[(la.lane, la.addr, la.size, la.sig, la.critical)
+                   for la in access.lanes],
+            sm_id=access.sm_id,
+            block_id=access.block_id,
+            warp_id=access.warp_id,
+            warp_in_block=access.warp_in_block,
+            base_tid=access.base_tid,
+            sync_id=access.sync_id,
+            fence_id=access.fence_id,
+            l1_hits=list(lane_l1_hit) if lane_l1_hit is not None else None,
+        ))
+        return NO_EFFECT
+
+    def on_barrier(self, block, now):
+        self.events.append(TraceEvent(kind=_BARRIER,
+                                      block_id=block.block_id))
+        return NO_EFFECT
+
+    def on_fence(self, warp, now):
+        self.events.append(TraceEvent(kind=_FENCE, warp_id=warp.warp_id,
+                                      fence_id=warp.fence_id))
+        return NO_EFFECT
+
+    def on_lock_acquire(self, thread, addr: int) -> int:
+        # signatures must reach the trace: encode with the paper geometry
+        from repro.core.bloom import BloomSignature
+        if not hasattr(self, "_bloom"):
+            self._bloom = BloomSignature(16, 2)
+        return self._bloom.insert(thread.lock_sig, addr)
+
+    # ------------------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialize the trace as JSON lines."""
+        return "\n".join(e.to_json() for e in self.events)
+
+    @staticmethod
+    def load(text: str) -> List[TraceEvent]:
+        return [TraceEvent.from_json(line)
+                for line in text.splitlines() if line.strip()]
+
+
+def record(benchmark_name: str, scale: float = 1.0,
+           **overrides) -> List[TraceEvent]:
+    """Run one benchmark with a recorder attached; return its trace."""
+    from repro.bench.suite import get_benchmark
+    from repro.common.config import scaled_gpu_config
+    from repro.gpu.simulator import GPUSimulator
+
+    recorder = TraceRecorder()
+    sim = GPUSimulator(scaled_gpu_config(), timing_enabled=False)
+    sim.attach_detector(recorder)
+    plan = get_benchmark(benchmark_name).plan(sim, scale=scale, **overrides)
+    plan.run(sim)
+    return recorder.events
+
+
+def replay(events: Sequence[TraceEvent],
+           config: Optional[HAccRGConfig] = None) -> RaceLog:
+    """Feed a recorded trace through fresh detection structures.
+
+    Reproduces exactly what a live :class:`HAccRGDetector` run reports at
+    the given configuration: per-block shared shadow tables (reset at
+    barriers), a global shadow memory re-initialized per kernel, and the
+    race register file driven by the trace's fence events.
+    """
+    cfg = config or HAccRGConfig(mode=DetectionMode.FULL,
+                                 shared_granularity=4)
+    log = RaceLog()
+    rrf = RaceRegisterFile(cfg.fence_id_bits)
+    shared_tables: dict = {}
+    gsm: Optional[GlobalShadowMemory] = None
+
+    for ev in events:
+        if ev.kind == _KERNEL:
+            if cfg.mode.global_enabled:
+                gsm = GlobalShadowMemory(max(1, ev.region_bytes), cfg, log,
+                                         rrf)
+            shared_tables.clear()
+        elif ev.kind == _BLOCK_START:
+            if cfg.mode.shared_enabled and ev.shared_bytes:
+                shared_tables[ev.block_id] = SharedShadowTable(
+                    ev.shared_bytes, cfg.shared_granularity, log,
+                    regroup=cfg.warp_regrouping)
+        elif ev.kind == _BLOCK_END:
+            shared_tables.pop(ev.block_id, None)
+        elif ev.kind == _BARRIER:
+            table = shared_tables.get(ev.block_id)
+            if table is not None:
+                table.barrier_reset()
+        elif ev.kind == _FENCE:
+            rrf.on_fence(ev.warp_id, ev.fence_id)
+        elif ev.kind == _ACCESS:
+            access = ev.to_warp_access()
+            if access.space == MemSpace.SHARED:
+                table = shared_tables.get(ev.block_id)
+                if table is not None:
+                    table.check(access)
+            elif gsm is not None:
+                gsm.check(access, lane_l1_hit=ev.l1_hits)
+    return log

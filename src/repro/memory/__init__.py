@@ -1,0 +1,15 @@
+"""Memory hierarchy substrate: L1/L2 caches, DRAM channels, partitions.
+
+Models the paper's Table I memory system: per-SM non-coherent write-through
+L1 data caches, a coherent unified L2 cache sliced across memory partitions
+(one slice + one GDDR3-style DRAM channel per partition), and line-interleaved
+address-to-slice mapping. DRAM bandwidth accounting feeds the Fig. 9
+experiment; L2 pollution by HAccRG shadow traffic is what produces the
+global-detection overhead of Fig. 7.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import DRAMChannel
+from repro.memory.system import MemorySystem
+
+__all__ = ["Cache", "CacheStats", "DRAMChannel", "MemorySystem"]

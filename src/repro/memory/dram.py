@@ -1,0 +1,134 @@
+"""GDDR3-style DRAM channel model with FR-FCFS approximation.
+
+One :class:`DRAMChannel` backs each memory partition. The model is a
+latency/bandwidth/queue abstraction rather than a per-bank state machine
+(see DESIGN.md §4): a request's service latency is the row-miss latency
+unless it targets the row last opened on the channel (FR-FCFS's main effect
+— row-hit prioritization — is approximated by this row-locality discount);
+the channel's data bus is occupied for ``size / bytes_per_cycle`` cycles per
+request, and queueing delay emerges from the bus busy time. Busy-cycle and
+byte counters feed the Fig. 9 bandwidth-utilization experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMStats:
+    """Traffic and occupancy counters for one channel."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    shadow_requests: int = 0
+    bytes_transferred: int = 0
+    shadow_bytes: int = 0
+    row_hits: int = 0
+    busy_cycles: int = 0
+    max_queue_delay: int = 0
+    total_queue_delay: int = 0
+
+
+class DRAMChannel:
+    """One DRAM channel: busy-until bus model + row-locality latency."""
+
+    def __init__(self, channel_id: int, latency: int, row_hit_latency: int,
+                 bytes_per_cycle: float, row_size: int,
+                 queue_size: int = 32) -> None:
+        self.channel_id = channel_id
+        self.latency = latency
+        self.row_hit_latency = row_hit_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.row_size = row_size
+        self.queue_size = queue_size
+        self._busy_until = 0
+        self._open_row = -1
+        #: cycles of low-priority (writeback/shadow) transfer not yet drained
+        self._backlog = 0
+        #: beyond this, low-priority work forces demand requests to wait —
+        #: the write buffer is full (sized after the DRAM request queue)
+        self._backlog_cap = queue_size * 16
+        self.stats = DRAMStats()
+
+    def _drain_backlog(self, now: int) -> None:
+        """Drain buffered low-priority transfers into the idle gap."""
+        idle = now - self._busy_until
+        if idle > 0 and self._backlog > 0:
+            drained = min(self._backlog, idle)
+            self._backlog -= drained
+            self._busy_until += drained
+
+    def background_request(self, addr: int, size: int, now: int,
+                           shadow: bool = False) -> None:
+        """Enqueue a low-priority transfer (L2 writeback, shadow update).
+
+        Memory controllers drain writebacks opportunistically: the transfer
+        consumes bandwidth (it is accounted against the bus) but delays
+        demand requests only once the write buffer fills.
+        """
+        self._drain_backlog(now)
+        transfer = max(1, int(round(size / self.bytes_per_cycle)))
+        self._backlog += transfer
+        st = self.stats
+        st.requests += 1
+        st.writes += 1
+        st.bytes_transferred += size
+        st.busy_cycles += transfer
+        if shadow:
+            st.shadow_requests += 1
+            st.shadow_bytes += size
+
+    def request(self, addr: int, size: int, is_write: bool, now: int,
+                shadow: bool = False) -> int:
+        """Issue one request at time ``now``; return its completion time.
+
+        The returned time includes queueing behind earlier requests
+        (``busy_until``), the row-hit/row-miss access latency, and the data
+        transfer time. The bus is held for the transfer duration.
+        """
+        self._drain_backlog(now)
+        row = addr // self.row_size
+        row_hit = row == self._open_row
+        self._open_row = row
+
+        access_latency = self.row_hit_latency if row_hit else self.latency
+        transfer = max(1, int(round(size / self.bytes_per_cycle)))
+
+        start = max(now, self._busy_until)
+        if self._backlog > self._backlog_cap:
+            # write buffer overflow: force-drain the excess ahead of us
+            forced = self._backlog - self._backlog_cap
+            start += forced
+            self._backlog = self._backlog_cap
+        queue_delay = start - now
+        completion = start + access_latency + transfer
+        self._busy_until = start + transfer + (0 if row_hit else access_latency // 4)
+
+        st = self.stats
+        st.requests += 1
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+        st.bytes_transferred += size
+        st.busy_cycles += self._busy_until - start
+        st.total_queue_delay += queue_delay
+        st.max_queue_delay = max(st.max_queue_delay, queue_delay)
+        if row_hit:
+            st.row_hits += 1
+        if shadow:
+            st.shadow_requests += 1
+            st.shadow_bytes += size
+        return completion
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the channel's bus was busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / total_cycles)
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until

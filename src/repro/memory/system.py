@@ -1,0 +1,174 @@
+"""The unified memory system: per-SM L1s, sliced L2, DRAM channels.
+
+:class:`MemorySystem` is what the SMs call for every coalesced global
+transaction. It implements the paper's hierarchy (§II-A / Table I):
+
+- per-SM *non-coherent* L1 data caches; global writes are written through
+  to L2 and evict the L1 copy (Fermi write-evict), so an SM can hold stale
+  data another SM later overwrites — the coherence race HAccRG's L1-hit
+  check targets;
+- a coherent unified L2, line-interleaved across ``num_mem_slices`` slices,
+  write-back with dirty eviction to DRAM;
+- one DRAM channel per slice with bandwidth/occupancy accounting.
+
+It also exposes :meth:`background_access` for HAccRG's hardware shadow
+traffic: requests that consume L2 capacity and DRAM bandwidth but never
+stall the issuing warp (the RDU works alongside the pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import GPUConfig
+from repro.common.types import Transaction
+from repro.gpu.interconnect import InterconnectModel
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAMChannel
+
+
+class MemorySystem:
+    """L1 + sliced L2 + DRAM, with interconnect round-trip costs."""
+
+    def __init__(self, config: GPUConfig, timing_enabled: bool = True) -> None:
+        self.config = config
+        self.timing_enabled = timing_enabled
+        self.l1 = [
+            Cache(config.l1d_size, config.l1d_assoc, config.l1d_line,
+                  name=f"L1[{i}]")
+            for i in range(config.num_sms)
+        ]
+        self.l2 = [
+            Cache(config.l2_slice_size, config.l2_assoc, config.l2_line,
+                  name=f"L2[{i}]")
+            for i in range(config.num_mem_slices)
+        ]
+        self.dram = [
+            DRAMChannel(i, config.dram_latency, config.dram_row_hit_latency,
+                        config.dram_bytes_per_cycle, config.dram_row_size,
+                        config.dram_queue_size)
+            for i in range(config.num_mem_slices)
+        ]
+        self.icnt = InterconnectModel(
+            flit_size=config.flit_size, hop_latency=config.icnt_latency
+        )
+
+    # ------------------------------------------------------------------
+
+    def warp_access(self, sm_id: int, txns: Sequence[Transaction], now: int,
+                    id_bits: int = 0) -> Tuple[int, List[str]]:
+        """Service a warp's coalesced transactions; the warp stalls on them.
+
+        Returns ``(latency, levels)`` where ``latency`` is the cycles until
+        the slowest transaction completes and ``levels[i]`` in
+        ``{"l1", "l2", "dram"}`` records where transaction ``i`` was
+        satisfied.
+        """
+        if not txns:
+            return 0, []
+        worst = 0
+        levels: List[str] = []
+        for txn in txns:
+            lat, level = self._one_transaction(sm_id, txn, now, id_bits)
+            worst = max(worst, lat)
+            levels.append(level)
+        return worst, levels
+
+    def background_access(self, sm_id: int, txns: Sequence[Transaction],
+                          now: int, id_bits: int = 0) -> None:
+        """Inject RDU shadow traffic: occupies L2/DRAM, stalls nobody."""
+        for txn in txns:
+            self._one_transaction(sm_id, txn, now, id_bits, bypass_l1=True)
+
+    # ------------------------------------------------------------------
+
+    def _one_transaction(self, sm_id: int, txn: Transaction, now: int,
+                         id_bits: int, bypass_l1: bool = False) -> Tuple[int, str]:
+        cfg = self.config
+        l1 = self.l1[sm_id]
+
+        # ---- L1 ----------------------------------------------------------
+        if not bypass_l1:
+            if txn.is_write:
+                # write-through + write-evict: never allocates, invalidates
+                l1.stats.accesses += 1
+                l1.stats.misses += 1  # writes always go below
+                l1.invalidate(txn.addr)
+            else:
+                hit, _, _ = l1.access(txn.addr, is_write=False, shadow=txn.is_shadow)
+                if hit:
+                    return (cfg.l1_latency if self.timing_enabled else 0), "l1"
+
+        # ---- interconnect + L2 -------------------------------------------
+        slice_id = cfg.slice_of(txn.addr)
+        l2 = self.l2[slice_id]
+        hit, writeback, wb_shadow = l2.access(txn.addr, is_write=txn.is_write,
+                                   shadow=txn.is_shadow)
+        # shadow-entry updates are full-word RDU writes: on an L2 miss the
+        # line is write-validated in place (no DRAM fetch); only the
+        # eventual dirty eviction reaches DRAM
+        skip_fetch = txn.is_shadow and txn.is_write
+        if not self.timing_enabled:
+            if not hit and not skip_fetch:
+                self.dram[slice_id].request(txn.addr, txn.size, txn.is_write,
+                                            now, shadow=txn.is_shadow)
+            if writeback is not None:
+                self.dram[slice_id].background_request(writeback, cfg.l2_line,
+                                                       now, shadow=wb_shadow)
+            return 0, ("l2" if hit else "dram")
+
+        icnt = self.icnt.round_trip_cycles(
+            request_payload=txn.size if txn.is_write else 0,
+            response_payload=0 if txn.is_write else txn.size,
+            id_bits=id_bits,
+        )
+        if hit:
+            return cfg.l1_latency + icnt + cfg.l2_latency, "l2"
+
+        # ---- DRAM ---------------------------------------------------------
+        dram = self.dram[slice_id]
+        if skip_fetch:
+            # write-validated shadow line: no fetch; its traffic is paid
+            # when the dirty line is eventually evicted
+            completion = now
+        else:
+            completion = dram.request(txn.addr, txn.size, txn.is_write, now,
+                                      shadow=txn.is_shadow)
+        if writeback is not None:
+            # dirty evictions drain opportunistically behind demand traffic
+            dram.background_request(writeback, cfg.l2_line, now,
+                                    shadow=wb_shadow)
+        latency = (completion - now) + cfg.l1_latency + icnt + cfg.l2_latency
+        return latency, "dram"
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def dram_utilization(self, total_cycles: int) -> float:
+        """Average bus utilization across all channels (Fig. 9 metric)."""
+        if not self.dram:
+            return 0.0
+        return sum(ch.utilization(total_cycles) for ch in self.dram) / len(self.dram)
+
+    def dram_bytes(self) -> int:
+        return sum(ch.stats.bytes_transferred for ch in self.dram)
+
+    def dram_shadow_bytes(self) -> int:
+        return sum(ch.stats.shadow_bytes for ch in self.dram)
+
+    def l1_stats_total(self):
+        """Aggregate (accesses, hits, misses) over all L1s."""
+        acc = hits = miss = 0
+        for c in self.l1:
+            acc += c.stats.accesses
+            hits += c.stats.hits
+            miss += c.stats.misses
+        return acc, hits, miss
+
+    def l2_stats_total(self):
+        acc = hits = miss = 0
+        for c in self.l2:
+            acc += c.stats.accesses
+            hits += c.stats.hits
+            miss += c.stats.misses
+        return acc, hits, miss

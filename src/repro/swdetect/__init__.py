@@ -1,0 +1,21 @@
+"""Software race-detection baselines (paper §VI-B comparison).
+
+- :class:`repro.swdetect.software_haccrg.SoftwareHAccRG` — the HAccRG
+  algorithm executed as kernel instrumentation instead of dedicated RDUs:
+  every tracked access additionally runs check/update code on the SM and
+  performs its shadow-table accesses synchronously through the memory
+  hierarchy. Detection results are identical to the hardware detector;
+  only the cost differs (the paper reports 6.6x / 12.4x / 18.1x on
+  SCAN / HIST / KMEANS).
+- :class:`repro.swdetect.grace.GRaceAddrDetector` — a re-implementation of
+  the GRace-addr mechanism: per-warp access bookkeeping tables in device
+  memory plus inter-warp table scans at synchronization points; about two
+  orders of magnitude slower than software HAccRG and covering shared
+  memory only.
+"""
+
+from repro.swdetect.software_haccrg import SoftwareHAccRG
+from repro.swdetect.grace import GRaceAddrDetector
+from repro.swdetect.offline_log import OfflineLogDetector
+
+__all__ = ["SoftwareHAccRG", "GRaceAddrDetector", "OfflineLogDetector"]

@@ -1,0 +1,49 @@
+"""Instrumentation cost model shared by the software baselines.
+
+When race detection runs as kernel code rather than hardware, every tracked
+memory access expands into a sequence of real instructions executed by the
+SM pipeline: address-to-entry arithmetic, a shadow-table load, the state
+comparison, the table update store, and (for the global table, which other
+thread blocks update concurrently) an atomic to make the read-modify-write
+of the shadow word safe. The constants below size those sequences; they are
+deliberately conservative (a hand-tuned PTX sequence) so that the software
+baseline is a strong one, as in the paper where software HAccRG still beats
+GRace by two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstrumentationCost:
+    """Per-event instruction counts for instrumented detection."""
+
+    #: ALU instructions per checked lane access (entry index computation,
+    #: field extraction and masking, the state-machine compare/branch
+    #: ladder, update re-packing, and the divergence overhead of the
+    #: branchy check sequence)
+    check_instructions: int = 26
+    #: shadow-table accesses per checked lane access (one RMW = load+store)
+    shadow_accesses: int = 2
+    #: extra instructions when the update must be atomic (global table):
+    #: a CAS retry loop around the packed shadow word
+    atomic_update_instructions: int = 14
+    #: instructions per warp per barrier for table maintenance
+    barrier_instructions: int = 8
+
+    def lane_cost(self, atomic_update: bool) -> int:
+        n = self.check_instructions
+        if atomic_update:
+            n += self.atomic_update_instructions
+        return n
+
+
+#: Cost profile for the software HAccRG implementation.
+SOFTWARE_HACCRG_COST = InstrumentationCost()
+
+#: GRace-addr cost profile: logging is cheaper per access (append to a
+#: bookkeeping table) but every barrier triggers inter-warp table scans.
+GRACE_LOG_INSTRUCTIONS = 8
+GRACE_SCAN_INSTRUCTIONS_PER_PAIR = 4

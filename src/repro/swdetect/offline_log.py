@@ -1,0 +1,166 @@
+"""Offline log-based detection baseline (paper §VII related work).
+
+The earliest GPU race detectors instrument the kernel to append *every*
+memory access to a log buffer in device memory and analyze the log
+offline after the kernel finishes. The paper cites this approach as
+"orders of magnitude slower than the un-instrumented version" with memory
+overhead proportional to the dynamic access count — the motivating
+strawman for both GRace and HAccRG.
+
+This implementation captures both costs:
+
+- online: every tracked lane access executes logging instructions and an
+  append (a synchronous global-memory store) — the warp stalls for it;
+- offline: at kernel end the full log is sorted per location and scanned
+  for cross-warp conflicting pairs within each synchronization interval
+  (the analysis is exact, like HAccRG at the same granularity, but the
+  log grows with execution length rather than data size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.config import HAccRGConfig
+from repro.common.types import (
+    AccessKind,
+    MemSpace,
+    RaceCategory,
+    RaceKind,
+    Transaction,
+    WarpAccess,
+)
+from repro.core.granularity import GranularityMap
+from repro.core.races import RaceLog, RaceReport
+from repro.gpu.hooks import NO_EFFECT, DetectorHooks, TimingEffect
+
+#: instructions per logged access (pointer bump, record packing, bounds check)
+LOG_INSTRUCTIONS = 6
+#: bytes per log record (addr, tid, kind, interval)
+LOG_RECORD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class _Record:
+    entry: int
+    warp: int
+    tid: int
+    block: int
+    is_write: bool
+    interval: int
+    space: MemSpace
+    addr: int
+
+
+class OfflineLogDetector(DetectorHooks):
+    """Log-everything-then-analyze baseline."""
+
+    def __init__(self, config: HAccRGConfig, sim) -> None:
+        self.config = config
+        self.sim = sim
+        self.log = RaceLog()
+        self._shared_gmap = GranularityMap(config.shared_granularity)
+        self._global_gmap = GranularityMap(config.global_granularity)
+        self._records: List[_Record] = []
+        self._interval: Dict[int, int] = {}  # block_id -> barrier interval
+        self._log_base: Optional[int] = None
+        self._cursor = 0
+        self.instrumentation_instructions = 0
+        self.analysis_comparisons = 0
+
+    # ------------------------------------------------------------------
+
+    def on_kernel_start(self, launch, device_mem) -> None:
+        self._records.clear()
+        self._interval.clear()
+        self._cursor = 0
+        # reserve a log region: proportional to expected accesses, the
+        # approach's defining memory cost (we size it generously and let
+        # the append wrap — the analysis uses the in-model record list)
+        self._log_base = device_mem.malloc(1 << 20)
+
+    def on_block_start(self, block) -> None:
+        self._interval[block.block_id] = 0
+
+    def on_barrier(self, block, now: int) -> TimingEffect:
+        self._interval[block.block_id] = \
+            self._interval.get(block.block_id, 0) + 1
+        return NO_EFFECT
+
+    def on_warp_access(self, access: WarpAccess, now: int,
+                       lane_l1_hit: Optional[Sequence[bool]] = None
+                       ) -> TimingEffect:
+        gmap = (self._shared_gmap if access.space == MemSpace.SHARED
+                else self._global_gmap)
+        interval = self._interval.get(access.block_id, 0)
+        logged = 0
+        addrs: List[int] = []
+        for la in access.lanes:
+            for entry in gmap.entries_of_range(la.addr, la.size):
+                self._records.append(_Record(
+                    entry=entry,
+                    warp=access.warp_id,
+                    tid=access.thread_id(la.lane),
+                    block=access.block_id,
+                    is_write=la.kind != AccessKind.READ,
+                    interval=interval,
+                    space=access.space,
+                    addr=la.addr,
+                ))
+                addrs.append(self._log_base
+                             + (self._cursor % (1 << 16)) * LOG_RECORD_BYTES)
+                self._cursor += 1
+                logged += 1
+
+        issue = self.sim.config.warp_issue_cycles
+        instr = logged * LOG_INSTRUCTIONS
+        stall = LOG_INSTRUCTIONS * issue
+        if addrs and self.sim.timing_enabled:
+            line = self.sim.config.l2_line
+            txns = [Transaction(a, line, is_write=True, is_shadow=True)
+                    for a in sorted({x // line * line for x in addrs})]
+            lat, _ = self.sim.memory.warp_access(access.sm_id, txns, now)
+            stall += lat
+        instr += logged
+        self.instrumentation_instructions += instr
+        return TimingEffect(stall_cycles=stall, extra_instructions=instr)
+
+    # ------------------------------------------------------------------
+
+    def on_kernel_end(self) -> None:
+        """The offline pass: per-location interval scan of the log."""
+        by_loc: Dict[Tuple[MemSpace, int], List[_Record]] = {}
+        for rec in self._records:
+            by_loc.setdefault((rec.space, rec.entry), []).append(rec)
+
+        for (space, entry), recs in by_loc.items():
+            for i, a in enumerate(recs):
+                for b in recs[i + 1:]:
+                    self.analysis_comparisons += 1
+                    if a.warp == b.warp:
+                        continue
+                    if not (a.is_write or b.is_write):
+                        continue
+                    # same-block accesses in different intervals are
+                    # barrier-ordered
+                    if a.block == b.block and a.interval != b.interval:
+                        continue
+                    kind = (RaceKind.WAW if a.is_write and b.is_write
+                            else (RaceKind.RAW if a.is_write
+                                  else RaceKind.WAR))
+                    category = (RaceCategory.SHARED_BARRIER
+                                if space == MemSpace.SHARED
+                                else RaceCategory.GLOBAL_BARRIER)
+                    self.log.report(RaceReport(
+                        category=category, kind=kind, space=space,
+                        entry=entry, addr=a.addr,
+                        owner_tid=a.tid, access_tid=b.tid,
+                        owner_block=a.block, access_block=b.block,
+                    ))
+        self._records.clear()
+
+    @property
+    def log_bytes(self) -> int:
+        """Device memory the log consumed (the approach's memory cost)."""
+        return self._cursor * LOG_RECORD_BYTES

@@ -1,0 +1,147 @@
+"""Software implementation of the HAccRG algorithm (paper §VI-B).
+
+Same detection algorithm, same shadow state, same race reports as the
+hardware detector — but executed as kernel instrumentation. The differences
+are purely in where the work happens:
+
+- every tracked lane access executes a check/update instruction sequence on
+  the SM pipeline (``extra_instructions``) and the issuing warp stalls for
+  it (instructions * issue cycles);
+- the shadow-table read-modify-writes are ordinary synchronous memory
+  accesses through L1/L2/DRAM: the warp waits for them (unlike the hardware
+  RDUs' fire-and-forget background traffic);
+- the shared-memory shadow table also lives in device memory (there is no
+  hardware row extension), so even shared-only detection pays global-memory
+  latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.common.config import HAccRGConfig
+from repro.common.types import MemSpace, Transaction, WarpAccess
+from repro.core.detector import HAccRGDetector
+from repro.gpu.hooks import NO_EFFECT, TimingEffect
+from repro.swdetect.instrumentation import SOFTWARE_HACCRG_COST
+
+
+class SoftwareHAccRG(HAccRGDetector):
+    """HAccRG detection executed as kernel instrumentation."""
+
+    def __init__(self, config: HAccRGConfig, sim) -> None:
+        super().__init__(config, sim)
+        self.cost = SOFTWARE_HACCRG_COST
+        self._shared_sw_shadow_base: Optional[int] = None
+        self.instrumentation_instructions = 0
+        self.instrumentation_stall_cycles = 0
+
+    # identifiers ride in registers, not packets, in the software scheme
+    @property
+    def request_id_bits(self) -> int:
+        return 0
+
+    def on_kernel_start(self, launch, device_mem) -> None:
+        super().on_kernel_start(launch, device_mem)
+        if self.config.mode.shared_enabled:
+            # one software shadow region reused by all blocks' shared memory
+            entries = -(-self.sim.config.shared_mem_per_sm
+                        // self.config.shared_granularity)
+            entry_bytes = -(-self.config.shared_entry_bits() // 8)
+            self._shared_sw_shadow_base = device_mem.malloc(
+                max(1, entries * entry_bytes * self.sim.config.num_sms)
+            )
+
+    # ------------------------------------------------------------------
+
+    def _instrumentation_effect(self, access: WarpAccess, now: int,
+                                shadow_addrs: Sequence[int],
+                                atomic_update: bool) -> TimingEffect:
+        """Stall the warp for the instrumented check + shadow RMW.
+
+        The check sequence executes as warp-wide SIMD instructions: the
+        stall is the sequence length times the issue slot, not per lane
+        (every lane runs its own copy in parallel). The per-lane count
+        still lands in the dynamic instruction statistics.
+        """
+        issue = self.sim.config.warp_issue_cycles
+        lanes = len(access.lanes)
+        instr = lanes * self.cost.lane_cost(atomic_update)
+        stall = self.cost.lane_cost(atomic_update) * issue
+        # lanes spread over several shadow lines serialize the table update
+        stall += max(0, len(shadow_addrs) - 1) * issue
+
+        if shadow_addrs and self.sim.timing_enabled:
+            line = self.sim.config.l2_line
+            lines = sorted({a // line * line for a in shadow_addrs})
+            # the check reads the shadow words synchronously (L1-cached);
+            # the update store retires through the write buffer and only
+            # costs bandwidth, like any other store
+            reads = [Transaction(a, line, is_write=False, is_shadow=True)
+                     for a in lines]
+            writes = [Transaction(a, line, is_write=True, is_shadow=True)
+                      for a in lines]
+            lat_r, _ = self.sim.memory.warp_access(access.sm_id, reads, now)
+            self.sim.memory.background_access(access.sm_id, writes,
+                                              now + lat_r)
+            stall += lat_r
+        instr += 2 * max(1, len(shadow_addrs))
+        self.instrumentation_instructions += instr
+        self.instrumentation_stall_cycles += stall
+        return TimingEffect(stall_cycles=stall, extra_instructions=instr)
+
+    # ------------------------------------------------------------------
+
+    def _on_shared(self, access: WarpAccess, now: int) -> TimingEffect:
+        if not self.config.mode.shared_enabled:
+            return NO_EFFECT
+        rdu = self._shared_rdu(access.sm_id)
+        rdu.check_access(access)
+        table = rdu.table_for(access.block_id)
+        if table is None or self._shared_sw_shadow_base is None:
+            return NO_EFFECT
+        entry_bytes = -(-self.config.shared_entry_bits() // 8)
+        sm_region = self._shared_sw_shadow_base + access.sm_id * table.n * entry_bytes
+        addrs = sorted({
+            sm_region + e * entry_bytes
+            for la in access.lanes
+            for e in table.gmap.entries_of_range(la.addr, la.size)
+        })
+        # shared table is SM-private: plain (non-atomic) updates suffice
+        return self._instrumentation_effect(access, now, addrs,
+                                            atomic_update=False)
+
+    def _on_global(self, access: WarpAccess, now: int,
+                   lane_l1_hit: Optional[Sequence[bool]]) -> TimingEffect:
+        if not self.config.mode.global_enabled:
+            return NO_EFFECT
+        shadow = self.global_rdu.shadow
+        if shadow is None:
+            return NO_EFFECT
+        entries = shadow.check(access, lane_l1_hit=lane_l1_hit)
+        addrs = [shadow.shadow_addr_of_entry(e) for e in entries]
+        # the global table is shared across blocks: atomic RMW required
+        return self._instrumentation_effect(access, now, addrs,
+                                            atomic_update=True)
+
+    # ------------------------------------------------------------------
+
+    def on_barrier(self, block, now: int) -> TimingEffect:
+        base = super().on_barrier(block, now)
+        if not self.config.mode.shared_enabled or block.sm_id is None:
+            return base
+        rdu = self._shared_rdu(block.sm_id)
+        table = rdu.table_for(block.block_id)
+        if table is None:
+            return base
+        # software invalidation: a memset loop over the block's shadow
+        # region executed by the block's threads
+        issue = self.sim.config.warp_issue_cycles
+        warps = max(1, len(block.warps))
+        instr = self.cost.barrier_instructions * warps + table.n
+        stall = (table.n // warps + self.cost.barrier_instructions) * issue
+        self.instrumentation_instructions += instr
+        return TimingEffect(
+            stall_cycles=base.stall_cycles + stall,
+            extra_instructions=base.extra_instructions + instr,
+        )

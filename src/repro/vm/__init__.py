@@ -1,0 +1,24 @@
+"""Virtual-memory support for HAccRG (paper §IV-B "Supporting Virtual Memory").
+
+Recent GPUs (the paper cites Intel Sandy Bridge and AMD Fusion) translate
+GPU addresses through page tables and TLBs. Tracking global memory with
+shadow entries then needs two things:
+
+1. **On-demand shadow paging** (:mod:`repro.vm.page_table`): shadow pages
+   are allocated when the corresponding *global-space* application pages
+   are created — a one-bit field in the GPU page-table entry marks pages
+   belonging to the global memory space, and only those get shadows.
+2. **Dual address translation in the TLB** (:mod:`repro.vm.tlb`): every
+   global access needs both the application translation and the shadow
+   translation. The paper proposes two mechanisms: (a) append one bit to
+   the TLB tags so shadow translations share the existing TLB (reducing
+   its effective capacity for regular entries), or (b) a separate, smaller
+   shadow TLB probed in parallel (faster, at extra hardware cost). Both
+   are implemented and compared by the ``vm_tlb`` experiment.
+"""
+
+from repro.vm.page_table import PageTable, PageTableEntry
+from repro.vm.tlb import SplitTLB, TaggedTLB, TLBStats
+
+__all__ = ["PageTable", "PageTableEntry", "TaggedTLB", "SplitTLB",
+           "TLBStats"]

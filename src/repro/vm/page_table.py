@@ -1,0 +1,110 @@
+"""GPU page table with on-demand shadow paging (paper §IV-B).
+
+A single-level page-table model suffices for studying HAccRG's proposal:
+each :class:`PageTableEntry` maps one virtual page to a physical frame and
+carries the **global-space bit** — set for pages in the global memory
+space, which are exactly the pages that receive shadow pages. Shadow pages
+are allocated lazily, the first time the detector translates an address of
+a global page (`on-demand paging for shadow memory ... allocated when
+GPU's application memory pages are generated`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.bitops import is_power_of_two, log2_exact
+from repro.common.errors import ConfigError, KernelError
+
+
+@dataclass
+class PageTableEntry:
+    """One translation: virtual page -> physical frame (+ flags)."""
+
+    vpn: int
+    pfn: int
+    is_global: bool = False      # the paper's 1-bit global-space field
+    shadow_pfn: Optional[int] = None
+
+
+class PageTable:
+    """Single-level page table with a bump frame allocator."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        if not is_power_of_two(page_size):
+            raise ConfigError("page size must be a power of two")
+        self.page_size = page_size
+        self._shift = log2_exact(page_size)
+        self._entries: Dict[int, PageTableEntry] = {}
+        self._next_frame = 0
+        self.shadow_pages_allocated = 0
+        self.app_pages_allocated = 0
+
+    # ------------------------------------------------------------------
+
+    def vpn_of(self, vaddr: int) -> int:
+        return vaddr >> self._shift
+
+    def offset_of(self, vaddr: int) -> int:
+        return vaddr & (self.page_size - 1)
+
+    def map_range(self, vaddr: int, nbytes: int,
+                  is_global: bool = False) -> None:
+        """Allocate application pages covering [vaddr, vaddr+nbytes)."""
+        first = self.vpn_of(vaddr)
+        last = self.vpn_of(vaddr + max(1, nbytes) - 1)
+        for vpn in range(first, last + 1):
+            if vpn not in self._entries:
+                self._entries[vpn] = PageTableEntry(
+                    vpn=vpn, pfn=self._alloc_frame(), is_global=is_global
+                )
+                self.app_pages_allocated += 1
+            elif is_global:
+                self._entries[vpn].is_global = True
+
+    def _alloc_frame(self) -> int:
+        pfn = self._next_frame
+        self._next_frame += 1
+        return pfn
+
+    # ------------------------------------------------------------------
+
+    def translate(self, vaddr: int) -> Tuple[int, PageTableEntry]:
+        """Walk the table; returns (physical address, entry)."""
+        entry = self._entries.get(self.vpn_of(vaddr))
+        if entry is None:
+            raise KernelError(f"page fault: unmapped address {vaddr:#x}")
+        return (entry.pfn << self._shift) | self.offset_of(vaddr), entry
+
+    def shadow_translate(self, vaddr: int) -> Tuple[int, PageTableEntry]:
+        """Translate to the shadow page, allocating it on demand.
+
+        Only global-space pages have shadows (§IV-B: a one-bit field in
+        the page-table entry gates shadow allocation).
+        """
+        entry = self._entries.get(self.vpn_of(vaddr))
+        if entry is None:
+            raise KernelError(f"page fault: unmapped address {vaddr:#x}")
+        if not entry.is_global:
+            raise KernelError(
+                f"address {vaddr:#x} is not in the global space; "
+                "no shadow page exists"
+            )
+        if entry.shadow_pfn is None:
+            entry.shadow_pfn = self._alloc_frame()
+            self.shadow_pages_allocated += 1
+        return ((entry.shadow_pfn << self._shift)
+                | self.offset_of(vaddr), entry)
+
+    # ------------------------------------------------------------------
+
+    def entry(self, vpn: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._entries)
+
+    def global_pages(self) -> int:
+        return sum(1 for e in self._entries.values() if e.is_global)

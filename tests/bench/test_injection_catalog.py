@@ -1,0 +1,66 @@
+"""Tests of the injection framework and the 41-race catalog."""
+
+import pytest
+
+from repro.bench.common import Injection, NO_INJECTION
+from repro.bench.injection import CATEGORY_COUNTS, INJECTION_CATALOG
+from repro.bench.suite import get_benchmark
+
+
+class TestInjectionObject:
+    def test_default_keeps_everything(self):
+        assert NO_INJECTION.keep("barrier:x")
+        assert not NO_INJECTION.inject("xblock")
+
+    def test_omit(self):
+        inj = Injection(omit=["barrier:a"])
+        assert not inj.keep("barrier:a")
+        assert inj.keep("barrier:b")
+
+    def test_emit(self):
+        inj = Injection(emit=["xblock"])
+        assert inj.inject("xblock")
+        assert not inj.inject("other")
+
+    def test_active_sites(self):
+        inj = Injection(omit=["a"], emit=["b"])
+        assert inj.active_sites == ("a", "b")
+
+
+class TestCatalog:
+    def test_total_is_41(self):
+        assert len(INJECTION_CATALOG) == 41
+
+    def test_category_counts_match_paper(self):
+        counts = {}
+        for s in INJECTION_CATALOG:
+            counts[s.category] = counts.get(s.category, 0) + 1
+        assert counts == {"barrier": 23, "xblock": 13, "fence": 3,
+                          "critical": 2}
+        assert counts == CATEGORY_COUNTS
+
+    def test_every_spec_references_known_benchmark(self):
+        for s in INJECTION_CATALOG:
+            get_benchmark(s.bench)  # raises if unknown
+
+    def test_every_site_exists_in_benchmark(self):
+        for s in INJECTION_CATALOG:
+            b = get_benchmark(s.bench)
+            for site in (*s.omit, *s.emit):
+                assert site in b.injection_sites, (
+                    f"{s.bench} has no injection site {site!r}"
+                )
+
+    def test_specs_unique(self):
+        keys = [(s.bench, s.category, s.omit, s.emit,
+                 tuple(sorted((s.overrides or {}).items())))
+                for s in INJECTION_CATALOG]
+        assert len(set(keys)) == len(keys)
+
+    def test_injection_builds(self):
+        for s in INJECTION_CATALOG:
+            inj = s.injection()
+            for site in s.omit:
+                assert not inj.keep(site)
+            for site in s.emit:
+                assert inj.inject(site)

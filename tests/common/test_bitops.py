@@ -1,0 +1,71 @@
+"""Unit tests for bit utilities."""
+
+import pytest
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    ceil_div,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    mask_bits,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(31):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_power_of_two(v)
+
+
+class TestLog2Exact:
+    def test_exact(self):
+        for k in range(31):
+            assert log2_exact(1 << k) == k
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(3)
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x87, 0x10) == 0x80
+        assert align_down(0x80, 0x10) == 0x80
+
+    def test_align_up(self):
+        assert align_up(0x81, 0x10) == 0x90
+        assert align_up(0x80, 0x10) == 0x80
+
+    def test_roundtrip_identity_for_aligned(self):
+        for a in range(0, 256, 32):
+            assert align_down(a, 32) == a == align_up(a, 32)
+
+
+class TestMaskExtract:
+    def test_mask_bits(self):
+        assert mask_bits(0xFF, 4) == 0x0F
+        assert mask_bits(0x100, 8) == 0
+
+    def test_extract_bits(self):
+        assert extract_bits(0b110100, 2, 3) == 0b101
+        assert extract_bits(0xFF00, 8, 8) == 0xFF

@@ -1,0 +1,94 @@
+"""Unit tests for the core typed vocabulary."""
+
+import pytest
+
+from repro.common.types import (
+    AccessKind,
+    Dim3,
+    KernelStats,
+    LaneAccess,
+    MemSpace,
+    WarpAccess,
+)
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3(8)
+        assert (d.x, d.y, d.z) == (8, 1, 1)
+        assert d.count == 8
+
+    def test_count_multiplies(self):
+        assert Dim3(4, 3, 2).count == 24
+
+    def test_linearize(self):
+        d = Dim3(4, 3, 2)
+        seen = set()
+        for z in range(2):
+            for y in range(3):
+                for x in range(4):
+                    seen.add(d.linearize(x, y, z))
+        assert seen == set(range(24))
+
+    def test_of_coercions(self):
+        assert Dim3.of(5) == Dim3(5)
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+        d = Dim3(1, 2, 3)
+        assert Dim3.of(d) is d
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+        with pytest.raises(ValueError):
+            Dim3(1, -1)
+
+
+class TestLaneAccess:
+    def test_footprint(self):
+        la = LaneAccess(0, 100, 4, AccessKind.READ)
+        assert la.footprint() == (100, 104)
+
+    def test_defaults(self):
+        la = LaneAccess(3, 0, 1, AccessKind.WRITE)
+        assert la.sig == 0
+        assert not la.critical
+
+
+class TestWarpAccess:
+    def _mk(self, kind=AccessKind.READ):
+        lanes = [LaneAccess(i, i * 4, 4, kind) for i in range(4)]
+        return WarpAccess(space=MemSpace.GLOBAL, kind=kind, lanes=lanes,
+                          sm_id=1, block_id=2, warp_id=7, warp_in_block=1,
+                          base_tid=96)
+
+    def test_thread_id(self):
+        wa = self._mk()
+        assert wa.thread_id(0) == 96
+        assert wa.thread_id(3) == 99
+
+    def test_is_write(self):
+        assert not self._mk(AccessKind.READ).is_write
+        assert self._mk(AccessKind.WRITE).is_write
+        assert self._mk(AccessKind.ATOMIC).is_write
+
+
+class TestKernelStats:
+    def test_accumulators(self):
+        s = KernelStats(instructions=100, shared_reads=10, shared_writes=5,
+                        global_reads=20, global_writes=10, atomics=2)
+        assert s.shared_accesses == 15
+        assert s.global_accesses == 30
+        assert s.memory_accesses == 47
+        assert s.frac(s.shared_accesses) == pytest.approx(0.15)
+
+    def test_frac_zero_instructions(self):
+        assert KernelStats().frac(5) == 0.0
+
+    def test_merge(self):
+        a = KernelStats(instructions=10, shared_reads=1, fences=2)
+        b = KernelStats(instructions=5, shared_reads=3, barriers=1)
+        a.merge(b)
+        assert a.instructions == 15
+        assert a.shared_reads == 4
+        assert a.fences == 2
+        assert a.barriers == 1

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    DetectionMode,
+    GPUConfig,
+    HAccRGConfig,
+    scaled_gpu_config,
+)
+from repro.core.detector import HAccRGDetector
+from repro.gpu.simulator import GPUSimulator
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """A small GPU configuration that keeps unit tests fast."""
+    return GPUConfig(num_sms=4, num_clusters=2, max_threads_per_sm=512)
+
+
+@pytest.fixture
+def sim(gpu_config) -> GPUSimulator:
+    return GPUSimulator(gpu_config)
+
+
+@pytest.fixture
+def detected_sim(gpu_config):
+    """Simulator with a full-mode word-granularity HAccRG attached."""
+    sim = GPUSimulator(gpu_config)
+    det = HAccRGDetector(
+        HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4), sim
+    )
+    sim.attach_detector(det)
+    return sim, det
+
+
+def make_detected_sim(mode=DetectionMode.FULL, shared_granularity=4,
+                      timing=True, gpu=None, **cfg_kwargs):
+    """Helper used by tests needing custom detector configurations."""
+    sim = GPUSimulator(gpu or GPUConfig(num_sms=4, num_clusters=2,
+                                        max_threads_per_sm=512),
+                       timing_enabled=timing)
+    det = HAccRGDetector(
+        HAccRGConfig(mode=mode, shared_granularity=shared_granularity,
+                     **cfg_kwargs),
+        sim,
+    )
+    sim.attach_detector(det)
+    return sim, det

@@ -1,0 +1,54 @@
+"""Unit tests for sync/fence logical clocks and the race register file."""
+
+from repro.core.clocks import RaceRegisterFile
+
+
+class TestFenceTracking:
+    def test_never_fenced_reads_zero(self):
+        rrf = RaceRegisterFile(8)
+        assert rrf.current_fence(42) == 0
+
+    def test_fence_updates_epoch(self):
+        rrf = RaceRegisterFile(8)
+        assert rrf.on_fence(1, 1) == 1
+        assert rrf.current_fence(1) == 1
+        rrf.on_fence(1, 2)
+        assert rrf.current_fence(1) == 2
+
+    def test_per_warp_independence(self):
+        rrf = RaceRegisterFile(8)
+        rrf.on_fence(1, 5)
+        assert rrf.current_fence(2) == 0
+
+    def test_masking_wraps_at_width(self):
+        rrf = RaceRegisterFile(8)
+        assert rrf.on_fence(1, 256) == 0  # 256 & 0xFF
+        assert rrf.stats.fence_overflows == 1
+        assert rrf.raw_fence(1) == 256
+
+    def test_max_increment_tracking(self):
+        rrf = RaceRegisterFile(8)
+        rrf.on_fence(1, 3)
+        rrf.on_fence(2, 7)
+        assert rrf.stats.max_fence_increments == 7
+
+
+class TestSyncTracking:
+    def test_note_sync_increment(self):
+        rrf = RaceRegisterFile(8)
+        rrf.note_sync_increment(5, 0xFF)
+        assert rrf.stats.max_sync_increments == 5
+        assert rrf.stats.sync_overflows == 0
+
+    def test_sync_overflow_counted(self):
+        rrf = RaceRegisterFile(8)
+        rrf.note_sync_increment(300, 0xFF)
+        assert rrf.stats.sync_overflows == 1
+
+
+class TestClear:
+    def test_clear_resets_epochs(self):
+        rrf = RaceRegisterFile(8)
+        rrf.on_fence(1, 4)
+        rrf.clear()
+        assert rrf.current_fence(1) == 0

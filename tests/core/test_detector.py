@@ -1,0 +1,171 @@
+"""Integration tests for the HAccRG detector hook wiring."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.types import MemSpace
+from repro.core.detector import HAccRGDetector
+from repro.gpu import GPUSimulator, Kernel
+
+from tests.conftest import make_detected_sim
+
+
+def shared_racy(ctx, out):
+    tid = ctx.tid_x
+    sh = ctx.shared["buf"]
+    yield ctx.store(sh, tid, float(tid))
+    v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+    yield ctx.store(out, ctx.global_tid_x, v)
+
+
+def global_racy(ctx, data):
+    yield ctx.store(data, ctx.tid_x, float(ctx.block_id_x))
+
+
+class TestModeSelection:
+    def test_shared_mode_ignores_global_races(self):
+        sim, det = make_detected_sim(mode=DetectionMode.SHARED)
+        data = sim.malloc("d", 64)
+        sim.launch(Kernel(global_racy), grid=2, block=64, args=(data,))
+        assert len(det.log) == 0
+
+    def test_global_mode_ignores_shared_races(self):
+        sim, det = make_detected_sim(mode=DetectionMode.GLOBAL)
+        out = sim.malloc("o", 128)
+        sim.launch(Kernel(shared_racy, shared={"buf": (64, 4)}),
+                   grid=2, block=64, args=(out,))
+        assert det.log.count(space=MemSpace.SHARED) == 0
+
+    def test_full_mode_catches_both(self):
+        sim, det = make_detected_sim(mode=DetectionMode.FULL)
+        out = sim.malloc("o", 128)
+        data = sim.malloc("d", 64)
+        sim.launch(Kernel(shared_racy, shared={"buf": (64, 4)}),
+                   grid=2, block=64, args=(out,))
+        sim.launch(Kernel(global_racy), grid=2, block=64, args=(data,))
+        assert det.log.count(space=MemSpace.SHARED) > 0
+        assert det.log.count(space=MemSpace.GLOBAL) > 0
+
+
+class TestKernelLifecycle:
+    def test_shadow_cleared_between_launches(self):
+        """§IV-B: cudaMemset invalidates shadow entries at kernel end, so
+        cross-launch write->read pairs never race."""
+        sim, det = make_detected_sim()
+        data = sim.malloc("d", 64)
+
+        def writer(ctx, d):
+            yield ctx.store(d, ctx.tid_x, 1.0)
+
+        def reader(ctx, d):
+            v = yield ctx.load(d, ctx.tid_x)
+
+        sim.launch(Kernel(writer), grid=1, block=64, args=(data,))
+        sim.launch(Kernel(reader), grid=1, block=64, args=(data,))
+        assert len(det.log) == 0
+
+    def test_shadow_region_allocated_once(self):
+        sim, det = make_detected_sim()
+        data = sim.malloc("d", 64)
+
+        def k(ctx, d):
+            yield ctx.store(d, ctx.tid_x, 1.0)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(data,))
+        after_first = sim.device_mem.allocated_bytes
+        sim.launch(Kernel(k), grid=1, block=64, args=(data,))
+        assert sim.device_mem.allocated_bytes == after_first
+
+
+class TestBarrierHook:
+    def test_barrier_resets_shared_shadow(self):
+        sim, det = make_detected_sim()
+        out = sim.malloc("o", 128)
+
+        def k(ctx, out):
+            tid = ctx.tid_x
+            sh = ctx.shared["buf"]
+            yield ctx.store(sh, tid, 1.0)
+            yield ctx.syncthreads()
+            v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+            yield ctx.store(out, ctx.global_tid_x, v)
+
+        sim.launch(Kernel(k, shared={"buf": (64, 4)}), grid=2, block=64,
+                   args=(out,))
+        assert len(det.log) == 0
+
+    def test_barrier_invalidation_costs_cycles(self):
+        def run(mode):
+            sim, det = make_detected_sim(mode=mode)
+            out = sim.malloc("o", 128)
+
+            def k(ctx, out):
+                sh = ctx.shared["buf"]
+                yield ctx.store(sh, ctx.tid_x, 1.0)
+                for _ in range(20):
+                    yield ctx.syncthreads()
+                v = yield ctx.load(sh, ctx.tid_x)
+                yield ctx.store(out, ctx.global_tid_x, v)
+
+            res = sim.launch(Kernel(k, shared={"buf": (64, 4)}),
+                             grid=1, block=64, args=(out,))
+            return res.cycles
+
+        assert run(DetectionMode.SHARED) > run(DetectionMode.OFF)
+
+
+class TestLockSignatureMaintenance:
+    def test_signature_set_and_cleared(self):
+        sim, det = make_detected_sim()
+        data = sim.malloc("d", 4)
+        locks = sim.malloc("l", 8)
+        observed = []
+
+        def k(ctx, data, locks):
+            if ctx.tid_x == 0:
+                yield ctx.lock(locks, 0)
+                observed.append("locked")
+                yield ctx.store(data, 0, 1.0)
+                yield ctx.unlock(locks, 0)
+
+        sim.launch(Kernel(k), grid=1, block=32, args=(data, locks))
+        assert observed == ["locked"]
+        # after release of all locks the signature must be cleared
+        sm = sim.sms[0]
+        # blocks retired; check the bloom encoder itself is consistent
+        s = det.bloom.encode(locks.addr(0))
+        assert s != 0
+
+    def test_request_id_bits_only_with_global(self):
+        sim_full, det_full = make_detected_sim(mode=DetectionMode.FULL)
+        assert det_full.request_id_bits == 8 + 8 + 16
+        sim_sh, det_sh = make_detected_sim(mode=DetectionMode.SHARED)
+        assert det_sh.request_id_bits == 0
+
+
+class TestFig8Mode:
+    def test_shadow_split_still_detects(self):
+        sim, det = make_detected_sim(shared_shadow_in_global=True)
+        out = sim.malloc("o", 128)
+        sim.launch(Kernel(shared_racy, shared={"buf": (64, 4)}),
+                   grid=2, block=64, args=(out,))
+        assert det.log.count(space=MemSpace.SHARED) > 0
+
+    def test_shadow_split_costs_more_than_hardware(self):
+        def run(split):
+            sim, det = make_detected_sim(shared_shadow_in_global=split)
+            out = sim.malloc("o", 256)
+
+            def k(ctx, out):
+                sh = ctx.shared["buf"]
+                for i in range(8):
+                    yield ctx.store(sh, (ctx.tid_x * 33 + i) % 512, 1.0)
+                    yield ctx.syncthreads()
+                yield ctx.store(out, ctx.global_tid_x, 1.0)
+
+            res = sim.launch(Kernel(k, shared={"buf": (512, 4)}),
+                             grid=2, block=64, args=(out,))
+            return res.cycles
+
+        assert run(True) >= run(False)

@@ -1,0 +1,57 @@
+"""Unit tests for tracking-granularity address arithmetic."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessKind, LaneAccess
+from repro.core.granularity import GranularityMap
+
+
+class TestEntryMapping:
+    def test_entry_of(self):
+        g = GranularityMap(16)
+        assert g.entry_of(0) == 0
+        assert g.entry_of(15) == 0
+        assert g.entry_of(16) == 1
+
+    def test_base_addr_inverse(self):
+        g = GranularityMap(8)
+        for e in range(10):
+            assert g.entry_of(g.base_addr(e)) == e
+
+    def test_entries_of_range_within_one(self):
+        g = GranularityMap(16)
+        assert list(g.entries_of_range(4, 4)) == [0]
+
+    def test_entries_of_range_straddles(self):
+        g = GranularityMap(16)
+        assert list(g.entries_of_range(12, 8)) == [0, 1]
+
+    def test_entries_of_range_spans_many(self):
+        g = GranularityMap(4)
+        assert list(g.entries_of_range(0, 16)) == [0, 1, 2, 3]
+
+    def test_num_entries_rounds_up(self):
+        g = GranularityMap(16)
+        assert g.num_entries(17) == 2
+        assert g.num_entries(16) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            GranularityMap(12)
+
+
+class TestLanesToEntries:
+    def test_flattening_preserves_lane_order(self):
+        g = GranularityMap(4)
+        lanes = [LaneAccess(0, 0, 4, AccessKind.READ),
+                 LaneAccess(1, 8, 4, AccessKind.READ)]
+        pairs = g.lanes_to_entries(lanes)
+        assert [e for e, _ in pairs] == [0, 2]
+        assert [la.lane for _, la in pairs] == [0, 1]
+
+    def test_spanning_lane_expands(self):
+        g = GranularityMap(4)
+        lanes = [LaneAccess(0, 2, 8, AccessKind.WRITE)]
+        pairs = g.lanes_to_entries(lanes)
+        assert [e for e, _ in pairs] == [0, 1, 2]

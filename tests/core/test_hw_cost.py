@@ -1,0 +1,44 @@
+"""Tests for the paper §VI-C2 hardware overhead model."""
+
+from repro.common.config import GPUConfig, HAccRGConfig
+from repro.core.hw_cost import comparator_budget, storage_budget
+
+
+class TestComparators:
+    def test_paper_shared_comparators(self):
+        """8 twelve-bit comparators per SM at 16B granularity."""
+        c = comparator_budget(GPUConfig(), HAccRGConfig())
+        assert c.shared_per_sm == 8
+        assert c.shared_width_bits == 12
+
+    def test_paper_global_comparators(self):
+        """32 x 28-bit basic + 16 x 24-bit ID comparators per slice."""
+        c = comparator_budget(GPUConfig(), HAccRGConfig())
+        assert c.global_basic_per_slice == 32
+        assert c.global_basic_width_bits == 28
+        assert c.global_id_per_slice == 16
+        assert c.global_id_width_bits == 24
+
+    def test_coarser_granularity_fewer_comparators(self):
+        fine = comparator_budget(GPUConfig(), HAccRGConfig())
+        coarse = comparator_budget(
+            GPUConfig(), HAccRGConfig(shared_granularity=64,
+                                      global_granularity=16))
+        assert coarse.shared_per_sm < fine.shared_per_sm
+        assert coarse.global_basic_per_slice < fine.global_basic_per_slice
+
+
+class TestStorage:
+    def test_paper_fermi_figures(self):
+        s = storage_budget(GPUConfig(), HAccRGConfig())
+        # 48KB shared / 16B granularity * 12 bits = 4.5KB
+        assert s.shared_shadow_per_sm == 4608
+        # 8 sync + 48 fence + 1536*2 atomic bytes ~ 3KB
+        assert 3000 <= s.id_storage_per_sm <= 3200
+        # 16 SMs x 48 warps x 8 bits = 0.75KB
+        assert s.race_register_file_per_slice == 768
+
+    def test_shadow_per_data_byte(self):
+        s = storage_budget(GPUConfig(), HAccRGConfig())
+        # 36 bits per 4 bytes of data = 1.125 bytes per byte
+        assert s.global_shadow_per_data_byte == 36 / (8 * 4)

@@ -1,0 +1,85 @@
+"""Unit tests for the deduplicating race log."""
+
+from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.core.races import RaceLog, RaceReport
+
+
+def report(entry=0, kind=RaceKind.WAW, category=RaceCategory.SHARED_BARRIER,
+           space=MemSpace.SHARED, owner=0, access=1):
+    return RaceReport(category=category, kind=kind, space=space,
+                      entry=entry, addr=entry * 4, owner_tid=owner,
+                      access_tid=access)
+
+
+class TestDedup:
+    def test_first_report_is_new(self):
+        log = RaceLog()
+        assert log.report(report())
+        assert len(log) == 1
+
+    def test_duplicate_suppressed(self):
+        log = RaceLog()
+        log.report(report())
+        assert not log.report(report())
+        assert len(log) == 1
+        assert log.total_trips() == 2
+
+    def test_distinct_kind_not_deduped(self):
+        log = RaceLog()
+        log.report(report(kind=RaceKind.WAW))
+        assert log.report(report(kind=RaceKind.RAW))
+        assert len(log) == 2
+
+    def test_distinct_entry_not_deduped(self):
+        log = RaceLog()
+        log.report(report(entry=0))
+        assert log.report(report(entry=1))
+
+    def test_distinct_pairs_finer_than_entries(self):
+        log = RaceLog()
+        log.report(report(owner=0, access=1))
+        log.report(report(owner=0, access=2))  # same entry, new pair
+        assert len(log) == 1
+        assert log.distinct_pairs() == 2
+
+    def test_distinct_pairs_space_filter(self):
+        log = RaceLog()
+        log.report(report(space=MemSpace.SHARED))
+        log.report(report(space=MemSpace.GLOBAL,
+                          category=RaceCategory.GLOBAL_BARRIER))
+        assert log.distinct_pairs(MemSpace.SHARED) == 1
+        assert log.distinct_pairs(MemSpace.GLOBAL) == 1
+
+
+class TestQueries:
+    def test_count_filters(self):
+        log = RaceLog()
+        log.report(report(entry=0, kind=RaceKind.WAW))
+        log.report(report(entry=1, kind=RaceKind.RAW))
+        log.report(report(entry=2, kind=RaceKind.RAW,
+                          category=RaceCategory.GLOBAL_FENCE,
+                          space=MemSpace.GLOBAL))
+        assert log.count(kind=RaceKind.RAW) == 2
+        assert log.count(space=MemSpace.GLOBAL) == 1
+        assert log.count(category=RaceCategory.SHARED_BARRIER) == 2
+
+    def test_by_category_and_kind(self):
+        log = RaceLog()
+        log.report(report(entry=0, kind=RaceKind.WAW))
+        log.report(report(entry=1, kind=RaceKind.WAW))
+        assert log.by_kind() == {RaceKind.WAW: 2}
+        assert log.by_category() == {RaceCategory.SHARED_BARRIER: 2}
+
+    def test_describe_readable(self):
+        r = report()
+        text = r.describe()
+        assert "WAW" in text and "shared" in text
+
+    def test_clear(self):
+        log = RaceLog()
+        log.report(report())
+        log.clear()
+        assert len(log) == 0
+        assert log.total_trips() == 0
+        assert log.distinct_pairs() == 0
+        assert log.report(report())  # new again after clear

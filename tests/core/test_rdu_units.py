@@ -1,0 +1,151 @@
+"""Unit tests for the RDU modules (shared per-SM, global per-slice)."""
+
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.types import (
+    AccessKind,
+    LaneAccess,
+    MemSpace,
+    WarpAccess,
+)
+from repro.core.clocks import RaceRegisterFile
+from repro.core.races import RaceLog
+from repro.core.rdu_global import GlobalRDU
+from repro.core.rdu_shared import SharedRDU
+from repro.gpu.block import ThreadBlock
+from repro.gpu.kernel import Kernel, KernelLaunch
+
+
+def _block(shared_decl=None, block_id=0):
+    def dummy(ctx):
+        yield ctx.compute(1)
+
+    launch = KernelLaunch(Kernel(dummy, shared=shared_decl or {"buf": (64, 4)}),
+                          grid=2, block=32)
+    b = ThreadBlock(launch, block_id, 32, 16 * 1024)
+    b.sm_id = 0
+    return b
+
+
+def _access(addr, kind, warp_id=0, block_id=0, lane=0, size=4):
+    la = LaneAccess(lane, addr, size, kind)
+    return WarpAccess(space=MemSpace.SHARED, kind=kind, lanes=[la],
+                      sm_id=0, block_id=block_id, warp_id=warp_id,
+                      warp_in_block=warp_id, base_tid=warp_id * 32)
+
+
+class TestSharedRDU:
+    def _rdu(self, cfg=None):
+        log = RaceLog()
+        return SharedRDU(0, GPUConfig(), cfg or HAccRGConfig(
+            shared_granularity=4), log), log
+
+    def test_block_lifecycle(self):
+        rdu, _ = self._rdu()
+        b = _block()
+        rdu.block_started(b)
+        assert rdu.table_for(0) is not None
+        rdu.block_ended(b)
+        assert rdu.table_for(0) is None
+
+    def test_zero_shared_kernel_no_table(self):
+        rdu, _ = self._rdu()
+
+        def dummy(ctx):
+            yield ctx.compute(1)
+
+        launch = KernelLaunch(Kernel(dummy), grid=1, block=32)
+        b = ThreadBlock(launch, 0, 32, 16 * 1024)
+        b.sm_id = 0
+        rdu.block_started(b)
+        assert rdu.table_for(0) is None
+        assert rdu.check_access(_access(0, AccessKind.WRITE)) == 0
+
+    def test_check_routes_to_block_table(self):
+        rdu, log = self._rdu()
+        rdu.block_started(_block(block_id=0))
+        rdu.block_started(_block(block_id=1))
+        rdu.check_access(_access(0, AccessKind.WRITE, warp_id=0, block_id=0))
+        # same location in block 1's table: independent, no race
+        rdu.check_access(_access(0, AccessKind.WRITE, warp_id=2, block_id=1))
+        assert len(log) == 0
+        # conflicting access inside block 0
+        rdu.check_access(_access(0, AccessKind.WRITE, warp_id=1, block_id=0))
+        assert len(log) == 1
+
+    def test_barrier_invalidate_cost_scales_with_entries(self):
+        rdu_small, _ = self._rdu()
+        rdu_small.block_started(_block({"buf": (64, 4)}))
+        small = rdu_small.barrier_invalidate(_block({"buf": (64, 4)}))
+
+        rdu_big, _ = self._rdu()
+        big_block = _block({"buf": (4000, 4)})
+        rdu_big.block_started(big_block)
+        big = rdu_big.barrier_invalidate(big_block)
+        assert big > small
+
+    def test_shadow_fetch_lines_fig8(self):
+        cfg = HAccRGConfig(shared_granularity=4,
+                           shared_shadow_in_global=True)
+        log = RaceLog()
+        rdu = SharedRDU(0, GPUConfig(), cfg, log)
+        b = _block({"buf": (1024, 4)})
+        rdu.block_started(b, shadow_base=1 << 20)
+        # strided lanes touching many rows -> many shadow lines
+        lanes = [LaneAccess(i, i * 33 * 4, 4, AccessKind.READ)
+                 for i in range(32)]
+        acc = WarpAccess(space=MemSpace.SHARED, kind=AccessKind.READ,
+                         lanes=lanes, sm_id=0, block_id=0, warp_id=0,
+                         warp_in_block=0, base_tid=0)
+        spread = rdu.shadow_fetch_lines(acc)
+        # unit-stride lanes touch one or two lines
+        lanes2 = [LaneAccess(i, i * 4, 4, AccessKind.READ)
+                  for i in range(32)]
+        acc2 = WarpAccess(space=MemSpace.SHARED, kind=AccessKind.READ,
+                          lanes=lanes2, sm_id=0, block_id=0, warp_id=0,
+                          warp_in_block=0, base_tid=0)
+        dense = rdu.shadow_fetch_lines(acc2)
+        assert len(spread) > len(dense)
+
+
+class TestGlobalRDU:
+    def _rdu(self):
+        log = RaceLog()
+        rrf = RaceRegisterFile(8)
+        cfg = HAccRGConfig(mode=DetectionMode.GLOBAL)
+        rdu = GlobalRDU(GPUConfig(), cfg, log, rrf)
+        rdu.kernel_started(4096, shadow_base=1 << 20)
+        return rdu, log
+
+    def _gacc(self, addrs, kind, warp_id=0):
+        lanes = [LaneAccess(i, a, 4, kind) for i, a in enumerate(addrs)]
+        return WarpAccess(space=MemSpace.GLOBAL, kind=kind, lanes=lanes,
+                          sm_id=0, block_id=0, warp_id=warp_id,
+                          warp_in_block=warp_id, base_tid=warp_id * 32)
+
+    def test_shadow_transactions_generated(self):
+        rdu, _ = self._rdu()
+        txns = rdu.check_access(self._gacc(range(0, 128, 4),
+                                           AccessKind.WRITE))
+        assert txns
+        for t in txns:
+            assert t.is_shadow and t.is_write
+            assert t.addr >= (1 << 20) // 128 * 128
+
+    def test_unchanged_entries_no_traffic(self):
+        rdu, _ = self._rdu()
+        acc = self._gacc([0], AccessKind.READ)
+        assert rdu.check_access(acc)          # first touch dirties
+        assert not rdu.check_access(acc)      # steady state: no traffic
+
+    def test_id_bits(self):
+        rdu, _ = self._rdu()
+        assert rdu.id_bits == 8 + 8 + 16
+
+    def test_kernel_ended_invalidates(self):
+        rdu, log = self._rdu()
+        rdu.check_access(self._gacc([0], AccessKind.WRITE, warp_id=0))
+        rdu.kernel_ended()
+        rdu.check_access(self._gacc([0], AccessKind.READ, warp_id=1))
+        assert len(log) == 0

@@ -1,0 +1,183 @@
+"""Tests for the §VII HTM extension built on the detection substrate."""
+
+import pytest
+
+from repro.ext.htm import Transaction, TransactionManager, TxError, TxStatus
+
+
+def make(region=1024, granularity=4):
+    return TransactionManager(region, granularity)
+
+
+class TestBasicLifecycle:
+    def test_begin_commit(self):
+        tm = make()
+        tx = tm.begin(0)
+        assert tx.is_active
+        assert tm.commit(tx)
+        assert tx.status == TxStatus.COMMITTED
+
+    def test_write_visible_after_commit(self):
+        tm = make()
+        tx = tm.begin(0)
+        tm.write(tx, 0x10, 42.0)
+        assert tm.values.get(0x10) is None  # lazy versioning
+        tm.commit(tx)
+        assert tm.values[0x10] == 42.0
+
+    def test_abort_discards_writes(self):
+        tm = make()
+        tx = tm.begin(0)
+        tm.write(tx, 0x10, 42.0)
+        tm.abort(tx)
+        assert tm.values.get(0x10) is None
+
+    def test_read_own_write(self):
+        tm = make()
+        tx = tm.begin(0)
+        tm.write(tx, 0x10, 7.0)
+        assert tm.read(tx, 0x10) == 7.0
+
+    def test_read_committed_state(self):
+        tm = make()
+        t1 = tm.begin(0)
+        tm.write(t1, 0x10, 5.0)
+        tm.commit(t1)
+        t2 = tm.begin(1)
+        assert tm.read(t2, 0x10) == 5.0
+
+    def test_operations_on_finished_txn_rejected(self):
+        tm = make()
+        tx = tm.begin(0)
+        tm.commit(tx)
+        with pytest.raises(TxError):
+            tm.write(tx, 0, 1.0)
+        with pytest.raises(TxError):
+            tm.read(tx, 0)
+
+
+class TestConflictDetection:
+    def test_waw_aborts_requester(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        assert tm.write(t1, 0x10, 1.0)
+        assert not tm.write(t2, 0x10, 2.0)
+        assert t2.status == TxStatus.ABORTED
+        assert t1.is_active
+        assert tm.stats.conflicts_waw == 1
+
+    def test_raw_aborts_reader(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.write(t1, 0x10, 1.0)
+        tm.read(t2, 0x10)
+        assert t2.status == TxStatus.ABORTED
+        assert tm.stats.conflicts_raw == 1
+
+    def test_war_aborts_writer(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.read(t1, 0x10)
+        assert not tm.write(t2, 0x10, 2.0)
+        assert t2.status == TxStatus.ABORTED
+        assert tm.stats.conflicts_war == 1
+
+    def test_read_read_no_conflict(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.read(t1, 0x10)
+        tm.read(t2, 0x10)
+        assert t1.is_active and t2.is_active
+        assert tm.commit(t1) and tm.commit(t2)
+
+    def test_disjoint_footprints_commit(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.write(t1, 0x10, 1.0)
+        tm.write(t2, 0x20, 2.0)
+        assert tm.commit(t1) and tm.commit(t2)
+        assert tm.values[0x10] == 1.0 and tm.values[0x20] == 2.0
+
+    def test_committed_txn_frees_footprint(self):
+        tm = make()
+        t1 = tm.begin(0)
+        tm.write(t1, 0x10, 1.0)
+        tm.commit(t1)
+        t2 = tm.begin(1)
+        assert tm.write(t2, 0x10, 2.0)
+        assert tm.commit(t2)
+        assert tm.values[0x10] == 2.0
+
+    def test_aborted_txn_frees_footprint(self):
+        tm = make()
+        t1 = tm.begin(0)
+        tm.write(t1, 0x10, 1.0)
+        tm.abort(t1)
+        t2 = tm.begin(1)
+        assert tm.write(t2, 0x10, 2.0)
+
+    def test_granularity_false_conflicts(self):
+        """Coarse entries conflict on adjacent addresses — the same
+        accuracy trade-off as the detector's Table III."""
+        tm = make(granularity=16)
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.write(t1, 0x10, 1.0)
+        assert not tm.write(t2, 0x14, 2.0)  # same 16B entry
+
+        tm_fine = make(granularity=4)
+        t1, t2 = tm_fine.begin(0), tm_fine.begin(1)
+        tm_fine.write(t1, 0x10, 1.0)
+        assert tm_fine.write(t2, 0x14, 2.0)  # distinct 4B entries
+
+
+class TestRunAtomic:
+    def test_counter_increments_under_contention(self):
+        """Interleaved retry loops serialize counter updates."""
+        tm = make()
+
+        def bump(tx, read, write):
+            write(0x0, read(0x0) + 1.0)
+
+        for thread in range(10):
+            tm.run_atomic(thread, bump)
+        assert tm.values[0x0] == 10.0
+
+    def test_retry_after_forced_conflict(self):
+        tm = make()
+        blocker = tm.begin(99)
+        tm.write(blocker, 0x0, 50.0)  # holds the entry across attempt 1
+
+        calls = []
+
+        def body(tx, read, write):
+            calls.append(tx.txid)
+            if len(calls) > 1 and blocker.is_active:
+                tm.commit(blocker)  # release before the retry's write
+            write(0x0, float(len(calls)))
+
+        tm.run_atomic(0, body)
+        assert len(calls) >= 2          # attempt 1 conflicted and retried
+        assert tm.values[0x0] == float(len(calls))
+
+    def test_retry_budget_exhaustion(self):
+        tm = make()
+        hog = tm.begin(1)
+        tm.write(hog, 0x0, 1.0)  # never commits
+
+        def body(tx, read, write):
+            write(0x0, 2.0)
+
+        with pytest.raises(TxError):
+            tm.run_atomic(0, body, max_retries=3)
+        assert tm.stats.aborts >= 3
+
+
+class TestSerializability:
+    def test_concurrent_conflicting_never_both_commit(self):
+        tm = make()
+        t1, t2 = tm.begin(0), tm.begin(1)
+        tm.write(t1, 0x10, 1.0)
+        tm.read(t2, 0x10)  # t2 aborted here
+        committed = [t for t in (t1, t2)
+                     if t.status != TxStatus.ABORTED and tm.commit(t)]
+        assert len(committed) == 1

@@ -1,0 +1,88 @@
+"""Unit tests for atomic-op semantics and the lock table."""
+
+import pytest
+
+from repro.common.errors import KernelError, SimulationError
+from repro.gpu.atomics import LockTable, apply_atomic
+
+
+class TestApplyAtomic:
+    def test_add_sub(self):
+        assert apply_atomic("add", 5.0, 3.0, 0) == 8.0
+        assert apply_atomic("sub", 5.0, 3.0, 0) == 2.0
+
+    def test_inc_cuda_semantics(self):
+        # atomicInc: old >= limit ? 0 : old + 1
+        assert apply_atomic("inc", 3.0, 8.0, 0) == 4.0
+        assert apply_atomic("inc", 8.0, 8.0, 0) == 0.0
+        assert apply_atomic("inc", 9.0, 8.0, 0) == 0.0
+
+    def test_dec_cuda_semantics(self):
+        assert apply_atomic("dec", 3.0, 8.0, 0) == 2.0
+        assert apply_atomic("dec", 0.0, 8.0, 0) == 8.0
+        assert apply_atomic("dec", 9.0, 8.0, 0) == 8.0
+
+    def test_exch(self):
+        assert apply_atomic("exch", 1.0, 42.0, 0) == 42.0
+
+    def test_cas(self):
+        assert apply_atomic("cas", 0.0, 0.0, 7.0) == 7.0   # matches: swap
+        assert apply_atomic("cas", 3.0, 0.0, 7.0) == 3.0   # no match
+
+    def test_min_max(self):
+        assert apply_atomic("min", 5.0, 3.0, 0) == 3.0
+        assert apply_atomic("max", 5.0, 3.0, 0) == 5.0
+
+    def test_bitwise(self):
+        assert apply_atomic("or", 4.0, 3.0, 0) == 7.0
+        assert apply_atomic("and", 6.0, 3.0, 0) == 2.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KernelError):
+            apply_atomic("xor", 0, 0, 0)
+
+
+class TestLockTable:
+    def test_acquire_free_lock(self):
+        t = LockTable()
+        assert t.try_acquire(0x40, tid=1)
+        assert t.holder_of(0x40) == 1
+
+    def test_contended_acquire_fails(self):
+        t = LockTable()
+        t.try_acquire(0x40, 1)
+        assert not t.try_acquire(0x40, 2)
+        assert t.contended_attempts == 1
+
+    def test_release_frees(self):
+        t = LockTable()
+        t.try_acquire(0x40, 1)
+        t.release(0x40, 1)
+        assert t.holder_of(0x40) is None
+        assert t.try_acquire(0x40, 2)
+
+    def test_reentrant_same_thread(self):
+        t = LockTable()
+        assert t.try_acquire(0x40, 1)
+        assert t.try_acquire(0x40, 1)
+        t.release(0x40, 1)
+        assert t.holder_of(0x40) == 1  # still held once
+        t.release(0x40, 1)
+        assert t.holder_of(0x40) is None
+
+    def test_release_not_held_raises(self):
+        t = LockTable()
+        with pytest.raises(SimulationError):
+            t.release(0x40, 1)
+
+    def test_release_wrong_thread_raises(self):
+        t = LockTable()
+        t.try_acquire(0x40, 1)
+        with pytest.raises(SimulationError):
+            t.release(0x40, 2)
+
+    def test_independent_locks(self):
+        t = LockTable()
+        assert t.try_acquire(0x40, 1)
+        assert t.try_acquire(0x80, 2)
+        assert t.held_count() == 2

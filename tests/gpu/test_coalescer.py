@@ -1,0 +1,68 @@
+"""Unit tests for memory coalescing."""
+
+from repro.common.types import AccessKind, LaneAccess
+from repro.gpu.coalescer import coalesce, transactions_for_lines
+
+
+def lanes_at(addrs, size=4, kind=AccessKind.READ):
+    return [LaneAccess(i, a, size, kind) for i, a in enumerate(addrs)]
+
+
+class TestCoalesce:
+    def test_fully_coalesced_warp(self):
+        """32 consecutive 4B lanes -> one 128B transaction."""
+        txns = coalesce(lanes_at([i * 4 for i in range(32)]), False)
+        assert len(txns) == 1
+        assert txns[0].addr == 0
+        assert txns[0].size == 128
+
+    def test_half_warp_shrinks_to_64(self):
+        txns = coalesce(lanes_at([i * 4 for i in range(16)]), False)
+        assert len(txns) == 1
+        assert txns[0].size == 64
+
+    def test_quarter_warp_shrinks_to_32(self):
+        txns = coalesce(lanes_at([i * 4 for i in range(8)]), False)
+        assert txns[0].size == 32
+
+    def test_single_lane_is_32(self):
+        txns = coalesce(lanes_at([4]), True)
+        assert txns[0].size == 32
+        assert txns[0].is_write
+
+    def test_unaligned_offset_picks_right_subsegment(self):
+        # lanes in the second 32B quarter of the segment
+        txns = coalesce(lanes_at([32, 36, 40]), False)
+        assert len(txns) == 1
+        assert txns[0].addr == 32
+        assert txns[0].size == 32
+
+    def test_strided_access_multiplies_transactions(self):
+        """Stride-128 lanes -> one transaction per lane."""
+        txns = coalesce(lanes_at([i * 128 for i in range(8)]), False)
+        assert len(txns) == 8
+
+    def test_straddling_lane_touches_two_segments(self):
+        txns = coalesce([LaneAccess(0, 124, 8, AccessKind.READ)], False)
+        assert len(txns) == 2
+        assert {t.addr for t in txns} == {96, 128}
+
+    def test_deterministic_order(self):
+        txns = coalesce(lanes_at([256, 0, 128]), False)
+        assert [t.addr for t in txns] == sorted(t.addr for t in txns)
+
+    def test_same_address_broadcast_single_txn(self):
+        txns = coalesce(lanes_at([64] * 32), False)
+        assert len(txns) == 1
+        assert txns[0].size == 32
+
+    def test_empty(self):
+        assert coalesce([], False) == []
+
+
+class TestTransactionsForLines:
+    def test_dedup_and_align(self):
+        txns = transactions_for_lines([0, 10, 130, 129], 128, True,
+                                      is_shadow=True)
+        assert [t.addr for t in txns] == [0, 128]
+        assert all(t.is_shadow and t.is_write for t in txns)

@@ -1,0 +1,89 @@
+"""Unit tests for device memory and typed array views."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import KernelError
+from repro.common.types import MemSpace
+from repro.gpu.device import DeviceArray, DeviceMemory, device_alloc
+
+
+class TestDeviceMemory:
+    def test_malloc_alignment(self):
+        mem = DeviceMemory()
+        a = mem.malloc(100)
+        b = mem.malloc(100)
+        assert a % DeviceMemory.ALLOC_ALIGN == 0
+        assert b % DeviceMemory.ALLOC_ALIGN == 0
+        assert b >= a + 100
+
+    def test_malloc_rejects_nonpositive(self):
+        mem = DeviceMemory()
+        with pytest.raises(KernelError):
+            mem.malloc(0)
+
+    def test_malloc_exhaustion(self):
+        mem = DeviceMemory(capacity=1024)
+        with pytest.raises(KernelError):
+            mem.malloc(4096)
+
+    def test_load_store_roundtrip(self):
+        mem = DeviceMemory()
+        base = mem.malloc(64)
+        mem.store(base + 8, 3.25)
+        assert mem.load(base + 8) == 3.25
+        assert mem.load(base) == 0.0
+
+    def test_fill_and_read_array(self):
+        mem = DeviceMemory()
+        base = mem.malloc(64)
+        vals = np.arange(16, dtype=np.float64)
+        mem.fill(base, 16, 4, vals)
+        out = mem.read_array(base, 16, 4)
+        assert np.array_equal(out, vals)
+
+    def test_allocated_bytes_high_water(self):
+        mem = DeviceMemory()
+        mem.malloc(100)
+        hw = mem.allocated_bytes
+        mem.malloc(100)
+        assert mem.allocated_bytes > hw
+
+    def test_allocations_map(self):
+        mem = DeviceMemory()
+        a = mem.malloc(40)
+        assert mem.allocations()[a] == 40
+
+
+class TestDeviceArray:
+    def test_addr_computation(self):
+        arr = DeviceArray(MemSpace.GLOBAL, 0x100, 4, 10)
+        assert arr.addr(0) == 0x100
+        assert arr.addr(3) == 0x10C
+
+    def test_bounds_check(self):
+        arr = DeviceArray(MemSpace.GLOBAL, 0, 4, 10)
+        with pytest.raises(KernelError):
+            arr.addr(10)
+        with pytest.raises(KernelError):
+            arr.addr(-1)
+
+    def test_nbytes(self):
+        assert DeviceArray(MemSpace.SHARED, 0, 4, 10).nbytes == 40
+
+    def test_host_io(self):
+        mem = DeviceMemory()
+        arr = device_alloc(mem, "x", 8)
+        arr.host_write(np.arange(8))
+        assert np.array_equal(arr.host_read(), np.arange(8))
+
+    def test_host_io_rejects_shared(self):
+        arr = DeviceArray(MemSpace.SHARED, 0, 4, 8)
+        with pytest.raises(KernelError):
+            arr.host_read()
+
+    def test_host_write_length_mismatch(self):
+        mem = DeviceMemory()
+        arr = device_alloc(mem, "x", 8)
+        with pytest.raises(KernelError):
+            arr.host_write(np.arange(7))

@@ -1,0 +1,140 @@
+"""Divergence stress tests: nested branches, uneven loops, reconvergence."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import GPUConfig
+from repro.gpu import GPUSimulator, Kernel
+
+
+def small_gpu():
+    return GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+class TestNestedDivergence:
+    def test_two_level_branching(self):
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 64)
+
+        def k(ctx, out):
+            t = ctx.tid_x
+            if t % 2 == 0:
+                if t % 4 == 0:
+                    yield ctx.store(out, t, 1.0)
+                else:
+                    yield ctx.compute(2)
+                    yield ctx.store(out, t, 2.0)
+            else:
+                if t % 3 == 0:
+                    yield ctx.compute(1)
+                    yield ctx.store(out, t, 3.0)
+                else:
+                    yield ctx.store(out, t, 4.0)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(out,))
+        got = out.host_read()
+        for t in range(64):
+            if t % 2 == 0:
+                assert got[t] == (1.0 if t % 4 == 0 else 2.0)
+            else:
+                assert got[t] == (3.0 if t % 3 == 0 else 4.0)
+
+    def test_data_dependent_loop_trip_counts(self):
+        """Each lane loops a different number of times; totals must be
+        exact despite maximal divergence."""
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 32)
+
+        def k(ctx, out):
+            acc = 0.0
+            for _ in range(ctx.tid_x + 1):
+                yield ctx.compute(1)
+                acc += 1.0
+            yield ctx.store(out, ctx.tid_x, acc)
+
+        sim.launch(Kernel(k), grid=1, block=32, args=(out,))
+        assert np.array_equal(out.host_read(), np.arange(1, 33))
+
+    def test_divergent_memory_spaces_same_step(self):
+        """Half the warp touches shared while half touches global in the
+        same program position — the groups serialize but both complete."""
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 32)
+
+        def k(ctx, out):
+            sh = ctx.shared["buf"]
+            t = ctx.tid_x
+            if t < 16:
+                yield ctx.store(sh, t, float(t))
+            else:
+                yield ctx.store(out, t, float(t))
+            yield ctx.syncthreads()
+            if t < 16:
+                v = yield ctx.load(sh, t)
+                yield ctx.store(out, t, v)
+
+        sim.launch(Kernel(k, shared={"buf": (16, 4)}), grid=1, block=32,
+                   args=(out,))
+        assert np.array_equal(out.host_read(), np.arange(32))
+
+
+class TestReconvergenceAtBarriers:
+    def test_divergent_paths_rejoin_before_barrier(self):
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 64)
+
+        def k(ctx, out):
+            sh = ctx.shared["buf"]
+            t = ctx.tid_x
+            if t % 2 == 0:
+                yield ctx.compute(5)
+                yield ctx.store(sh, t, 1.0)
+            else:
+                yield ctx.store(sh, t, 2.0)
+            yield ctx.syncthreads()
+            v = yield ctx.load(sh, (t + 1) % ctx.block_dim.x)
+            yield ctx.store(out, t, v)
+
+        sim.launch(Kernel(k, shared={"buf": (64, 4)}), grid=1, block=64,
+                   args=(out,))
+        got = out.host_read()
+        expected = np.where((np.arange(1, 65) % 64) % 2 == 0, 1.0, 2.0)
+        assert np.array_equal(got, expected)
+
+    def test_loop_with_barrier_and_divergence(self):
+        """The SDK tree-reduction shape: shrinking active set, barrier
+        per level, across multiple warps."""
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 1)
+
+        def k(ctx, out):
+            sh = ctx.shared["buf"]
+            t = ctx.tid_x
+            yield ctx.store(sh, t, 1.0)
+            yield ctx.syncthreads()
+            s = ctx.block_dim.x // 2
+            while s > 0:
+                if t < s:
+                    a = yield ctx.load(sh, t)
+                    b = yield ctx.load(sh, t + s)
+                    yield ctx.store(sh, t, a + b)
+                yield ctx.syncthreads()
+                s //= 2
+            if t == 0:
+                v = yield ctx.load(sh, 0)
+                yield ctx.store(out, 0, v)
+
+        sim.launch(Kernel(k, shared={"buf": (128, 4)}), grid=1, block=128,
+                   args=(out,))
+        assert out.host_read()[0] == 128.0
+
+
+class TestChartFig8Coverage:
+    def test_fig8_chart_renders(self):
+        from repro.harness import charts
+        from repro.harness import experiments as ex
+
+        rows = ex.fig8_shadow_split(["HASH"], scale=0.25)
+        text = charts.chart_fig8(rows)
+        assert "Fig 8" in text
+        assert "sw-split" in text

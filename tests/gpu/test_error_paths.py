@@ -1,0 +1,122 @@
+"""Error-path and stress tests: the simulator must fail loudly and early."""
+
+import pytest
+
+from repro.common.config import GPUConfig
+from repro.common.errors import KernelError, SimulationError
+from repro.gpu import GPUSimulator, Kernel
+
+
+def small_gpu():
+    return GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+class TestKernelMisuse:
+    def test_out_of_bounds_index_raises(self):
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 8)
+
+        def k(ctx, data):
+            v = yield ctx.load(data, 100)
+
+        with pytest.raises(KernelError):
+            sim.launch(Kernel(k), grid=1, block=32, args=(data,))
+
+    def test_negative_index_raises(self):
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 8)
+
+        def k(ctx, data):
+            yield ctx.store(data, -1, 0.0)
+
+        with pytest.raises(KernelError):
+            sim.launch(Kernel(k), grid=1, block=32, args=(data,))
+
+    def test_unknown_atomic_op_raises(self):
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 8)
+
+        def k(ctx, data):
+            yield ctx.atomic("xor", data, 0, 1.0)
+
+        with pytest.raises(KernelError):
+            sim.launch(Kernel(k), grid=1, block=32, args=(data,))
+
+    def test_unlock_without_lock_raises(self):
+        sim = GPUSimulator(small_gpu())
+        locks = sim.malloc("l", 8)
+
+        def k(ctx, locks):
+            yield ctx.unlock(locks, 0)
+
+        with pytest.raises(SimulationError):
+            sim.launch(Kernel(k), grid=1, block=32, args=(locks,))
+
+
+class TestStressShapes:
+    def test_single_thread_block(self):
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 4)
+
+        def k(ctx, data):
+            yield ctx.store(data, 0, 7.0)
+
+        sim.launch(Kernel(k), grid=1, block=1, args=(data,))
+        assert data.host_read()[0] == 7.0
+
+    def test_many_tiny_blocks(self):
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 64)
+
+        def k(ctx, data):
+            yield ctx.store(data, ctx.block_id_x, float(ctx.block_id_x))
+
+        res = sim.launch(Kernel(k), grid=64, block=1, args=(data,))
+        assert res.blocks_run == 64
+        assert data.host_read().sum() == sum(range(64))
+
+    def test_kernel_with_no_memory_ops(self):
+        sim = GPUSimulator(small_gpu())
+
+        def k(ctx):
+            yield ctx.compute(3)
+
+        res = sim.launch(Kernel(k), grid=2, block=64)
+        assert res.stats.memory_accesses == 0
+        assert res.stats.instructions == 2 * 64 * 3
+
+    def test_immediately_returning_kernel(self):
+        sim = GPUSimulator(small_gpu())
+
+        def k(ctx):
+            return
+            yield  # pragma: no cover - makes it a generator
+
+        res = sim.launch(Kernel(k), grid=1, block=32)
+        assert res.stats.instructions == 0
+
+    def test_mixed_early_exit_and_barrier(self):
+        """Threads that return before the barrier must not deadlock the
+        rest of the block (the finished lanes are masked out)."""
+        sim = GPUSimulator(small_gpu())
+        data = sim.malloc("d", 64)
+
+        def k(ctx, data):
+            if ctx.tid_x >= 32:
+                return  # the whole second warp exits
+            yield ctx.store(data, ctx.tid_x, 1.0)
+            yield ctx.syncthreads()
+            v = yield ctx.load(data, (ctx.tid_x + 1) % 32)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(data,))
+        assert data.host_read()[:32].sum() == 32
+
+    def test_max_threads_per_block(self):
+        sim = GPUSimulator(GPUConfig(num_sms=1, num_clusters=1))
+        data = sim.malloc("d", 1024)
+
+        def k(ctx, data):
+            yield ctx.store(data, ctx.tid_x, 1.0)
+
+        res = sim.launch(Kernel(k), grid=1, block=1024, args=(data,))
+        assert data.host_read().sum() == 1024

@@ -1,0 +1,100 @@
+"""Tests for the detector hook interface contract."""
+
+import numpy as np
+
+from repro.common.config import GPUConfig
+from repro.gpu import GPUSimulator, Kernel
+from repro.gpu.hooks import NO_EFFECT, DetectorHooks, TimingEffect
+
+
+class RecordingHooks(DetectorHooks):
+    """Captures the full hook call sequence of a run."""
+
+    def __init__(self, stall=0):
+        self.events = []
+        self._stall = stall
+
+    def on_kernel_start(self, launch, device_mem):
+        self.events.append("kernel_start")
+
+    def on_kernel_end(self):
+        self.events.append("kernel_end")
+
+    def on_block_start(self, block):
+        self.events.append(("block_start", block.block_id))
+
+    def on_block_end(self, block):
+        self.events.append(("block_end", block.block_id))
+
+    def on_warp_access(self, access, now, lane_l1_hit=None):
+        self.events.append(("access", access.space.name, access.kind.name))
+        return TimingEffect(stall_cycles=self._stall)
+
+    def on_barrier(self, block, now):
+        self.events.append(("barrier", block.block_id))
+        return NO_EFFECT
+
+    def on_fence(self, warp, now):
+        self.events.append(("fence", warp.warp_id))
+        return NO_EFFECT
+
+
+def kernel(ctx, data):
+    sh = ctx.shared["buf"]
+    yield ctx.store(sh, ctx.tid_x, 1.0)
+    yield ctx.syncthreads()
+    yield ctx.threadfence()
+    yield ctx.store(data, ctx.global_tid_x, 2.0)
+
+
+KERNEL = Kernel(kernel, shared={"buf": (32, 4)})
+
+
+def run(hooks):
+    sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+    sim.attach_detector(hooks)
+    data = sim.malloc("d", 64)
+    res = sim.launch(KERNEL, grid=2, block=32, args=(data,))
+    return res, hooks
+
+
+class TestHookSequence:
+    def test_lifecycle_ordering(self):
+        _, hooks = run(RecordingHooks())
+        ev = hooks.events
+        assert ev[0] == "kernel_start"
+        assert ev[-1] == "kernel_end"
+        assert ev.index(("block_start", 0)) < ev.index(("block_end", 0))
+
+    def test_every_event_kind_fires(self):
+        _, hooks = run(RecordingHooks())
+        kinds = {e[0] for e in hooks.events if isinstance(e, tuple)}
+        assert {"block_start", "block_end", "access", "barrier",
+                "fence"} <= kinds
+
+    def test_access_hooks_cover_both_spaces(self):
+        _, hooks = run(RecordingHooks())
+        spaces = {e[1] for e in hooks.events
+                  if isinstance(e, tuple) and e[0] == "access"}
+        assert spaces == {"SHARED", "GLOBAL"}
+
+    def test_barrier_fires_once_per_block(self):
+        _, hooks = run(RecordingHooks())
+        barriers = [e for e in hooks.events
+                    if isinstance(e, tuple) and e[0] == "barrier"]
+        assert len(barriers) == 2  # one per block
+
+
+class TestTimingEffects:
+    def test_stall_cycles_slow_the_run(self):
+        fast, _ = run(RecordingHooks(stall=0))
+        slow, _ = run(RecordingHooks(stall=500))
+        assert slow.cycles > fast.cycles
+
+    def test_null_detector_is_transparent(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        data = sim.malloc("d", 64)
+        base = sim.launch(KERNEL, grid=2, block=32, args=(data,)).cycles
+
+        hooked, _ = run(RecordingHooks(stall=0))
+        assert hooked.cycles == base

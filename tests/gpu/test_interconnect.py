@@ -1,0 +1,36 @@
+"""Unit tests for the interconnect cost model."""
+
+from repro.gpu.interconnect import InterconnectModel
+
+
+class TestFlitCounts:
+    def test_read_request_is_header_only(self):
+        icnt = InterconnectModel(flit_size=32, hop_latency=12)
+        assert icnt.request_flits(0) == 1
+
+    def test_write_request_carries_payload(self):
+        icnt = InterconnectModel(flit_size=32, hop_latency=12)
+        assert icnt.request_flits(128) > icnt.request_flits(0)
+
+    def test_id_bits_can_add_a_flit(self):
+        """HAccRG's sync/fence/atomic IDs lengthen request headers."""
+        icnt = InterconnectModel(flit_size=32, hop_latency=12,
+                                 header_bytes=30)
+        base = icnt.request_flits(0, id_bits=0)
+        with_ids = icnt.request_flits(0, id_bits=32)
+        assert with_ids == base + 1
+
+    def test_small_ids_absorbed_by_header_slack(self):
+        icnt = InterconnectModel(flit_size=32, hop_latency=12,
+                                 header_bytes=8)
+        assert icnt.request_flits(0, id_bits=32) == icnt.request_flits(0)
+
+
+class TestRoundTrip:
+    def test_round_trip_includes_both_hops(self):
+        icnt = InterconnectModel(flit_size=32, hop_latency=12)
+        assert icnt.round_trip_cycles(0, 128) >= 2 * 12
+
+    def test_larger_response_costs_more(self):
+        icnt = InterconnectModel(flit_size=32, hop_latency=12)
+        assert icnt.round_trip_cycles(0, 128) > icnt.round_trip_cycles(0, 32)

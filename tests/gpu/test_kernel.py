@@ -1,0 +1,49 @@
+"""Unit tests for kernel descriptors and shared-memory layout."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.common.types import Dim3, MemSpace
+from repro.gpu.kernel import Kernel, KernelLaunch
+
+
+def dummy(ctx):
+    yield ctx.compute(1)
+
+
+class TestSharedLayout:
+    def test_sequential_aligned_layout(self):
+        k = Kernel(dummy, shared={"a": (10, 4), "b": (5, 4)})
+        layout = k.shared_layout(16 * 1024)
+        assert layout["a"] == (0, 4, 10)
+        off_b = layout["b"][0]
+        assert off_b >= 40 and off_b % 16 == 0
+
+    def test_shared_bytes(self):
+        k = Kernel(dummy, shared={"a": (10, 4), "b": (5, 4)})
+        assert k.shared_bytes() == 48 + 20  # a padded to 48, then b
+
+    def test_overflow_rejected(self):
+        k = Kernel(dummy, shared={"big": (8192, 4)})  # 32KB
+        with pytest.raises(KernelError):
+            k.shared_layout(16 * 1024)
+
+    def test_make_shared_arrays(self):
+        k = Kernel(dummy, shared={"a": (10, 4)})
+        arrays = k.make_shared_arrays(16 * 1024)
+        assert arrays["a"].space == MemSpace.SHARED
+        assert arrays["a"].length == 10
+
+    def test_name_defaults_to_function(self):
+        assert Kernel(dummy).name == "dummy"
+        assert Kernel(dummy, name="custom").name == "custom"
+
+
+class TestKernelLaunch:
+    def test_dims_coerced(self):
+        l = KernelLaunch(Kernel(dummy), grid=4, block=(8, 8))
+        assert l.grid == Dim3(4)
+        assert l.block == Dim3(8, 8)
+        assert l.num_blocks == 4
+        assert l.threads_per_block == 64
+        assert l.total_threads == 256

@@ -1,0 +1,117 @@
+"""Tests of the top-level simulator: dispatch, residency, stats, timing."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import GPUConfig
+from repro.common.errors import SimulationError
+from repro.gpu import GPUSimulator, Kernel
+
+
+def copy_kernel(ctx, src, dst):
+    i = ctx.global_tid_x
+    if i < src.length:
+        v = yield ctx.load(src, i)
+        yield ctx.store(dst, i, v)
+
+
+class TestDispatch:
+    def test_more_blocks_than_sms(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        src = sim.malloc("src", 2048)
+        dst = sim.malloc("dst", 2048)
+        src.host_write(np.arange(2048))
+        res = sim.launch(Kernel(copy_kernel), grid=16, block=128,
+                         args=(src, dst))
+        assert np.array_equal(dst.host_read(), np.arange(2048))
+        assert res.blocks_run == 16
+
+    def test_residency_limit_by_threads(self):
+        cfg = GPUConfig(num_sms=1, num_clusters=1, max_threads_per_sm=256,
+                        max_blocks_per_sm=8)
+        sim = GPUSimulator(cfg)
+        src = sim.malloc("src", 1024)
+        dst = sim.malloc("dst", 1024)
+        src.host_write(np.arange(1024))
+        res = sim.launch(Kernel(copy_kernel), grid=8, block=128,
+                         args=(src, dst))
+        assert np.array_equal(dst.host_read(), np.arange(1024))
+
+    def test_block_too_large_rejected(self):
+        sim = GPUSimulator(GPUConfig(num_sms=1, num_clusters=1,
+                                     max_threads_per_sm=256))
+        with pytest.raises(SimulationError):
+            sim.launch(Kernel(copy_kernel), grid=1, block=512,
+                       args=(sim.malloc("a", 512), sim.malloc("b", 512)))
+
+    def test_shared_memory_residency_limit(self):
+        """Blocks declaring 16KB of shared memory fit one per SM."""
+        cfg = GPUConfig(num_sms=1, num_clusters=1)
+
+        def k(ctx):
+            sh = ctx.shared["big"]
+            yield ctx.store(sh, ctx.tid_x, 1.0)
+
+        sim = GPUSimulator(cfg)
+        kern = Kernel(k, shared={"big": (4096, 4)})  # 16KB
+        res = sim.launch(kern, grid=4, block=32)
+        assert res.blocks_run == 4  # serialized, but all complete
+
+
+class TestStatsCollection:
+    def test_instruction_counts(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        src = sim.malloc("src", 256)
+        dst = sim.malloc("dst", 256)
+        res = sim.launch(Kernel(copy_kernel), grid=2, block=128,
+                         args=(src, dst))
+        assert res.stats.global_reads == 256
+        assert res.stats.global_writes == 256
+        assert res.stats.instructions >= 512
+
+    def test_cycles_positive_and_latency_sensitive(self):
+        def make(latency):
+            cfg = GPUConfig(num_sms=1, num_clusters=1, dram_latency=latency,
+                            dram_row_hit_latency=latency)
+            sim = GPUSimulator(cfg)
+            src = sim.malloc("src", 4096)
+            dst = sim.malloc("dst", 4096)
+            return sim.launch(Kernel(copy_kernel), grid=4, block=128,
+                              args=(src, dst)).cycles
+
+        assert make(400) > make(50)
+
+    def test_timing_disabled_still_functional(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1),
+                           timing_enabled=False)
+        src = sim.malloc("src", 256)
+        dst = sim.malloc("dst", 256)
+        src.host_write(np.arange(256))
+        sim.launch(Kernel(copy_kernel), grid=2, block=128, args=(src, dst))
+        assert np.array_equal(dst.host_read(), np.arange(256))
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self):
+        def run():
+            sim = GPUSimulator(GPUConfig(num_sms=4, num_clusters=2))
+            src = sim.malloc("src", 1024)
+            dst = sim.malloc("dst", 1024)
+            src.host_write(np.arange(1024))
+            r = sim.launch(Kernel(copy_kernel), grid=8, block=128,
+                           args=(src, dst))
+            return r.cycles, r.stats.instructions
+
+        assert run() == run()
+
+
+class TestMultiKernel:
+    def test_sequential_launches_share_memory(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        a = sim.malloc("a", 256)
+        b = sim.malloc("b", 256)
+        c = sim.malloc("c", 256)
+        a.host_write(np.arange(256))
+        sim.launch(Kernel(copy_kernel), grid=2, block=128, args=(a, b))
+        sim.launch(Kernel(copy_kernel), grid=2, block=128, args=(b, c))
+        assert np.array_equal(c.host_read(), np.arange(256))

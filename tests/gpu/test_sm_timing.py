@@ -1,0 +1,138 @@
+"""Timing-model unit tests for the streaming multiprocessor."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.core.detector import HAccRGDetector
+from repro.gpu import GPUSimulator, Kernel
+
+
+def one_sm():
+    return GPUConfig(num_sms=1, num_clusters=1, max_threads_per_sm=256)
+
+
+class TestComputeThroughput:
+    def test_compute_cost_scales_with_n(self):
+        def make(n):
+            def k(ctx):
+                yield ctx.compute(n)
+            sim = GPUSimulator(one_sm())
+            return sim.launch(Kernel(k), grid=1, block=32).cycles
+
+        c10, c100 = make(10), make(100)
+        assert c100 > 2 * c10
+
+    def test_more_warps_interleave_long_compute(self):
+        """Multi-instruction compute bursts have latency beyond their
+        issue slot; other warps fill it, so scaling is sub-linear."""
+        def run(warps):
+            def k(ctx):
+                for _ in range(8):
+                    yield ctx.compute(10)
+            sim = GPUSimulator(one_sm())
+            return sim.launch(Kernel(k), grid=1, block=32 * warps).cycles
+
+        one, four = run(1), run(4)
+        assert four < 2.5 * one
+
+    def test_issue_bound_work_scales_linearly(self):
+        """Back-to-back single instructions saturate issue bandwidth:
+        warps cannot overlap and scaling is linear — the in-order SIMD
+        pipeline's defining constraint."""
+        def run(warps):
+            def k(ctx):
+                for _ in range(8):
+                    yield ctx.compute(1)
+            sim = GPUSimulator(one_sm())
+            return sim.launch(Kernel(k), grid=1, block=32 * warps).cycles
+
+        one, four = run(1), run(4)
+        assert four == pytest.approx(4 * one, rel=0.05)
+
+
+class TestMemoryLatencyHiding:
+    def test_many_warps_hide_dram_latency(self):
+        """Classic GPU behaviour: 8 warps streaming overlap their misses,
+        so total time is far below 8x one warp's time."""
+        def run(warps):
+            def k(ctx, data):
+                for i in range(4):
+                    v = yield ctx.load(
+                        data, (ctx.global_tid_x * 4 + i * 1024)
+                        % data.length)
+            sim = GPUSimulator(one_sm())
+            data = sim.malloc("d", 8192)
+            return sim.launch(Kernel(k), grid=1, block=32 * warps,
+                              args=(data,)).cycles
+
+        one, eight = run(1), run(8)
+        assert eight < 4 * one
+
+
+class TestSharedBankConflicts:
+    def test_conflicting_strides_cost_more(self):
+        def run(stride):
+            def k(ctx):
+                sh = ctx.shared["buf"]
+                for _ in range(16):
+                    v = yield ctx.load(sh, (ctx.tid_x * stride) % 1024)
+            sim = GPUSimulator(one_sm())
+            return sim.launch(Kernel(k, shared={"buf": (1024, 4)}),
+                              grid=1, block=32).cycles
+
+        unit = run(1)       # conflict-free
+        conflicted = run(16)  # 16-way bank conflicts
+        assert conflicted > 2 * unit
+
+
+class TestLockTiming:
+    def test_contended_lock_costs_retries(self):
+        def run(contended):
+            def k(ctx, locks):
+                idx = 0 if contended else ctx.tid_x
+                yield ctx.lock(locks, idx)
+                yield ctx.compute(1)
+                yield ctx.unlock(locks, idx)
+            sim = GPUSimulator(one_sm())
+            locks = sim.malloc("l", 64)
+            return sim.launch(Kernel(k), grid=1, block=64,
+                              args=(locks,)).cycles
+
+        assert run(True) > run(False)
+
+
+class TestDetectorTimingMonotonicity:
+    """Attaching detection must never make a run *faster*."""
+
+    @pytest.mark.parametrize("name", ["REDUCE", "HIST"])
+    def test_modes_monotone(self, name):
+        from repro.harness.runner import run_benchmark
+
+        base = run_benchmark(name, None, scale=0.25).cycles
+        shared = run_benchmark(
+            name, HAccRGConfig(mode=DetectionMode.SHARED),
+            scale=0.25).cycles
+        full = run_benchmark(
+            name, HAccRGConfig(mode=DetectionMode.FULL), scale=0.25).cycles
+        assert base <= shared * 1.001
+        assert base <= full * 1.001
+
+    def test_detection_functionally_invisible(self):
+        """Detection observes; it must never change kernel results."""
+        from repro.bench.suite import get_benchmark
+
+        def final_state(mode):
+            sim = GPUSimulator(GPUConfig(num_sms=4, num_clusters=2))
+            if mode is not None:
+                det = HAccRGDetector(HAccRGConfig(mode=mode), sim)
+                sim.attach_detector(det)
+            plan = get_benchmark("REDUCE").plan(sim, scale=0.25)
+            plan.run(sim)
+            n = sim.device_mem.allocated_bytes
+            return sim.device_mem.values[:4096].copy(), plan
+
+        off, plan_off = final_state(None)
+        full, plan_full = final_state(DetectionMode.FULL)
+        assert np.array_equal(off, full)
+        plan_full.verify()

@@ -1,0 +1,189 @@
+"""Integration-level tests of warp-lockstep execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.gpu import GPUSimulator, Kernel
+from repro.common.config import GPUConfig
+
+
+def small_gpu():
+    return GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+class TestLockstepBasics:
+    def test_all_lanes_advance_together(self, sim):
+        order = []
+
+        def k(ctx):
+            order.append(("a", ctx.thread_linear))
+            yield ctx.compute(1)
+            order.append(("b", ctx.thread_linear))
+            yield ctx.compute(1)
+
+        sim.launch(Kernel(k), grid=1, block=32)
+        # all "a" records precede all "b" records (lockstep refill)
+        phase_a = [i for i, (p, _) in enumerate(order) if p == "a"]
+        phase_b = [i for i, (p, _) in enumerate(order) if p == "b"]
+        assert max(phase_a) < min(phase_b)
+
+    def test_divergent_branches_serialize_but_complete(self, sim):
+        out = sim.malloc("out", 64)
+
+        def k(ctx, out):
+            if ctx.tid_x % 2 == 0:
+                yield ctx.store(out, ctx.tid_x, 1.0)
+            else:
+                yield ctx.compute(3)
+                yield ctx.store(out, ctx.tid_x, 2.0)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(out,))
+        got = out.host_read()
+        assert np.array_equal(got[::2], np.ones(32))
+        assert np.array_equal(got[1::2], np.full(32, 2.0))
+
+    def test_early_exit_lanes_are_masked(self, sim):
+        out = sim.malloc("out", 64)
+
+        def k(ctx, out):
+            if ctx.tid_x >= 10:
+                return
+            yield ctx.store(out, ctx.tid_x, 1.0)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(out,))
+        got = out.host_read()
+        assert got[:10].sum() == 10
+        assert got[10:].sum() == 0
+
+
+class TestBarriers:
+    def test_barrier_orders_shared_memory(self, sim):
+        out = sim.malloc("out", 128)
+
+        def k(ctx, out):
+            sh = ctx.shared["buf"]
+            yield ctx.store(sh, ctx.tid_x, float(ctx.tid_x))
+            yield ctx.syncthreads()
+            v = yield ctx.load(sh, (ctx.tid_x + 64) % 128)
+            yield ctx.store(out, ctx.tid_x, v)
+
+        sim.launch(Kernel(k, shared={"buf": (128, 4)}), grid=1, block=128,
+                   args=(out,))
+        got = out.host_read()
+        expected = (np.arange(128) + 64) % 128
+        assert np.array_equal(got, expected)
+
+    def test_multiple_barriers_in_loop(self, sim):
+        out = sim.malloc("out", 8)
+
+        def k(ctx, out):
+            sh = ctx.shared["acc"]
+            if ctx.tid_x == 0:
+                yield ctx.store(sh, 0, 0.0)
+            yield ctx.syncthreads()
+            for _ in range(5):
+                if ctx.tid_x == 0:
+                    v = yield ctx.load(sh, 0)
+                    yield ctx.store(sh, 0, v + 1)
+                yield ctx.syncthreads()
+            if ctx.tid_x == 1:
+                v = yield ctx.load(sh, 0)
+                yield ctx.store(out, 0, v)
+
+        sim.launch(Kernel(k, shared={"acc": (1, 4)}), grid=1, block=64,
+                   args=(out,))
+        assert out.host_read()[0] == 5.0
+
+    def test_divergent_barrier_deadlocks(self):
+        sim = GPUSimulator(small_gpu())
+
+        def k(ctx):
+            if ctx.tid_x < 32:  # only warp 0 reaches the barrier
+                yield ctx.syncthreads()
+            else:
+                yield ctx.compute(1)
+
+        with pytest.raises(DeadlockError):
+            sim.launch(Kernel(k), grid=1, block=64)
+
+
+class TestFences:
+    def test_fence_increments_warp_epoch(self, sim):
+        def k(ctx):
+            yield ctx.threadfence()
+            yield ctx.threadfence()
+
+        sim.launch(Kernel(k), grid=1, block=32)
+        sm = sim.sms[0]
+        assert sm.stats.fences == 2
+
+
+class TestLocksEndToEnd:
+    def test_cross_warp_mutual_exclusion(self, sim):
+        data = sim.malloc("data", 4)
+        locks = sim.malloc("locks", 4)
+
+        def k(ctx, data, locks):
+            if ctx.lane == 0:
+                yield ctx.lock(locks, 0)
+                v = yield ctx.load(data, 0)
+                yield ctx.compute(5)
+                yield ctx.store(data, 0, v + 1)
+                yield ctx.unlock(locks, 0)
+
+        sim.launch(Kernel(k), grid=2, block=128, args=(data, locks))
+        assert data.host_read()[0] == 8.0  # 2 blocks x 4 warps
+
+    def test_intra_warp_lock_contention_progresses(self, sim):
+        """All 32 lanes of one warp fight for one lock (SIMT livelock
+        hazard): the acquired lane must drain its critical section."""
+        data = sim.malloc("data", 4)
+        locks = sim.malloc("locks", 4)
+
+        def k(ctx, data, locks):
+            yield ctx.lock(locks, 0)
+            v = yield ctx.load(data, 0)
+            yield ctx.store(data, 0, v + 1)
+            yield ctx.unlock(locks, 0)
+
+        sim.launch(Kernel(k), grid=1, block=32, args=(data, locks))
+        assert data.host_read()[0] == 32.0
+
+
+class TestAtomicsEndToEnd:
+    def test_global_atomic_add_sums(self, sim):
+        acc = sim.malloc("acc", 1)
+
+        def k(ctx, acc):
+            yield ctx.atomic_add(acc, 0, 1.0)
+
+        sim.launch(Kernel(k), grid=2, block=128, args=(acc,))
+        assert acc.host_read()[0] == 256.0
+
+    def test_atomic_inc_returns_old_value_uniquely(self, sim):
+        acc = sim.malloc("acc", 1)
+        tickets = sim.malloc("tickets", 64)
+
+        def k(ctx, acc, tickets):
+            t = yield ctx.atomic_inc(acc, 0, 1000.0)
+            yield ctx.store(tickets, ctx.global_tid_x, t)
+
+        sim.launch(Kernel(k), grid=1, block=64, args=(acc, tickets))
+        got = sorted(tickets.host_read())
+        assert got == list(range(64))
+
+    def test_shared_atomics(self, sim):
+        out = sim.malloc("out", 1)
+
+        def k(ctx, out):
+            sh = ctx.shared["acc"]
+            yield ctx.atomic("add", sh, 0, 1.0)
+            yield ctx.syncthreads()
+            if ctx.tid_x == 0:
+                v = yield ctx.load(sh, 0)
+                yield ctx.store(out, 0, v)
+
+        sim.launch(Kernel(k, shared={"acc": (1, 4)}), grid=1, block=96,
+                   args=(out,))
+        assert out.host_read()[0] == 96.0

@@ -1,0 +1,128 @@
+"""Unit tests for warp internals (group selection, barriers, refill)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import Dim3
+from repro.gpu.kernel import Kernel, KernelLaunch
+from repro.gpu.ops import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_LOCK,
+    OP_STORE,
+    group_key,
+)
+from repro.gpu.warp import ThreadState, Warp
+from repro.common.types import MemSpace
+
+
+class _FakeBlock:
+    block_id = 0
+
+
+def make_warp(gens):
+    lanes = [ThreadState(g, i) for i, g in enumerate(gens)]
+    return Warp(0, 0, _FakeBlock(), lanes)
+
+
+def gen_of(*ops):
+    def g():
+        for op in ops:
+            yield op
+    return g()
+
+
+class TestGroupKey:
+    def test_memory_ops_group_by_space_and_size(self):
+        a = (OP_LOAD, MemSpace.SHARED, 0, 4)
+        b = (OP_LOAD, MemSpace.SHARED, 64, 4)
+        c = (OP_LOAD, MemSpace.GLOBAL, 0, 4)
+        d = (OP_LOAD, MemSpace.SHARED, 0, 1)
+        assert group_key(a) == group_key(b)
+        assert group_key(a) != group_key(c)
+        assert group_key(a) != group_key(d)
+
+    def test_non_memory_group_by_opcode(self):
+        assert group_key((OP_COMPUTE, 5)) == group_key((OP_COMPUTE, 9))
+        assert group_key((OP_BARRIER,)) != group_key((OP_COMPUTE, 1))
+
+
+class TestNextGroup:
+    def test_uniform_ops_single_group(self):
+        w = make_warp([gen_of((OP_COMPUTE, 1)) for _ in range(4)])
+        key, lanes = w.next_group()
+        assert key[0] == OP_COMPUTE
+        assert len(lanes) == 4
+
+    def test_divergent_ops_split(self):
+        gens = [gen_of((OP_COMPUTE, 1)) if i % 2 == 0
+                else gen_of((OP_LOAD, MemSpace.SHARED, 0, 4))
+                for i in range(4)]
+        w = make_warp(gens)
+        key, lanes = w.next_group()
+        assert len(lanes) == 2  # one group at a time
+
+    def test_lock_groups_deprioritized(self):
+        """Lanes holding critical-section work issue before lock spinners
+        (the SIMT livelock avoidance)."""
+        gens = [gen_of((OP_LOCK, 0x40)), gen_of((OP_COMPUTE, 1))]
+        w = make_warp(gens)
+        key, lanes = w.next_group()
+        assert key[0] == OP_COMPUTE
+
+    def test_all_at_barrier_sets_flag(self):
+        w = make_warp([gen_of((OP_BARRIER,)) for _ in range(3)])
+        assert w.next_group() is None
+        assert w.at_barrier
+
+    def test_barrier_deferred_while_other_lanes_run(self):
+        gens = [gen_of((OP_BARRIER,)), gen_of((OP_COMPUTE, 1))]
+        w = make_warp(gens)
+        key, lanes = w.next_group()
+        assert key[0] == OP_COMPUTE
+        assert not w.at_barrier
+
+    def test_finished_warp_returns_none(self):
+        w = make_warp([gen_of() for _ in range(2)])
+        assert w.next_group() is None
+        assert w.finished
+
+
+class TestBarrierRelease:
+    def test_release_clears_pendings(self):
+        w = make_warp([gen_of((OP_BARRIER,), (OP_COMPUTE, 1))
+                       for _ in range(2)])
+        assert w.next_group() is None and w.at_barrier
+        w.release_barrier()
+        assert not w.at_barrier
+        key, lanes = w.next_group()
+        assert key[0] == OP_COMPUTE
+
+    def test_release_without_barrier_raises(self):
+        w = make_warp([gen_of((OP_COMPUTE, 1))])
+        with pytest.raises(SimulationError):
+            w.release_barrier()
+
+
+class TestFenceEpoch:
+    def test_note_fence_increments(self):
+        w = make_warp([gen_of()])
+        assert w.note_fence() == 1
+        assert w.note_fence() == 2
+        assert w.fence_id == 2
+
+
+class TestSendValues:
+    def test_complete_lane_delivers_result(self):
+        received = []
+
+        def g():
+            v = yield (OP_LOAD, MemSpace.SHARED, 0, 4)
+            received.append(v)
+
+        w = make_warp([g()])
+        key, lanes = w.next_group()
+        w.complete_lane(lanes[0][1], 42.0)
+        assert w.next_group() is None  # generator finishes
+        assert received == [42.0]

@@ -1,0 +1,49 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.harness import charts
+from repro.harness import experiments as ex
+
+
+class TestBarPrimitive:
+    def test_bar_scales(self):
+        assert len(charts._bar(1.0, 1.0, width=10)) == 10
+        assert len(charts._bar(0.5, 1.0, width=10)) == 5
+        assert charts._bar(0.0, 1.0) == ""
+
+    def test_bar_clamps(self):
+        assert len(charts._bar(5.0, 1.0, width=10)) == 10
+        assert charts._bar(1.0, 0.0) == ""
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        text = charts.grouped_bars(
+            "T", [("g1", [("a", 1.0), ("b", 2.0)])], unit="x")
+        assert "T" in text
+        assert "g1" in text
+        assert text.count("|") == 4
+        assert "2.00x" in text
+
+    def test_shared_scale(self):
+        text = charts.grouped_bars(
+            "T", [("g", [("a", 1.0)]), ("h", [("b", 2.0)])])
+        lines = [l for l in text.splitlines() if "|" in l]
+        bar_a = lines[0].split("|")[1].count("#")
+        bar_b = lines[1].split("|")[1].count("#")
+        assert bar_b == 2 * bar_a
+
+
+class TestFigureCharts:
+    def test_fig7_chart(self):
+        result = ex.fig7_performance(["HASH"], software_names=[],
+                                     scale=0.25)
+        text = charts.chart_fig7(result)
+        assert "Fig 7" in text
+        assert "GEOMEAN" in text
+        assert "HASH" in text
+
+    def test_fig9_chart_percent_scale(self):
+        rows = ex.fig9_bandwidth(["HASH"], scale=0.25)
+        text = charts.chart_fig9(rows)
+        assert "%" in text
+        assert "base" in text and "shr+glb" in text

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "SCAN"])
+        assert args.bench == "SCAN"
+        assert args.mode == "full"
+        assert args.backend == "hardware"
+
+    def test_run_lowercase_bench(self):
+        args = build_parser().parse_args(["run", "scan"])
+        assert args.bench == "SCAN"
+
+    def test_run_rejects_unknown_bench(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+    def test_experiment_choices_cover_all(self):
+        for exp_id in _EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", exp_id])
+            assert args.id == exp_id
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SCAN" in out and "HASH" in out
+
+    def test_run_benchmark_with_races(self, capsys):
+        assert main(["run", "SCAN", "--scale", "0.5",
+                     "--max-races", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "races:" in out
+        assert "WAW race" in out
+
+    def test_run_mode_off(self, capsys):
+        assert main(["run", "HASH", "--mode", "off",
+                     "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "races:" not in out
+
+    def test_experiment_hwcost(self, capsys):
+        assert main(["experiment", "hwcost"]) == 0
+        assert "HARDWARE OVERHEAD" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for array-level race diagnosis."""
+
+import pytest
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.core.races import RaceLog, RaceReport
+from repro.harness.diagnose import diagnose
+from repro.harness.runner import run_benchmark
+
+CFG = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4)
+
+
+class TestAttribution:
+    def test_scan_races_attributed_to_output_array(self):
+        res = run_benchmark("SCAN", CFG, scale=0.5, timing_enabled=False)
+        from repro.bench.suite import get_benchmark  # rebuild to get mem
+        # re-run via a direct simulator so we hold the device memory
+        from repro.common.config import scaled_gpu_config
+        from repro.core.detector import HAccRGDetector
+        from repro.gpu.simulator import GPUSimulator
+
+        sim = GPUSimulator(scaled_gpu_config(), timing_enabled=False)
+        det = HAccRGDetector(CFG, sim)
+        sim.attach_detector(det)
+        get_benchmark("SCAN").plan(sim, scale=0.5).run(sim)
+
+        diag = diagnose(det.log, sim.device_mem)
+        assert len(diag.findings) == 1
+        f = diag.findings[0]
+        assert f.array == "scan_out"
+        assert "WAW" in f.kinds
+        assert f.blocks_involved  # multiple blocks implicated
+        assert diag.unattributed == 0
+
+    def test_shared_races_grouped_under_label(self):
+        log = RaceLog()
+        log.report(RaceReport(
+            category=RaceCategory.SHARED_BARRIER, kind=RaceKind.RAW,
+            space=MemSpace.SHARED, entry=3, addr=12,
+            owner_tid=0, access_tid=33, owner_block=0, access_block=0))
+        diag = diagnose(log, None, shared_label="temp[]")
+        assert diag.findings[0].array == "temp[]"
+
+    def test_unattributed_counted(self):
+        from repro.gpu.device import DeviceMemory
+        mem = DeviceMemory()
+        mem.malloc(64, name="known")
+        log = RaceLog()
+        log.report(RaceReport(
+            category=RaceCategory.GLOBAL_BARRIER, kind=RaceKind.WAW,
+            space=MemSpace.GLOBAL, entry=0, addr=1 << 20,
+            owner_tid=0, access_tid=1))
+        diag = diagnose(log, mem)
+        assert diag.unattributed == 1
+        assert not diag.findings
+
+
+class TestRendering:
+    def test_clean_log(self):
+        assert "no races" in diagnose(RaceLog(), None).render()
+
+    def test_suggestions_match_category(self):
+        cases = {
+            RaceCategory.SHARED_BARRIER: "__syncthreads",
+            RaceCategory.GLOBAL_FENCE: "__threadfence",
+            RaceCategory.GLOBAL_LOCKSET: "lock",
+        }
+        from repro.gpu.device import DeviceMemory
+        for category, keyword in cases.items():
+            mem = DeviceMemory()
+            mem.malloc(64, name="arr")
+            log = RaceLog()
+            space = (MemSpace.SHARED
+                     if category == RaceCategory.SHARED_BARRIER
+                     else MemSpace.GLOBAL)
+            log.report(RaceReport(
+                category=category, kind=RaceKind.RAW, space=space,
+                entry=0, addr=0, owner_tid=0, access_tid=1))
+            text = diagnose(log, mem).render()
+            assert keyword in text
+
+    def test_element_range(self):
+        from repro.gpu.device import DeviceMemory
+        mem = DeviceMemory()
+        base = mem.malloc(256, name="arr")
+        log = RaceLog()
+        for off in (8, 64, 32):
+            log.report(RaceReport(
+                category=RaceCategory.GLOBAL_BARRIER, kind=RaceKind.WAW,
+                space=MemSpace.GLOBAL, entry=off // 4, addr=base + off,
+                owner_tid=0, access_tid=1))
+        f = diagnose(log, mem).findings[0]
+        assert f.element_range == (8, 64)
+        assert f.races == 3

@@ -1,0 +1,130 @@
+"""Small-scale runs of every experiment function plus renderer checks.
+
+The full-scale regenerations live in ``benchmarks/``; these tests use a
+reduced scale and subsets so the suite stays quick while still executing
+every experiment path and asserting the paper-shape properties.
+"""
+
+import pytest
+
+from repro.harness import experiments as ex
+from repro.harness import report
+
+FAST = ["SCAN", "REDUCE", "HASH"]
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = ex.table1_config()
+        assert rows["# SMs / GPU Clusters"] == "30 / 10"
+        text = report.render_table1(rows)
+        assert "TABLE I" in text
+
+
+class TestTable2:
+    def test_characteristics_sane(self):
+        rows = ex.table2_characteristics(FAST, scale=0.25)
+        by_name = {r.name: r for r in rows}
+        # SCAN is shared-memory heavy; PSUM-like benchmarks global-heavy
+        assert by_name["SCAN"].shared_access_pct > \
+            by_name["HASH"].shared_access_pct
+        assert by_name["HASH"].atomics > 0  # lock spin loops
+        assert by_name["REDUCE"].fences > 0
+        assert "TABLE II" in report.render_table2(rows)
+
+
+class TestEffectiveness:
+    def test_real_races_shape(self):
+        rows = ex.effectiveness_real_races(["SCAN", "REDUCE"], scale=0.5)
+        by_name = {r.name: r for r in rows}
+        assert by_name["SCAN"].global_races > 0
+        assert by_name["SCAN"].shared_races == 0
+        assert by_name["SCAN"].single_block_clean is True
+        assert by_name["REDUCE"].global_races == 0
+        assert "EFFECTIVENESS" in report.render_effectiveness(rows)
+
+
+class TestInjected:
+    def test_subset_detected(self):
+        from repro.bench.injection import INJECTION_CATALOG
+        subset = [s for s in INJECTION_CATALOG
+                  if s.bench in FAST][:6]
+        results = ex.effectiveness_injected_races(scale=0.5, catalog=subset)
+        assert all(r.detected for r in results)
+        text = report.render_injected(results)
+        assert "DETECTED" in text
+
+
+class TestTable3:
+    def test_granularity_row_shape(self):
+        rows = ex.table3_granularity(["HIST"], granularities=(4, 16),
+                                     scale=0.5)
+        r = rows[0]
+        assert r.shared[4][0] == 0       # word granularity exact
+        assert r.shared[16][0] > 0       # byte counters alias at 16B
+        assert "TABLE III" in report.render_table3(rows, (4, 16))
+
+
+class TestBloom:
+    def test_paper_points(self):
+        rows = ex.bloom_accuracy_study(num_addresses=1 << 15)
+        for r in rows:
+            if r.expected_2bin is not None:
+                assert r.miss_rate == pytest.approx(r.expected_2bin,
+                                                    rel=0.1)
+        assert "BLOOM" in report.render_bloom(rows)
+
+
+class TestIdSizes:
+    def test_no_overflow(self):
+        rows = ex.id_size_study(FAST, scale=0.5)
+        for r in rows:
+            assert r.sync_overflows == 0
+            assert r.fence_overflows == 0
+        assert "SYNC/FENCE" in report.render_idsizes(rows)
+
+
+class TestFig7:
+    def test_small_subset(self):
+        result = ex.fig7_performance(["SCAN", "REDUCE"],
+                                     software_names=["SCAN"], scale=0.5)
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["SCAN"].shared_norm < 1.2
+        assert by_name["SCAN"].software_norm > by_name["SCAN"].full_norm
+        assert by_name["SCAN"].grace_norm > by_name["SCAN"].software_norm
+        assert "FIG 7" in report.render_fig7(result)
+
+
+class TestFig8:
+    def test_split_not_cheaper(self):
+        rows = ex.fig8_shadow_split(["SCAN"], scale=0.5)
+        r = rows[0]
+        assert r.software_split_norm >= r.hardware_norm * 0.95
+        assert "FIG 8" in report.render_fig8(rows)
+
+
+class TestFig9:
+    def test_shared_leaves_util_unchanged(self):
+        rows = ex.fig9_bandwidth(["REDUCE"], scale=0.5)
+        r = rows[0]
+        assert r.shared_util == pytest.approx(r.baseline_util, abs=0.05)
+        assert r.full_util >= r.shared_util - 0.01
+        assert "FIG 9" in report.render_fig9(rows)
+
+
+class TestTable4:
+    def test_footprint_ratio(self):
+        rows = ex.table4_memory_overhead(["HASH"], scale=1.0)
+        r = rows[0]
+        # 36 bits per 4 data bytes: shadow ~ 1.125x data
+        assert r.shadow_bytes == pytest.approx(r.data_bytes * 36 / 32,
+                                               rel=0.01)
+        assert r.paper_projection_bytes > r.shadow_bytes
+        assert "TABLE IV" in report.render_table4(rows)
+
+
+class TestHwCost:
+    def test_report_keys(self):
+        rep = ex.hw_cost_report()
+        assert rep["shared_entry_bits"] == 12
+        assert "HARDWARE OVERHEAD" in report.render_hw_cost(rep)

@@ -1,0 +1,60 @@
+"""Tests for the JSON export of runs and race logs."""
+
+import json
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.harness.export import (
+    race_log_to_dict,
+    race_to_dict,
+    run_result_to_dict,
+    to_json,
+)
+from repro.harness.runner import run_benchmark
+
+CFG = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4)
+
+
+def scan_result():
+    return run_benchmark("SCAN", CFG, scale=0.5, timing_enabled=False)
+
+
+class TestRaceExport:
+    def test_race_dict_fields(self):
+        res = scan_result()
+        d = race_to_dict(res.races.reports[0])
+        assert d["kind"] == "WAW"
+        assert d["space"] == "GLOBAL"
+        assert isinstance(d["addr"], int)
+        assert "race" in d["description"]
+
+    def test_log_summary(self):
+        res = scan_result()
+        d = race_log_to_dict(res.races)
+        assert d["distinct_races"] == len(res.races)
+        assert d["by_kind"]["WAW"] == len(res.races)
+        assert not d["truncated"]
+        assert len(d["races"]) == len(res.races)
+
+    def test_truncation(self):
+        res = scan_result()
+        d = race_log_to_dict(res.races, max_races=3)
+        assert len(d["races"]) == 3
+        assert d["truncated"]
+        assert d["distinct_races"] == len(res.races)  # summary unaffected
+
+
+class TestRunExport:
+    def test_run_record_roundtrips(self):
+        res = scan_result()
+        d = run_result_to_dict(res, max_races=5)
+        text = to_json(d)
+        back = json.loads(text)
+        assert back["benchmark"] == "SCAN"
+        assert back["race_log"]["by_kind"]["WAW"] > 0
+        assert back["instructions"] > 0
+
+    def test_baseline_run_has_no_race_log(self):
+        res = run_benchmark("HASH", None, scale=0.25, timing_enabled=False)
+        d = run_result_to_dict(res)
+        assert "race_log" not in d
+        to_json(d)

@@ -1,0 +1,44 @@
+"""Cross-implementation detection parity tests."""
+
+import pytest
+
+from repro.harness.parity import check_parity, parity_sweep
+
+
+@pytest.mark.parametrize("name,overrides", [
+    ("SCAN", {}),
+    ("OFFT", {}),
+    ("KMEANS", {}),
+    ("HASH", {}),
+    ("REDUCE", {}),
+    ("HIST", {}),
+])
+def test_hardware_software_replay_agree(name, overrides):
+    result = check_parity(name, scale=0.5, **overrides)
+    assert result.consistent, (
+        f"{name} implementations disagree: {result.differences()}"
+    )
+
+
+def test_parity_on_injected_races():
+    from repro.bench.common import Injection
+    from repro.common.config import DetectionMode, DetectorBackend, HAccRGConfig
+    from repro.harness.runner import run_benchmark
+
+    cfg = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4)
+    inj = Injection(omit=["fence"])
+    hw = run_benchmark("REDUCE", cfg, scale=0.5, timing_enabled=False,
+                       injection=inj)
+    sw = run_benchmark("REDUCE",
+                       cfg.with_backend(DetectorBackend.SOFTWARE),
+                       scale=0.5, timing_enabled=False, injection=inj)
+    key = lambda r: (r.space, r.entry, r.kind, r.category)
+    assert sorted(map(key, hw.races.reports)) == \
+        sorted(map(key, sw.races.reports))
+    assert len(hw.races) > 0
+
+
+def test_sweep_helper():
+    results = parity_sweep(["SCAN"], scale=0.25)
+    assert len(results) == 1
+    assert results[0].consistent

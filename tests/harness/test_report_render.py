@@ -1,0 +1,60 @@
+"""Rendering tests: every report function produces the expected rows."""
+
+from repro.harness import experiments as ex
+from repro.harness import report
+
+
+class TestStaticRenderers:
+    def test_table1_all_rows_present(self):
+        text = report.render_table1(ex.table1_config())
+        for key in ("# SMs", "Warp Scheduling", "Memory Controller"):
+            assert key in text
+
+    def test_hw_cost_paper_numbers_inline(self):
+        text = report.render_hw_cost(ex.hw_cost_report())
+        assert "(paper: 12)" in text
+        assert "4.5KB" in text
+        assert "0.75KB" in text
+
+    def test_bloom_marks_paper_points(self):
+        rows = ex.bloom_accuracy_study(num_addresses=1 << 12)
+        text = report.render_bloom(rows)
+        assert "0.2500" in text  # the 8-bit 2-bin paper value
+        # 4-bin rows have no paper reference
+        assert text.count("-") > 0
+
+
+class TestByteFormatting:
+    def test_fmt_bytes_units(self):
+        from repro.harness.report import _fmt_bytes
+        assert _fmt_bytes(512) == "512B"
+        assert _fmt_bytes(4608) == "4.5KB"
+        assert _fmt_bytes(18 << 20) == "18.0MB"
+
+
+class TestDynamicRenderers:
+    def test_fig7_includes_geomean_line(self):
+        result = ex.fig7_performance(["HASH"], software_names=[],
+                                     scale=0.25)
+        text = report.render_fig7(result)
+        assert "GEOMEAN" in text
+        assert "paper: 1.01 / 1.27" in text
+
+    def test_effectiveness_flags_fixed_configs(self):
+        rows = ex.effectiveness_real_races(["SCAN"], scale=0.5)
+        text = report.render_effectiveness(rows)
+        assert "[race-free config clean]" in text
+
+    def test_injected_summary_header(self):
+        from repro.bench.injection import INJECTION_CATALOG
+        subset = [s for s in INJECTION_CATALOG if s.bench == "HASH"]
+        results = ex.effectiveness_injected_races(scale=0.25,
+                                                  catalog=subset)
+        text = report.render_injected(results)
+        assert f"{len(subset)}/{len(subset)} detected" in text
+
+    def test_table4_renders_projections(self):
+        rows = ex.table4_memory_overhead(["SCAN"], scale=1.0)
+        text = report.render_table4(rows)
+        assert "@paper inputs" in text
+        assert "KB" in text

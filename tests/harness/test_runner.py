@@ -1,0 +1,68 @@
+"""Tests for the uniform experiment runner."""
+
+import pytest
+
+from repro.bench.common import Injection
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    GPUConfig,
+    HAccRGConfig,
+)
+from repro.core.detector import HAccRGDetector
+from repro.harness.runner import make_detector, run_benchmark
+from repro.gpu.simulator import GPUSimulator
+from repro.swdetect import GRaceAddrDetector, SoftwareHAccRG
+
+SMALL = dict(scale=0.25, timing_enabled=False)
+
+
+class TestMakeDetector:
+    def test_off_returns_none(self):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        assert make_detector(HAccRGConfig(mode=DetectionMode.OFF), sim) is None
+
+    @pytest.mark.parametrize("backend,cls", [
+        (DetectorBackend.HARDWARE, HAccRGDetector),
+        (DetectorBackend.SOFTWARE, SoftwareHAccRG),
+        (DetectorBackend.GRACE, GRaceAddrDetector),
+    ])
+    def test_backend_dispatch(self, backend, cls):
+        sim = GPUSimulator(GPUConfig(num_sms=2, num_clusters=1))
+        det = make_detector(HAccRGConfig(backend=backend), sim)
+        assert type(det) is cls
+
+
+class TestRunBenchmark:
+    def test_baseline_run_has_no_races(self):
+        res = run_benchmark("REDUCE", None, **SMALL)
+        assert res.races is None
+        assert res.cycles >= 0
+        assert res.stats.instructions > 0
+
+    def test_detected_run_collects_races(self):
+        res = run_benchmark("SCAN", HAccRGConfig(mode=DetectionMode.FULL,
+                                                 shared_granularity=4),
+                            **SMALL)
+        assert res.races is not None
+        assert res.global_races() > 0
+        assert res.shared_races() == 0
+
+    def test_overrides_forwarded(self):
+        res = run_benchmark("SCAN", HAccRGConfig(shared_granularity=4),
+                            num_blocks=1, verify=True, **SMALL)
+        assert len(res.races) == 0
+        assert res.verified
+
+    def test_injection_forwarded(self):
+        res = run_benchmark("REDUCE", HAccRGConfig(shared_granularity=4),
+                            injection=Injection(omit=["fence"]), **SMALL)
+        assert len(res.races) > 0
+
+    def test_data_bytes_populated(self):
+        res = run_benchmark("HASH", None, **SMALL)
+        assert res.data_bytes > 0
+
+    def test_timing_run_produces_bandwidth(self):
+        res = run_benchmark("REDUCE", None, scale=0.25)
+        assert 0.0 <= res.dram_utilization <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for trace recording and detector replay."""
+
+import pytest
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.common.types import MemSpace
+from repro.harness.experiments import RACE_FREE_OVERRIDES, WORD_CONFIG
+from repro.harness.runner import run_benchmark
+from repro.harness.trace import TraceRecorder, record, replay
+
+
+def live_races(name, config, **overrides):
+    res = run_benchmark(name, config, scale=0.5, timing_enabled=False,
+                        **overrides)
+    return sorted((r.space, r.entry, r.kind, r.category)
+                  for r in res.races.reports)
+
+
+def replay_races(events, config):
+    log = replay(events, config)
+    return sorted((r.space, r.entry, r.kind, r.category)
+                  for r in log.reports)
+
+
+class TestReplayFidelity:
+    @pytest.mark.parametrize("name", ["SCAN", "OFFT", "KMEANS", "HASH",
+                                      "REDUCE"])
+    def test_replay_matches_live_detection(self, name):
+        events = record(name, scale=0.5)
+        assert replay_races(events, WORD_CONFIG) == \
+            live_races(name, WORD_CONFIG)
+
+    def test_replay_matches_at_other_granularity(self):
+        events = record("HIST", scale=0.5)
+        cfg = HAccRGConfig(mode=DetectionMode.SHARED,
+                           shared_granularity=16)
+        assert replay_races(events, cfg) == live_races("HIST", cfg)
+
+    def test_one_trace_many_configs(self):
+        """The point of replay: one recording, a whole granularity sweep."""
+        events = record("HIST", scale=0.5)
+        counts = {}
+        for g in (4, 8, 16, 32):
+            cfg = HAccRGConfig(mode=DetectionMode.SHARED,
+                               shared_granularity=g)
+            counts[g] = len(replay(events, cfg))
+        assert counts[4] == 0
+        assert counts[8] > counts[16] > counts[32] > 0
+
+    def test_clean_benchmark_replays_clean(self):
+        events = record("REDUCE", scale=0.25)
+        assert len(replay(events, WORD_CONFIG)) == 0
+
+
+class TestSerialization:
+    def test_json_roundtrip_preserves_detection(self):
+        events = record("SCAN", scale=0.25)
+        rec = TraceRecorder()
+        rec.events = events
+        text = rec.dump()
+        restored = TraceRecorder.load(text)
+        assert len(restored) == len(events)
+        assert replay_races(restored, WORD_CONFIG) == \
+            replay_races(events, WORD_CONFIG)
+
+    def test_trace_records_synchronization(self):
+        events = record("REDUCE", scale=0.25)
+        kinds = {e.kind for e in events}
+        assert {"A", "B", "F", "S", "E", "K"} <= kinds
+
+    def test_critical_sections_preserved(self):
+        events = record("HASH", scale=0.25)
+        critical_lanes = [
+            l for e in events if e.kind == "A"
+            for l in e.lanes if l[4]
+        ]
+        assert critical_lanes
+        assert all(l[3] != 0 for l in critical_lanes)  # sigs survive

@@ -1,0 +1,199 @@
+"""End-to-end reproductions of the paper's motivating scenarios.
+
+Each test builds the kernel pattern a paper figure describes and checks
+HAccRG classifies it exactly as the paper says: Fig. 1 (missing barrier
+after an atomic-ticket reduction), Fig. 2(a) (different locks), Fig. 2(b)
+(missing fence inside a critical section), Fig. 4 (producer/consumer
+through an atomic flag with and without a fence).
+"""
+
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.core.detector import HAccRGDetector
+from repro.gpu import GPUSimulator, Kernel
+
+
+def run(kernel_fn, grid, block, alloc, shared=None, **cfg):
+    sim = GPUSimulator(GPUConfig(num_sms=4, num_clusters=2,
+                                 max_threads_per_sm=512))
+    det = HAccRGDetector(
+        HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4, **cfg),
+        sim)
+    sim.attach_detector(det)
+    arrays = [sim.malloc(n, length) for n, length in alloc]
+    sim.launch(Kernel(kernel_fn, shared=shared or {}), grid, block,
+               args=tuple(arrays))
+    return det, arrays
+
+
+class TestFig1MissingBarrier:
+    """Fig. 1: threads loop writing out[tid]; the last atomic-ticket
+    holder sums the array. The figure marks *two* bugs: a missing memory
+    fence before the atomicInc (line 7) and a missing barrier at the loop
+    end (line 12). Both must be fixed for the kernel to be race-free."""
+
+    @staticmethod
+    def _kernel(with_fence, with_barrier):
+        def k(ctx, out, count):
+            tid = ctx.tid_x
+            n = ctx.block_dim.x
+            for i in range(2):
+                # out[1 + tid]: the total goes to out[0], so the fixed
+                # kernel's writes are disjoint (writing the total over
+                # out[0] as in the figure would itself be flagged — the
+                # fence rule covers reads, not atomic-ordered writes)
+                yield ctx.store(out, 1 + tid, float(tid + i))
+                if with_fence:
+                    yield ctx.threadfence()
+                ticket = yield ctx.atomic_inc(count, 0, float(n))
+                if ticket == n - 1:
+                    total = 0.0
+                    for t in range(n):
+                        v = yield ctx.load(out, 1 + t)
+                        total += v
+                    yield ctx.store(out, 0, total)
+                    yield ctx.store(count, 0, 0.0)
+                if with_barrier:
+                    yield ctx.syncthreads()
+        return k
+
+    def test_both_bugs_race(self):
+        det, _ = run(self._kernel(False, False), 1, 64,
+                     [("out", 65), ("count", 1)])
+        assert det.log.count(space=MemSpace.GLOBAL) > 0
+
+    def test_barrier_alone_leaves_fence_races(self):
+        """Fixing only line 12 still leaves the line-7 visibility race."""
+        det, _ = run(self._kernel(False, True), 1, 64,
+                     [("out", 65), ("count", 1)])
+        assert det.log.count(kind=RaceKind.RAW) > 0
+
+    def test_fence_alone_leaves_next_iteration_races(self):
+        """Fixing only line 7 leaves the summer racing with the other
+        threads' next-iteration writes."""
+        det, _ = run(self._kernel(True, False), 1, 64,
+                     [("out", 65), ("count", 1)])
+        assert len(det.log) > 0
+
+    def test_fence_and_barrier_fix_it(self):
+        det, _ = run(self._kernel(True, True), 1, 64,
+                     [("out", 65), ("count", 1)])
+        assert len(det.log) == 0
+
+
+class TestFig2aDifferentLocks:
+    """Fig. 2(a): T1 writes A under lock L1 while T2 reads A under L2."""
+
+    def test_different_locks_race(self):
+        def k(ctx, data, locks):
+            if ctx.tid_x == 0:
+                yield ctx.lock(locks, 0)
+                yield ctx.store(data, 0, 1.0)
+                yield ctx.threadfence()
+                yield ctx.unlock(locks, 0)
+            elif ctx.tid_x == 32:
+                yield ctx.lock(locks, 1)  # a DIFFERENT lock
+                v = yield ctx.load(data, 0)
+                yield ctx.unlock(locks, 1)
+
+        det, _ = run(k, 1, 64, [("data", 4), ("locks", 8)])
+        assert det.log.count(category=RaceCategory.GLOBAL_LOCKSET) == 1
+
+    def test_common_lock_safe(self):
+        def k(ctx, data, locks):
+            if ctx.tid_x in (0, 32):
+                yield ctx.lock(locks, 0)
+                v = yield ctx.load(data, 0)
+                yield ctx.store(data, 0, v + 1.0)
+                yield ctx.threadfence()
+                yield ctx.unlock(locks, 0)
+
+        det, arrays = run(k, 1, 64, [("data", 4), ("locks", 8)])
+        assert len(det.log) == 0
+        assert arrays[0].host_read()[0] == 2.0
+
+
+class TestFig2bMissingFenceInCriticalSection:
+    """Fig. 2(b): both threads use lock L3, but the producer releases it
+    without a fence — on a non-coherent GPU the consumer can read stale
+    data. Only the GPU-specific race."""
+
+    @staticmethod
+    def _kernel(with_fence):
+        def k(ctx, data, locks):
+            if ctx.tid_x in (0, 32):
+                yield ctx.lock(locks, 0)
+                v = yield ctx.load(data, 0)
+                yield ctx.store(data, 0, v + 1.0)
+                if with_fence:
+                    yield ctx.threadfence()
+                yield ctx.unlock(locks, 0)
+        return k
+
+    def test_missing_fence_detected(self):
+        det, _ = run(self._kernel(False), 1, 64, [("data", 4), ("locks", 8)])
+        assert det.log.count(category=RaceCategory.GLOBAL_FENCE) >= 1
+
+    def test_fence_before_release_safe(self):
+        det, _ = run(self._kernel(True), 1, 64, [("data", 4), ("locks", 8)])
+        assert len(det.log) == 0
+
+
+class TestFig4ProducerConsumerFence:
+    """Fig. 4: T0 writes X then signals through an atomic on A; T1 spins
+    on A then reads X. Safe only when T0 fences between the write and the
+    atomic."""
+
+    @staticmethod
+    def _kernel(with_fence):
+        def k(ctx, data):
+            # data[0] = X, data[1] = A
+            if ctx.block_id_x == 0 and ctx.tid_x == 0:
+                yield ctx.store(data, 0, 42.0)
+                if with_fence:
+                    yield ctx.threadfence()
+                yield ctx.atomic_exch(data, 1, 1.0)
+            elif ctx.block_id_x == 1 and ctx.tid_x == 0:
+                flag = 0.0
+                while flag == 0.0:
+                    flag = yield ctx.atomic_add(data, 1, 0.0)
+                v = yield ctx.load(data, 0)
+        return k
+
+    def test_fig4a_missing_fence_is_race(self):
+        det, _ = run(self._kernel(False), 2, 32, [("data", 8)])
+        assert det.log.count(category=RaceCategory.GLOBAL_FENCE,
+                             kind=RaceKind.RAW) == 1
+
+    def test_fig4b_fence_makes_it_safe(self):
+        det, _ = run(self._kernel(True), 2, 32, [("data", 8)])
+        assert len(det.log) == 0
+
+
+class TestStaleL1CoherenceRace:
+    """§IV-B: an L1-resident line goes stale when another SM overwrites
+    the location; a hit on it is reported even though the producer
+    fenced."""
+
+    def test_stale_l1_hit_reported(self):
+        def k(ctx, data, flag):
+            if ctx.block_id_x == 0 and ctx.tid_x == 0:
+                v = yield ctx.load(data, 0)        # warm block 0's L1
+                yield ctx.atomic_exch(flag, 0, 1.0)
+                f = 0.0
+                while f < 2.0:
+                    f = yield ctx.atomic_add(flag, 0, 0.0)
+                v = yield ctx.load(data, 0)        # stale L1 hit
+            elif ctx.block_id_x == 1 and ctx.tid_x == 0:
+                f = 0.0
+                while f < 1.0:
+                    f = yield ctx.atomic_add(flag, 0, 0.0)
+                yield ctx.store(data, 0, 7.0)      # write from another SM
+                yield ctx.threadfence()
+                yield ctx.atomic_exch(flag, 0, 2.0)
+
+        det, _ = run(k, 2, 32, [("data", 4), ("flag", 4)])
+        stale = [r for r in det.log.reports if r.stale_l1]
+        assert len(stale) == 1

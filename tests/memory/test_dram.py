@@ -1,0 +1,78 @@
+"""Unit tests for the DRAM channel model."""
+
+from repro.memory.dram import DRAMChannel
+
+
+def make(latency=200, row_hit=100, bpc=8.0, row=2048):
+    return DRAMChannel(0, latency, row_hit, bpc, row)
+
+
+class TestLatency:
+    def test_row_miss_latency(self):
+        ch = make()
+        done = ch.request(0, 128, False, now=0)
+        assert done == 200 + 16  # miss latency + 128B/8Bpc transfer
+
+    def test_row_hit_discount(self):
+        ch = make()
+        ch.request(0, 128, False, 0)
+        t0 = ch.busy_until
+        done = ch.request(128, 128, False, t0)  # same 2KB row
+        assert done - t0 == 100 + 16
+        assert ch.stats.row_hits == 1
+
+    def test_different_row_misses(self):
+        ch = make()
+        ch.request(0, 128, False, 0)
+        done = ch.request(4096, 128, False, ch.busy_until)
+        assert ch.stats.row_hits == 0
+
+
+class TestQueueing:
+    def test_back_to_back_requests_queue(self):
+        ch = make()
+        ch.request(0, 128, False, 0)
+        done2 = ch.request(8192, 128, False, 0)  # arrives while busy
+        assert ch.stats.total_queue_delay > 0
+        assert done2 > 200 + 16
+
+    def test_idle_channel_no_queue_delay(self):
+        ch = make()
+        ch.request(0, 128, False, 0)
+        ch.request(8192, 128, False, 10_000)
+        assert ch.stats.max_queue_delay == 0
+
+
+class TestBandwidthAccounting:
+    def test_bytes_and_utilization(self):
+        ch = make()
+        for i in range(10):
+            ch.request(i * 4096, 128, False, ch.busy_until)
+        assert ch.stats.bytes_transferred == 1280
+        assert 0.0 < ch.utilization(ch.busy_until) <= 1.0
+
+    def test_utilization_zero_cycles(self):
+        assert make().utilization(0) == 0.0
+
+
+class TestBackgroundBacklog:
+    def test_background_does_not_delay_demand_when_idle(self):
+        ch = make()
+        ch.background_request(0, 128, 0)
+        # demand at t=1000: the backlog drained during the idle gap
+        done = ch.request(4096, 128, False, 1000)
+        assert done == 1000 + 200 + 16
+
+    def test_backlog_overflow_stalls_demand(self):
+        ch = make()
+        # saturate the write buffer far beyond its cap
+        for i in range(1000):
+            ch.background_request(i * 128, 128, 0)
+        done = ch.request(0, 128, False, 0)
+        assert done > 200 + 16  # forced drain ahead of the demand request
+
+    def test_background_counts_bandwidth(self):
+        ch = make()
+        ch.background_request(0, 128, 0, shadow=True)
+        assert ch.stats.shadow_bytes == 128
+        assert ch.stats.busy_cycles >= 16

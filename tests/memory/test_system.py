@@ -1,0 +1,114 @@
+"""Tests for the unified memory system (L1 + sliced L2 + DRAM)."""
+
+from repro.common.config import GPUConfig
+from repro.common.types import Transaction
+from repro.memory.system import MemorySystem
+
+
+def make(timing=True, **kw):
+    return MemorySystem(GPUConfig(num_sms=2, num_clusters=1, **kw),
+                        timing_enabled=timing)
+
+
+def rd(addr, size=128, shadow=False):
+    return Transaction(addr, size, is_write=False, is_shadow=shadow)
+
+
+def wr(addr, size=128, shadow=False):
+    return Transaction(addr, size, is_write=True, is_shadow=shadow)
+
+
+class TestHierarchyLevels:
+    def test_cold_read_hits_dram(self):
+        ms = make()
+        lat, levels = ms.warp_access(0, [rd(0)], 0)
+        assert levels == ["dram"]
+        assert lat > ms.config.l2_latency
+
+    def test_second_read_hits_l1(self):
+        ms = make()
+        ms.warp_access(0, [rd(0)], 0)
+        lat, levels = ms.warp_access(0, [rd(0)], 100)
+        assert levels == ["l1"]
+        assert lat == ms.config.l1_latency
+
+    def test_other_sm_hits_l2_not_l1(self):
+        ms = make()
+        ms.warp_access(0, [rd(0)], 0)
+        _, levels = ms.warp_access(1, [rd(0)], 100)
+        assert levels == ["l2"]
+
+    def test_l1_hit_faster_than_l2_faster_than_dram(self):
+        ms = make()
+        dram_lat, _ = ms.warp_access(0, [rd(0)], 0)
+        l1_lat, _ = ms.warp_access(0, [rd(0)], 1000)
+        l2_lat, _ = ms.warp_access(1, [rd(0)], 2000)
+        assert l1_lat < l2_lat < dram_lat
+
+
+class TestWritePolicy:
+    def test_write_through_evicts_l1(self):
+        """Fermi write-evict: a store invalidates the local L1 copy."""
+        ms = make()
+        ms.warp_access(0, [rd(0)], 0)        # cache in L1[0]
+        ms.warp_access(0, [wr(0)], 100)      # store -> evict
+        _, levels = ms.warp_access(0, [rd(0)], 200)
+        assert levels == ["l2"]  # no longer in L1
+
+    def test_non_coherent_l1_keeps_stale_copy(self):
+        """The coherence hazard HAccRG's L1-hit check targets: SM0 caches
+        a line, SM1 overwrites it, SM0 still hits its stale L1 copy."""
+        ms = make()
+        ms.warp_access(0, [rd(0)], 0)
+        ms.warp_access(1, [wr(0)], 100)      # SM1 writes through to L2
+        _, levels = ms.warp_access(0, [rd(0)], 200)
+        assert levels == ["l1"]  # stale hit - exactly the raced pattern
+
+
+class TestSlicing:
+    def test_lines_interleave_across_slices(self):
+        ms = make()
+        for i in range(8):
+            ms.warp_access(0, [rd(i * 128)], 0)
+        touched = [c.stats.accesses > 0 for c in ms.l2]
+        assert all(touched)
+
+
+class TestShadowTraffic:
+    def test_background_access_does_not_touch_l1(self):
+        ms = make()
+        ms.background_access(0, [wr(0, shadow=True)], 0)
+        assert ms.l1[0].stats.accesses == 0
+        assert ms.l2[0].stats.shadow_accesses == 1
+
+    def test_shadow_write_miss_skips_dram_fetch(self):
+        ms = make()
+        ms.background_access(0, [wr(0, shadow=True)], 0)
+        assert ms.dram[0].stats.requests == 0  # write-validate, no fetch
+
+    def test_shadow_dirty_eviction_reaches_dram(self):
+        ms = make()
+        cfg = ms.config
+        # fill one L2 set with shadow lines until eviction
+        sets = cfg.l2_slice_size // (cfg.l2_assoc * cfg.l2_line)
+        stride = sets * cfg.l2_line * cfg.num_mem_slices
+        for i in range(cfg.l2_assoc + 1):
+            ms.background_access(0, [wr(i * stride, shadow=True)], 0)
+        assert sum(ch.stats.bytes_transferred for ch in ms.dram) > 0
+
+    def test_dram_utilization_aggregates(self):
+        ms = make()
+        for i in range(64):
+            ms.warp_access(0, [rd(i * 4096)], i * 10)
+        assert 0.0 < ms.dram_utilization(10_000) <= 1.0
+
+
+class TestStatsAggregation:
+    def test_l1_l2_totals(self):
+        ms = make()
+        ms.warp_access(0, [rd(0)], 0)
+        ms.warp_access(0, [rd(0)], 10)
+        acc, hits, miss = ms.l1_stats_total()
+        assert acc == 2 and hits == 1 and miss == 1
+        acc2, _, _ = ms.l2_stats_total()
+        assert acc2 == 1

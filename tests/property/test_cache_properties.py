@@ -1,0 +1,67 @@
+"""Property-based tests for the cache model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache
+
+addr_seqs = st.lists(st.integers(min_value=0, max_value=1 << 14),
+                     min_size=1, max_size=200)
+
+
+class TestCacheInvariants:
+    @given(addr_seqs)
+    def test_inclusion_after_access(self, addrs):
+        """Every just-accessed line is resident immediately afterwards."""
+        c = Cache(1024, 2, 64)
+        for a in addrs:
+            c.access(a)
+            assert c.probe(a)
+
+    @given(addr_seqs)
+    def test_capacity_never_exceeded(self, addrs):
+        c = Cache(1024, 2, 64)
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines() <= 1024 // 64
+
+    @given(addr_seqs)
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        c = Cache(1024, 2, 64)
+        for a in addrs:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+
+    @given(addr_seqs)
+    def test_dirty_evictions_bounded_by_writes(self, addrs):
+        c = Cache(512, 1, 64)
+        for a in addrs:
+            c.access(a, is_write=True)
+        assert c.stats.dirty_evictions <= c.stats.accesses
+
+    @given(addr_seqs)
+    def test_working_set_within_capacity_all_hits_second_pass(self, addrs):
+        """LRU with a working set smaller than one way per set worst case:
+        restrict to lines that fit, then a second pass must hit 100%."""
+        c = Cache(4096, 4, 64)
+        lines = sorted({a // 64 * 64 for a in addrs})[: 4096 // 64 // 4]
+        for a in lines:
+            c.access(a)
+        before = c.stats.hits
+        for a in lines:
+            hit, _, _ = c.access(a)
+        # a working set of at most one way per set can never self-evict
+        assert c.stats.hits - before >= 0  # smoke
+        # stronger check when the set fits entirely
+        if len(lines) <= c.num_sets:
+            assert c.stats.hits - before == len(lines)
+
+    @given(addr_seqs, st.integers(min_value=0, max_value=1 << 14))
+    def test_invalidate_removes_only_target(self, addrs, victim):
+        c = Cache(1024, 2, 64)
+        for a in addrs:
+            c.access(a)
+        resident_before = c.resident_lines()
+        was_present = c.probe(victim)
+        c.invalidate(victim)
+        assert not c.probe(victim)
+        assert c.resident_lines() == resident_before - (1 if was_present else 0)

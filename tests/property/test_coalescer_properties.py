@@ -1,0 +1,70 @@
+"""Property-based tests for the coalescer (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import AccessKind, LaneAccess
+from repro.gpu.coalescer import coalesce
+
+lane_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),  # addr
+        st.sampled_from([1, 2, 4, 8]),                # size
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+def make_lanes(spec):
+    return [LaneAccess(i, a, s, AccessKind.READ)
+            for i, (a, s) in enumerate(spec)]
+
+
+class TestCoalescerInvariants:
+    @given(lane_lists)
+    def test_full_coverage(self, spec):
+        """Every byte touched by a lane is covered by some transaction."""
+        lanes = make_lanes(spec)
+        txns = coalesce(lanes, False)
+        for la in lanes:
+            for byte in (la.addr, la.addr + la.size - 1):
+                assert any(t.addr <= byte < t.addr + t.size for t in txns), (
+                    f"byte {byte} uncovered"
+                )
+
+    @given(lane_lists)
+    def test_alignment_and_sizes(self, spec):
+        txns = coalesce(make_lanes(spec), False)
+        for t in txns:
+            assert t.size in (32, 64, 128)
+            assert t.addr % t.size == 0
+
+    @given(lane_lists)
+    def test_no_duplicate_segments(self, spec):
+        txns = coalesce(make_lanes(spec), False)
+        starts = [t.addr for t in txns]
+        assert len(starts) == len(set(starts))
+        assert starts == sorted(starts)
+
+    @given(lane_lists)
+    def test_transaction_count_bounded(self, spec):
+        """At most one transaction per touched 128B segment."""
+        lanes = make_lanes(spec)
+        segments = set()
+        for la in lanes:
+            lo, hi = la.footprint()
+            segments.update(range(lo // 128, (hi - 1) // 128 + 1))
+        txns = coalesce(lanes, False)
+        assert len(txns) <= len(segments)
+
+    @given(lane_lists, st.booleans())
+    def test_write_flag_propagates(self, spec, is_write):
+        for t in coalesce(make_lanes(spec), is_write):
+            assert t.is_write == is_write
+
+    @given(lane_lists)
+    def test_permutation_invariant(self, spec):
+        lanes = make_lanes(spec)
+        a = coalesce(lanes, False)
+        b = coalesce(list(reversed(lanes)), False)
+        assert a == b

@@ -1,0 +1,114 @@
+"""Property-based oracle tests for the global shadow state machine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.common.types import AccessKind, LaneAccess, MemSpace, WarpAccess
+from repro.core.clocks import RaceRegisterFile
+from repro.core.races import RaceLog
+from repro.core.shadow_memory import GlobalShadowMemory
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+#: one event: (warp 0..3, slot 0..7, write?, epoch-bump?)
+events = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 7),
+        st.booleans(),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _wa(warp, slot, is_write, sync_id, block_id):
+    kind = W if is_write else R
+    la = LaneAccess(0, slot * 4, 4, kind)
+    return WarpAccess(space=MemSpace.GLOBAL, kind=kind, lanes=[la],
+                      sm_id=warp % 2, block_id=block_id, warp_id=warp,
+                      warp_in_block=warp, base_tid=warp * 32,
+                      sync_id=sync_id)
+
+
+def make():
+    log = RaceLog()
+    rrf = RaceRegisterFile(8)
+    cfg = HAccRGConfig(mode=DetectionMode.GLOBAL, global_granularity=4)
+    return GlobalShadowMemory(64, cfg, log, rrf), log, rrf
+
+
+class TestSameBlockEpochOracle:
+    @given(events)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_interval_oracle(self, evs):
+        """Single-block accesses with barrier epochs: the detector must
+        report a race iff two accesses of the same epoch, different
+        warps, same slot, >= 1 write exist (no fences in this model)."""
+        g, log, _ = make()
+        sync = 0
+        timeline = []  # (epoch, warp, slot, write)
+        for warp, slot, is_write, bump in evs:
+            if bump:
+                sync += 1
+            g.check(_wa(warp, slot, is_write, sync, block_id=0))
+            timeline.append((sync, warp, slot, is_write))
+
+        def oracle():
+            for i, (e1, w1, s1, wr1) in enumerate(timeline):
+                for e2, w2, s2, wr2 in timeline[i + 1:]:
+                    if (e1 == e2 and s1 == s2 and w1 != w2
+                            and (wr1 or wr2)):
+                        return True
+            return False
+
+        assert (len(log) > 0) == oracle()
+
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_reported_entries_conflict_in_some_epoch(self, evs):
+        g, log, _ = make()
+        sync = 0
+        timeline = []
+        for warp, slot, is_write, bump in evs:
+            if bump:
+                sync += 1
+            g.check(_wa(warp, slot, is_write, sync, block_id=0))
+            timeline.append((sync, warp, slot, is_write))
+        conflicting = set()
+        for i, (e1, w1, s1, wr1) in enumerate(timeline):
+            for e2, w2, s2, wr2 in timeline[i + 1:]:
+                if e1 == e2 and s1 == s2 and w1 != w2 and (wr1 or wr2):
+                    conflicting.add(s1)
+        for r in log.reports:
+            assert r.entry in conflicting
+
+
+class TestFenceMonotonicity:
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_fences_only_remove_raw_reports(self, evs):
+        """Running the same access stream with every producer fencing
+        after every write can only reduce the RAW count, and must not
+        change WAW/WAR counts (fences don't order writes)."""
+        from repro.common.types import RaceKind
+
+        def run(with_fences):
+            g, log, rrf = make()
+            fence_epoch = {w: 0 for w in range(4)}
+            for warp, slot, is_write, _ in evs:
+                acc = _wa(warp, slot, is_write, 0, block_id=warp)
+                acc.fence_id = fence_epoch[warp]
+                g.check(acc)
+                if is_write and with_fences:
+                    fence_epoch[warp] += 1
+                    rrf.on_fence(warp, fence_epoch[warp])
+            return log
+
+        plain = run(False)
+        fenced = run(True)
+        assert fenced.count(kind=RaceKind.RAW) <= plain.count(
+            kind=RaceKind.RAW)
+        assert fenced.count(kind=RaceKind.WAW) == plain.count(
+            kind=RaceKind.WAW)

@@ -1,0 +1,94 @@
+"""Property-based serializability tests for the HTM extension."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ext.htm import TransactionManager, TxStatus
+
+# one op: (txn index, is_write, addr slot, value seed)
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=1, max_value=100),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _interleave(ops):
+    """Drive four transactions through an arbitrary interleaving; finish
+    with commit attempts in txn-index order. Returns (tm, txns)."""
+    tm = TransactionManager(1024, granularity=4)
+    txns = [tm.begin(i) for i in range(4)]
+    for ti, is_write, slot, seed in ops:
+        tx = txns[ti]
+        if not tx.is_active:
+            continue
+        addr = slot * 4
+        if is_write:
+            tm.write(tx, addr, float(seed + ti * 1000))
+        else:
+            tm.read(tx, addr)
+    for tx in txns:
+        if tx.is_active:
+            tm.commit(tx)
+    return tm, txns
+
+
+class TestSerializabilityProperties:
+    @given(ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_committed_footprints_never_conflict(self, ops):
+        """No two transactions that were simultaneously active and both
+        committed may have conflicting footprints (eager detection must
+        have aborted one)."""
+        tm, txns = _interleave(ops)
+        committed = [t for t in txns if t.status == TxStatus.COMMITTED]
+        # all committed transactions here were concurrent (committed at
+        # the very end), so pairwise conflict-freedom is required
+        for i, a in enumerate(committed):
+            for b in committed[i + 1:]:
+                ww = a.write_set & b.write_set
+                rw = (a.read_set & b.write_set) | (b.read_set & a.write_set)
+                assert not ww, f"WAW between committed {a.txid},{b.txid}"
+                assert not rw, f"R/W between committed {a.txid},{b.txid}"
+
+    @given(ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_final_state_from_committed_writes_only(self, ops):
+        tm, txns = _interleave(ops)
+        committed_addrs = set()
+        for t in txns:
+            if t.status == TxStatus.COMMITTED:
+                committed_addrs.update(t.write_buffer)
+        assert set(tm.values) <= committed_addrs
+
+    @given(ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_every_txn_reaches_terminal_state(self, ops):
+        tm, txns = _interleave(ops)
+        for t in txns:
+            assert t.status in (TxStatus.COMMITTED, TxStatus.ABORTED)
+        assert tm.stats.commits + tm.stats.aborts == len(txns)
+
+    @given(ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_no_conflicts_means_all_commit(self, ops):
+        """If the generated footprints are pairwise disjoint, nothing may
+        abort (no false aborts beyond granularity aliasing, which 4B
+        slots avoid)."""
+        # force disjoint slots per transaction: slot' = 8*ti + slot
+        tm = TransactionManager(4096, granularity=4)
+        txns = [tm.begin(i) for i in range(4)]
+        for ti, is_write, slot, seed in ops:
+            tx = txns[ti]
+            addr = (ti * 8 + slot) * 4
+            if is_write:
+                tm.write(tx, addr, float(seed))
+            else:
+                tm.read(tx, addr)
+        for tx in txns:
+            assert tx.is_active
+            assert tm.commit(tx)

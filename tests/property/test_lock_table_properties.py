@@ -1,0 +1,69 @@
+"""Property-based tests for the device lock table (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.atomics import LockTable
+
+# one op: (thread id, lock address slot, acquire?)
+ops = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 3), st.booleans()),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestLockTableInvariants:
+    @given(ops)
+    @settings(max_examples=200, deadline=None)
+    def test_mutual_exclusion_and_liveness(self, events):
+        """Replay arbitrary acquire/release attempts; the table must keep
+        a single holder per lock and stay consistent with a reference
+        model."""
+        table = LockTable()
+        # reference: addr -> (holder, depth)
+        model = {}
+        for tid, slot, acquire in events:
+            addr = slot * 4
+            if acquire:
+                granted = table.try_acquire(addr, tid)
+                holder = model.get(addr)
+                if holder is None:
+                    assert granted
+                    model[addr] = (tid, 1)
+                elif holder[0] == tid:
+                    assert granted  # re-entrant
+                    model[addr] = (tid, holder[1] + 1)
+                else:
+                    assert not granted
+            else:
+                holder = model.get(addr)
+                if holder is not None and holder[0] == tid:
+                    table.release(addr, tid)
+                    if holder[1] == 1:
+                        del model[addr]
+                    else:
+                        model[addr] = (tid, holder[1] - 1)
+            # holder view must match the model at every step
+            for a in {s * 4 for _, s, _ in events}:
+                expect = model.get(a)
+                assert table.holder_of(a) == (expect[0] if expect else None)
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_held_count_matches_model(self, events):
+        table = LockTable()
+        model = {}
+        for tid, slot, acquire in events:
+            addr = slot * 4
+            if acquire:
+                if table.try_acquire(addr, tid):
+                    model[addr] = (tid, model.get(addr, (tid, 0))[1] + 1)
+            else:
+                holder = model.get(addr)
+                if holder is not None and holder[0] == tid:
+                    table.release(addr, tid)
+                    if holder[1] == 1:
+                        del model[addr]
+                    else:
+                        model[addr] = (tid, holder[1] - 1)
+        assert table.held_count() == len(model)

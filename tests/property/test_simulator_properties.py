@@ -1,0 +1,91 @@
+"""Property-based end-to-end tests: kernels over random shapes/values."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import GPUConfig
+from repro.gpu import GPUSimulator, Kernel
+
+small = GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+class TestFunctionalCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),   # blocks
+        st.integers(min_value=1, max_value=4),   # warps per block
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_scale_kernel_any_shape(self, blocks, warps, seed):
+        n = blocks * warps * 32
+        rng = np.random.Generator(np.random.PCG64(seed))
+        data = rng.integers(0, 100, n).astype(np.float64)
+
+        def k(ctx, src, dst):
+            i = ctx.global_tid_x
+            v = yield ctx.load(src, i)
+            yield ctx.store(dst, i, v * 3 + 1)
+
+        sim = GPUSimulator(small, timing_enabled=False)
+        src = sim.malloc("src", n)
+        dst = sim.malloc("dst", n)
+        src.host_write(data)
+        sim.launch(Kernel(k), grid=blocks, block=warps * 32,
+                   args=(src, dst))
+        assert np.array_equal(dst.host_read(), data * 3 + 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=1000))
+    def test_block_sum_reduction(self, blocks, seed):
+        n = blocks * 64
+        rng = np.random.Generator(np.random.PCG64(seed))
+        data = rng.integers(0, 50, n).astype(np.float64)
+
+        def k(ctx, src, out):
+            tid = ctx.tid_x
+            sh = ctx.shared["buf"]
+            v = yield ctx.load(src, ctx.global_tid_x)
+            yield ctx.store(sh, tid, v)
+            yield ctx.syncthreads()
+            s = 32
+            while s > 0:
+                if tid < s:
+                    a = yield ctx.load(sh, tid)
+                    b = yield ctx.load(sh, tid + s)
+                    yield ctx.store(sh, tid, a + b)
+                yield ctx.syncthreads()
+                s //= 2
+            if tid == 0:
+                r = yield ctx.load(sh, 0)
+                yield ctx.store(out, ctx.block_id_x, r)
+
+        sim = GPUSimulator(small, timing_enabled=False)
+        src = sim.malloc("src", n)
+        out = sim.malloc("out", blocks)
+        src.host_write(data)
+        sim.launch(Kernel(k, shared={"buf": (64, 4)}), grid=blocks,
+                   block=64, args=(src, out))
+        assert np.array_equal(out.host_read(),
+                              data.reshape(blocks, 64).sum(axis=1))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=3))
+    def test_atomic_histogram_conserves_counts(self, blocks, bins_pow):
+        nbins = 1 << bins_pow
+        n = blocks * 96
+
+        def k(ctx, keys, hist):
+            i = ctx.global_tid_x
+            kv = yield ctx.load(keys, i)
+            yield ctx.atomic_add(hist, int(kv) % hist.length, 1.0)
+
+        sim = GPUSimulator(small, timing_enabled=False)
+        keys = sim.malloc("keys", n)
+        hist = sim.malloc("hist", nbins)
+        rng = np.random.Generator(np.random.PCG64(blocks * 7 + bins_pow))
+        data = rng.integers(0, 1000, n).astype(np.float64)
+        keys.host_write(data)
+        sim.launch(Kernel(k), grid=blocks, block=96, args=(keys, hist))
+        assert hist.host_read().sum() == n

@@ -1,0 +1,104 @@
+"""Tests for the offline log-based detection baseline."""
+
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.types import MemSpace, RaceKind
+from repro.gpu import GPUSimulator, Kernel
+from repro.swdetect.offline_log import OfflineLogDetector
+
+
+def small_gpu():
+    return GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+def run(kernel, grid, block, args_fn):
+    sim = GPUSimulator(small_gpu())
+    det = OfflineLogDetector(
+        HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4), sim)
+    sim.attach_detector(det)
+    args = args_fn(sim)
+    res = sim.launch(kernel, grid, block, args)
+    return res, det
+
+
+def shared_racy(ctx, out):
+    tid = ctx.tid_x
+    sh = ctx.shared["buf"]
+    yield ctx.store(sh, tid, float(tid))
+    v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+    yield ctx.store(out, ctx.global_tid_x, v)
+
+
+def shared_safe(ctx, out):
+    tid = ctx.tid_x
+    sh = ctx.shared["buf"]
+    yield ctx.store(sh, tid, float(tid))
+    yield ctx.syncthreads()
+    v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+    yield ctx.store(out, ctx.global_tid_x, v)
+
+
+RACY = Kernel(shared_racy, shared={"buf": (64, 4)})
+SAFE = Kernel(shared_safe, shared={"buf": (64, 4)})
+
+
+class TestDetection:
+    def test_finds_missing_barrier_race(self):
+        res, det = run(RACY, 1, 64, lambda s: (s.malloc("o", 64),))
+        assert det.log.count(space=MemSpace.SHARED) > 0
+
+    def test_barrier_intervals_respected(self):
+        res, det = run(SAFE, 1, 64, lambda s: (s.malloc("o", 64),))
+        assert len(det.log) == 0
+
+    def test_covers_global_memory_too(self):
+        def global_racy(ctx, data):
+            yield ctx.store(data, ctx.tid_x, float(ctx.block_id_x))
+
+        res, det = run(Kernel(global_racy), 2, 64,
+                       lambda s: (s.malloc("d", 64),))
+        assert det.log.count(space=MemSpace.GLOBAL) > 0
+        assert det.log.by_kind() == {RaceKind.WAW: det.log.count()}
+
+
+class TestCostStructure:
+    def test_memory_grows_with_access_count(self):
+        """The defining weakness: log size tracks dynamic accesses."""
+        def k(ctx, data, rounds):
+            for r in range(rounds):
+                yield ctx.store(data, ctx.tid_x, float(r))
+
+        costs = []
+        for rounds in (2, 8):
+            sim = GPUSimulator(small_gpu())
+            det = OfflineLogDetector(HAccRGConfig(), sim)
+            sim.attach_detector(det)
+            data = sim.malloc("d", 64)
+            sim.launch(Kernel(k), 1, 64, args=(data, rounds))
+            costs.append(det.log_bytes)
+        assert costs[1] == 4 * costs[0]
+
+    def test_slower_than_uninstrumented(self):
+        sim = GPUSimulator(small_gpu())
+        out = sim.malloc("o", 64)
+        base = sim.launch(SAFE, 1, 64, args=(out,)).cycles
+        res, det = run(SAFE, 1, 64, lambda s: (s.malloc("o", 64),))
+        assert res.cycles > 2 * base
+        assert det.instrumentation_instructions > 0
+
+    def test_quadratic_analysis_cost(self):
+        """Pairwise per-location analysis: comparisons grow superlinearly."""
+        def k(ctx, data, rounds):
+            for r in range(rounds):
+                v = yield ctx.load(data, 0)  # everyone hammers one cell
+
+        comps = []
+        for rounds in (2, 4):
+            sim = GPUSimulator(small_gpu())
+            det = OfflineLogDetector(HAccRGConfig(), sim)
+            sim.attach_detector(det)
+            data = sim.malloc("d", 4)
+            sim.launch(Kernel(k), 1, 32, args=(data, rounds))
+            comps.append(det.analysis_comparisons)
+        assert comps[1] > 3 * comps[0]

@@ -1,0 +1,93 @@
+"""Tests for the software HAccRG baseline."""
+
+import pytest
+
+from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.types import MemSpace
+from repro.gpu import GPUSimulator, Kernel
+from repro.swdetect.software_haccrg import SoftwareHAccRG
+
+
+def small_gpu():
+    return GPUConfig(num_sms=2, num_clusters=1, max_threads_per_sm=256)
+
+
+def run(kernel, grid, block, args_fn, detector=True,
+        mode=DetectionMode.FULL):
+    sim = GPUSimulator(small_gpu())
+    det = None
+    if detector:
+        det = SoftwareHAccRG(HAccRGConfig(mode=mode, shared_granularity=4),
+                             sim)
+        sim.attach_detector(det)
+    args = args_fn(sim)
+    res = sim.launch(kernel, grid, block, args)
+    return res, det
+
+
+def shared_racy(ctx, out):
+    tid = ctx.tid_x
+    sh = ctx.shared["buf"]
+    yield ctx.store(sh, tid, float(tid))
+    v = yield ctx.load(sh, (tid + 1) % ctx.block_dim.x)
+    yield ctx.store(out, ctx.global_tid_x, v)
+
+
+SHARED_KERNEL = Kernel(shared_racy, shared={"buf": (64, 4)})
+
+
+class TestDetectionEquivalence:
+    def test_same_races_as_hardware(self):
+        from repro.core.detector import HAccRGDetector
+
+        def once(cls):
+            sim = GPUSimulator(small_gpu())
+            det = cls(HAccRGConfig(mode=DetectionMode.FULL,
+                                   shared_granularity=4), sim)
+            sim.attach_detector(det)
+            out = sim.malloc("o", 128)
+            sim.launch(SHARED_KERNEL, grid=2, block=64, args=(out,))
+            return sorted((r.space, r.entry, r.kind) for r in det.log.reports)
+
+        assert once(SoftwareHAccRG) == once(HAccRGDetector)
+
+
+class TestInstrumentationCost:
+    def test_slower_than_hardware(self):
+        from repro.core.detector import HAccRGDetector
+
+        def cycles(cls):
+            sim = GPUSimulator(small_gpu())
+            if cls is not None:
+                det = cls(HAccRGConfig(mode=DetectionMode.FULL), sim)
+                sim.attach_detector(det)
+            out = sim.malloc("o", 128)
+            return sim.launch(SHARED_KERNEL, grid=2, block=64,
+                              args=(out,)).cycles
+
+        base = cycles(None)
+        hw = cycles(HAccRGDetector)
+        sw = cycles(SoftwareHAccRG)
+        assert sw > hw
+        assert sw > 2 * base  # instrumentation is expensive
+
+    def test_extra_instructions_counted(self):
+        res, det = run(SHARED_KERNEL, 2, 64, lambda s: (s.malloc("o", 128),))
+        assert det.instrumentation_instructions > 0
+        assert res.stats.instructions > 128 * 3  # inflated by instrumentation
+
+    def test_no_packet_id_bits(self):
+        sim = GPUSimulator(small_gpu())
+        det = SoftwareHAccRG(HAccRGConfig(mode=DetectionMode.FULL), sim)
+        assert det.request_id_bits == 0
+
+    def test_barrier_invalidation_instrumented(self):
+        def k(ctx, out):
+            sh = ctx.shared["buf"]
+            yield ctx.store(sh, ctx.tid_x, 1.0)
+            yield ctx.syncthreads()
+            yield ctx.store(out, ctx.global_tid_x, 1.0)
+
+        res, det = run(Kernel(k, shared={"buf": (64, 4)}), 1, 64,
+                       lambda s: (s.malloc("o", 64),))
+        assert det.instrumentation_stall_cycles > 0

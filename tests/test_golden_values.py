@@ -1,0 +1,71 @@
+"""Golden-value regression pins for the headline reproduction results.
+
+These freeze the exact numbers the repository's EXPERIMENTS.md reports at
+the default experiment scale. A change here is not necessarily a bug —
+but it *is* a change to the documented reproduction and must be a
+conscious one (update EXPERIMENTS.md alongside).
+"""
+
+import pytest
+
+from repro.harness.experiments import WORD_CONFIG
+from repro.harness.runner import run_benchmark
+
+FULL_SCALE = dict(scale=1.0, timing_enabled=False)
+
+
+class TestRealRaceCounts:
+    """§VI-A: distinct (entry, kind, category) races at word granularity."""
+
+    def test_scan(self):
+        res = run_benchmark("SCAN", WORD_CONFIG, **FULL_SCALE)
+        assert len(res.races) == 512
+
+    def test_offt(self):
+        res = run_benchmark("OFFT", WORD_CONFIG, **FULL_SCALE)
+        assert len(res.races) == 124
+        from repro.common.types import RaceKind
+        assert res.races.by_kind() == {RaceKind.WAR: 124}
+
+    def test_kmeans(self):
+        res = run_benchmark("KMEANS", WORD_CONFIG, **FULL_SCALE)
+        assert len(res.races) == 23
+
+
+class TestBloomGolden:
+    def test_exact_two_bin_rates(self):
+        import numpy as np
+
+        from repro.core.bloom import BloomSignature
+
+        rng = np.random.Generator(np.random.PCG64(7))
+        addrs = rng.integers(0, 1 << 30, size=1 << 16, dtype=np.int64) * 4
+        assert BloomSignature(8, 2).miss_rate(addrs) == pytest.approx(
+            0.25, abs=0.005)
+        assert BloomSignature(16, 2).miss_rate(addrs) == pytest.approx(
+            0.125, abs=0.005)
+        assert BloomSignature(32, 2).miss_rate(addrs) == pytest.approx(
+            0.0625, abs=0.005)
+
+
+class TestHwCostGolden:
+    def test_storage_bytes(self):
+        from repro.common.config import GPUConfig, HAccRGConfig
+        from repro.core.hw_cost import storage_budget
+
+        s = storage_budget(GPUConfig(), HAccRGConfig())
+        assert (s.shared_shadow_per_sm, s.race_register_file_per_slice) \
+            == (4608, 768)
+
+
+class TestGranularityGolden:
+    def test_hist_shared_false_race_series(self):
+        from repro.common.config import DetectionMode, HAccRGConfig
+
+        series = {}
+        for g in (4, 8, 16, 32, 64):
+            cfg = HAccRGConfig(mode=DetectionMode.SHARED,
+                               shared_granularity=g)
+            res = run_benchmark("HIST", cfg, **FULL_SCALE)
+            series[g] = len(res.races)
+        assert series == {4: 0, 8: 384, 16: 192, 32: 96, 64: 48}

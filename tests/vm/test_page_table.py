@@ -1,0 +1,72 @@
+"""Unit tests for the GPU page table with on-demand shadow paging."""
+
+import pytest
+
+from repro.common.errors import ConfigError, KernelError
+from repro.vm.page_table import PageTable
+
+
+class TestMapping:
+    def test_map_and_translate(self):
+        pt = PageTable(page_size=4096)
+        pt.map_range(0x10000, 8192)
+        paddr, entry = pt.translate(0x10004)
+        assert pt.offset_of(paddr) == 4
+        assert not entry.is_global
+
+    def test_distinct_pages_distinct_frames(self):
+        pt = PageTable(4096)
+        pt.map_range(0, 3 * 4096)
+        frames = {pt.translate(i * 4096)[1].pfn for i in range(3)}
+        assert len(frames) == 3
+
+    def test_unmapped_faults(self):
+        pt = PageTable(4096)
+        with pytest.raises(KernelError):
+            pt.translate(0x5000)
+
+    def test_remap_preserves_and_upgrades_global(self):
+        pt = PageTable(4096)
+        pt.map_range(0, 4096, is_global=False)
+        pt.map_range(0, 4096, is_global=True)
+        _, entry = pt.translate(0)
+        assert entry.is_global
+        assert pt.mapped_pages == 1
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            PageTable(page_size=3000)
+
+
+class TestShadowPaging:
+    def test_shadow_allocated_on_demand(self):
+        pt = PageTable(4096)
+        pt.map_range(0, 4096, is_global=True)
+        assert pt.shadow_pages_allocated == 0
+        pt.shadow_translate(0x100)
+        assert pt.shadow_pages_allocated == 1
+        # second translation reuses the page
+        pt.shadow_translate(0x200)
+        assert pt.shadow_pages_allocated == 1
+
+    def test_shadow_frame_differs_from_app_frame(self):
+        pt = PageTable(4096)
+        pt.map_range(0, 4096, is_global=True)
+        paddr, _ = pt.translate(0x10)
+        saddr, _ = pt.shadow_translate(0x10)
+        assert paddr != saddr
+        assert pt.offset_of(paddr) == pt.offset_of(saddr) == 0x10
+
+    def test_non_global_pages_have_no_shadow(self):
+        """§IV-B: shadow pages only for the global memory space."""
+        pt = PageTable(4096)
+        pt.map_range(0, 4096, is_global=False)
+        with pytest.raises(KernelError):
+            pt.shadow_translate(0)
+
+    def test_only_global_pages_counted(self):
+        pt = PageTable(4096)
+        pt.map_range(0, 2 * 4096, is_global=True)
+        pt.map_range(2 * 4096, 4096, is_global=False)
+        assert pt.global_pages() == 2
+        assert pt.mapped_pages == 3

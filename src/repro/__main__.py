@@ -1,7 +1,13 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__name__`` guard is load-bearing: campaign worker processes start
+via the ``spawn`` method, which re-imports the parent's main module —
+an unguarded ``sys.exit(main())`` would re-run the CLI in every worker.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,16 @@ class Injection:
     def active_sites(self) -> Tuple[str, ...]:
         return tuple(sorted(self._omit | self._emit))
 
+    @property
+    def omit_sites(self) -> Tuple[str, ...]:
+        """Sorted sites whose synchronization is removed (canonical form)."""
+        return tuple(sorted(self._omit))
+
+    @property
+    def emit_sites(self) -> Tuple[str, ...]:
+        """Sorted sites whose dummy conflicting access is enabled."""
+        return tuple(sorted(self._emit))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Injection(omit={sorted(self._omit)}, emit={sorted(self._emit)})"
 

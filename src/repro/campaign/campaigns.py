@@ -1,0 +1,270 @@
+"""Declarative campaign definitions covering the paper's experiment index.
+
+Each campaign enumerates the exact ``run_benchmark`` cells its experiment
+functions issue (same configs, same overrides, same flags), so a campaign
+run pre-fills the result store and the subsequent in-session experiment
+pass is 100 % cache hits. Cells shared between figures (e.g. the Fig. 7
+baselines reused by Figs. 8 and 9) hash identically and are deduplicated
+at enumeration time — the content-addressed store makes the full
+``reproduce`` grid strictly smaller than the sum of its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.bench.common import NO_INJECTION, Injection
+from repro.bench.injection import INJECTION_CATALOG
+from repro.campaign.jobs import Job
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    HAccRGConfig,
+)
+
+LabeledJob = Tuple[str, Job]
+
+
+def _cell(label: str, bench: str, cfg=None, timing: bool = True,
+          verify: bool = False, injection: Injection = NO_INJECTION,
+          scale: float = 1.0, **overrides) -> LabeledJob:
+    return label, Job.from_call(
+        bench, detector_config=cfg, scale=scale, injection=injection,
+        timing_enabled=timing, verify=verify, overrides=overrides)
+
+
+def _suite_names() -> List[str]:
+    from repro.bench.suite import SUITE
+    return [b.name for b in SUITE]
+
+
+def _race_free_overrides() -> Dict[str, Dict[str, object]]:
+    from repro.harness.experiments import RACE_FREE_OVERRIDES
+    return RACE_FREE_OVERRIDES
+
+
+def _word_config() -> HAccRGConfig:
+    from repro.harness.experiments import WORD_CONFIG
+    return WORD_CONFIG
+
+
+# ---------------------------------------------------------------------------
+# builders (scale -> labeled jobs)
+# ---------------------------------------------------------------------------
+
+def _table2(scale: float) -> List[LabeledJob]:
+    free = _race_free_overrides()
+    return [
+        _cell(f"table2/{name}", name, None, timing=False, scale=scale,
+              **free.get(name, {}))
+        for name in _suite_names()
+    ]
+
+
+def _effectiveness(scale: float) -> List[LabeledJob]:
+    word = _word_config()
+    free = _race_free_overrides()
+    cells = [
+        _cell(f"effectiveness/{name}", name, word, timing=False, scale=scale)
+        for name in _suite_names()
+    ]
+    cells += [
+        _cell(f"effectiveness/{name}-fixed", name, word, timing=False,
+              verify=True, scale=scale, **free[name])
+        for name in sorted(free)
+    ]
+    return cells
+
+
+def _injected(scale: float) -> List[LabeledJob]:
+    word = _word_config()
+    cells: List[LabeledJob] = []
+    for i, spec in enumerate(INJECTION_CATALOG):
+        overrides = spec.build_overrides()
+        cells.append(_cell(
+            f"injected/{spec.bench}-baseline", spec.bench, word,
+            timing=False, scale=scale, **overrides))
+        cells.append(_cell(
+            f"injected/{spec.bench}-{spec.category}-{i}", spec.bench, word,
+            timing=False, injection=spec.injection(), scale=scale,
+            **overrides))
+    return cells
+
+
+def _table3(scale: float) -> List[LabeledJob]:
+    """Granularity sweep as direct-detection cells.
+
+    The table3 *experiment* replays one recorded trace per benchmark
+    (cheaper); this campaign enumerates the equivalent live-detection
+    grid, which the replay is bit-identical to — useful for validating
+    the replay path and for sweeping granularities in parallel.
+    """
+    free = _race_free_overrides()
+    cells = []
+    for name in _suite_names():
+        for g in (4, 8, 16, 32, 64):
+            cells.append(_cell(
+                f"table3/{name}-shared-{g}", name,
+                HAccRGConfig(mode=DetectionMode.SHARED,
+                             shared_granularity=g),
+                timing=False, scale=scale, **free.get(name, {})))
+            cells.append(_cell(
+                f"table3/{name}-global-{g}", name,
+                HAccRGConfig(mode=DetectionMode.GLOBAL,
+                             global_granularity=g),
+                timing=False, scale=scale, **free.get(name, {})))
+    return cells
+
+
+def _idsizes(scale: float) -> List[LabeledJob]:
+    word = _word_config()
+    free = _race_free_overrides()
+    return [
+        _cell(f"idsizes/{name}", name, word, timing=False, scale=scale,
+              **free.get(name, {}))
+        for name in _suite_names()
+    ]
+
+
+def _fig7(scale: float) -> List[LabeledJob]:
+    software = ("SCAN", "HIST", "KMEANS")
+    cells: List[LabeledJob] = []
+    for name in _suite_names():
+        cells.append(_cell(f"fig7/{name}-base", name, None, scale=scale))
+        cells.append(_cell(f"fig7/{name}-shared", name,
+                           HAccRGConfig(mode=DetectionMode.SHARED),
+                           scale=scale))
+        cells.append(_cell(f"fig7/{name}-full", name,
+                           HAccRGConfig(mode=DetectionMode.FULL),
+                           scale=scale))
+        if name in software:
+            cells.append(_cell(
+                f"fig7/{name}-software", name,
+                HAccRGConfig(mode=DetectionMode.FULL,
+                             backend=DetectorBackend.SOFTWARE),
+                scale=scale))
+            cells.append(_cell(
+                f"fig7/{name}-grace", name,
+                HAccRGConfig(mode=DetectionMode.SHARED,
+                             backend=DetectorBackend.GRACE),
+                scale=scale))
+    return cells
+
+
+def _fig8(scale: float) -> List[LabeledJob]:
+    cells: List[LabeledJob] = []
+    for name in _suite_names():
+        cells.append(_cell(f"fig8/{name}-base", name, None, scale=scale))
+        cells.append(_cell(f"fig8/{name}-full", name,
+                           HAccRGConfig(mode=DetectionMode.FULL),
+                           scale=scale))
+        cells.append(_cell(
+            f"fig8/{name}-split", name,
+            HAccRGConfig(mode=DetectionMode.FULL,
+                         shared_shadow_in_global=True),
+            scale=scale))
+    return cells
+
+
+def _fig9(scale: float) -> List[LabeledJob]:
+    # exactly the fig7 base/shared/full cells; kept as its own campaign so
+    # `campaign run fig9` works standalone (cells dedup against fig7 runs)
+    cells: List[LabeledJob] = []
+    for name in _suite_names():
+        cells.append(_cell(f"fig9/{name}-base", name, None, scale=scale))
+        cells.append(_cell(f"fig9/{name}-shared", name,
+                           HAccRGConfig(mode=DetectionMode.SHARED),
+                           scale=scale))
+        cells.append(_cell(f"fig9/{name}-full", name,
+                           HAccRGConfig(mode=DetectionMode.FULL),
+                           scale=scale))
+    return cells
+
+
+def _table4(scale: float) -> List[LabeledJob]:
+    # identical cells to table2 (baseline, timing off, race-free builds);
+    # listed separately so the campaign index mirrors the experiment index
+    free = _race_free_overrides()
+    return [
+        _cell(f"table4/{name}", name, None, timing=False, scale=scale,
+              **free.get(name, {}))
+        for name in _suite_names()
+    ]
+
+
+def _smoke(scale: float) -> List[LabeledJob]:
+    """Tiny CI grid: two benchmarks, baseline + full detection."""
+    scale = min(scale, 0.25)
+    cells = []
+    for name in ("SCAN", "REDUCE"):
+        cells.append(_cell(f"smoke/{name}-base", name, None, timing=False,
+                           scale=scale))
+        cells.append(_cell(
+            f"smoke/{name}-full", name,
+            HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4),
+            timing=False, scale=scale))
+    return cells
+
+
+def _reproduce(scale: float) -> List[LabeledJob]:
+    """Every run_benchmark cell the full ``reproduce`` pass issues."""
+    cells: List[LabeledJob] = []
+    for builder in (_table2, _effectiveness, _injected, _idsizes,
+                    _fig7, _fig8, _fig9, _table4):
+        cells.extend(builder(scale))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, declarative grid of jobs."""
+
+    name: str
+    description: str
+    builder: Callable[[float], List[LabeledJob]]
+
+    def jobs(self, scale: float = 1.0) -> List[LabeledJob]:
+        """Enumerate (label, job) cells, deduplicated by content hash."""
+        seen: Dict[str, str] = {}
+        out: List[LabeledJob] = []
+        for label, job in self.builder(scale):
+            key = job.key()
+            if key in seen:
+                continue
+            seen[key] = label
+            out.append((label, job))
+        return out
+
+
+CAMPAIGNS: Dict[str, Campaign] = {
+    c.name: c for c in (
+        Campaign("table2", "benchmark characteristics grid", _table2),
+        Campaign("effectiveness", "real races + race-free verification",
+                 _effectiveness),
+        Campaign("injected", "41-injection matrix with per-cell baselines",
+                 _injected),
+        Campaign("table3", "granularity sweep (live-detection grid)",
+                 _table3),
+        Campaign("idsizes", "sync/fence ID increment study", _idsizes),
+        Campaign("fig7", "performance impact grid", _fig7),
+        Campaign("fig8", "shared-shadow split grid", _fig8),
+        Campaign("fig9", "DRAM bandwidth grid", _fig9),
+        Campaign("table4", "shadow memory overhead grid", _table4),
+        Campaign("smoke", "tiny CI sanity grid", _smoke),
+        Campaign("reproduce", "every cell of the full reproduce pass",
+                 _reproduce),
+    )
+}
+
+
+def get_campaign(name: str) -> Campaign:
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r} (known: {known})") from None

@@ -1,0 +1,133 @@
+"""Live campaign progress and the structured campaign report.
+
+The reporter is fed by the engine on every dispatch/completion and emits
+single-line terminal updates (rate-limited) plus a final JSON-safe report
+with throughput, ETA accuracy, cache effectiveness, and per-worker
+utilization — the numbers needed to tune ``--workers`` for a machine.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+
+class ProgressReporter:
+    """Tracks campaign throughput; prints terminal lines; builds reports."""
+
+    def __init__(self, total: int, stream: Optional[TextIO] = None,
+                 quiet: bool = False, min_interval: float = 0.0) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self.min_interval = min_interval
+        self.started_at = time.monotonic()
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self.executed = 0
+        self.retries = 0
+        self._running = 0
+        self._last_emit = 0.0
+
+    # ------------------------------------------------------------------
+    # engine callbacks
+
+    def job_started(self, label: str, worker_id: int, attempt: int) -> None:
+        if attempt == 1:
+            self._running += 1
+        else:
+            self.retries += 1
+            self._emit(f"retry #{attempt - 1} {label} (worker {worker_id})")
+
+    def job_cached(self, label: str) -> None:
+        self.done += 1
+        self.cached += 1
+        self._emit(f"cached {label}")
+
+    def job_finished(self, label: str, ok: bool, elapsed: float,
+                     error: Optional[str] = None) -> None:
+        self._running = max(0, self._running - 1)
+        self.executed += 1
+        if ok:
+            self.done += 1
+            self._emit(f"done {label} ({elapsed:.1f}s)")
+        else:
+            self.failed += 1
+            self._emit(f"FAILED {label}: {error}", force=True)
+
+    # ------------------------------------------------------------------
+    # metrics
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def jobs_per_second(self) -> float:
+        wall = self.elapsed()
+        finished = self.done + self.failed
+        return finished / wall if wall > 0 else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-time estimate from executed-job throughput.
+
+        Cache hits are excluded from the rate (they are ~free), so the
+        ETA reflects how long the remaining *simulations* will take.
+        """
+        remaining = self.total - self.done - self.failed
+        if remaining <= 0:
+            return 0.0
+        if self.executed == 0:
+            return None
+        rate = self.executed / self.elapsed()
+        return remaining / rate if rate > 0 else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        eta = self.eta_seconds()
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cached": self.cached,
+            "executed": self.executed,
+            "retries": self.retries,
+            "elapsed_seconds": round(self.elapsed(), 3),
+            "jobs_per_second": round(self.jobs_per_second(), 3),
+            "eta_seconds": round(eta, 1) if eta is not None else None,
+            "cache_hit_ratio": (self.cached / (self.done + self.failed)
+                                if (self.done + self.failed) else 0.0),
+        }
+
+    def report(self, campaign: str,
+               worker_busy_seconds: List[float]) -> Dict[str, Any]:
+        """Final structured campaign report (JSON-safe)."""
+        wall = self.elapsed()
+        workers = [
+            {"worker": i, "busy_seconds": round(busy, 3),
+             "utilization": round(busy / wall, 3) if wall > 0 else 0.0}
+            for i, busy in enumerate(worker_busy_seconds)
+        ]
+        out = self.snapshot()
+        out.update({
+            "campaign": campaign,
+            "workers": workers,
+            "aggregate_busy_seconds":
+                round(sum(w["busy_seconds"] for w in workers), 3),
+        })
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, message: str, force: bool = False) -> None:
+        if self.quiet:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        finished = self.done + self.failed
+        eta = self.eta_seconds()
+        eta_txt = f", ETA {eta:.0f}s" if eta is not None else ""
+        print(f"[{finished}/{self.total}] {message} "
+              f"({self._running} running, {self.cached} cached"
+              f"{eta_txt})", file=self.stream)

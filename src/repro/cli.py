@@ -8,13 +8,20 @@ Commands:
 - ``experiment ID`` — regenerate one paper artifact (table1, table2,
   effectiveness, injected, table3, bloom, idsizes, fig7, fig8, fig9,
   table4, hwcost, ablations, vmtlb);
-- ``reproduce`` — regenerate everything, in paper order.
+- ``reproduce`` — regenerate everything, in paper order; with
+  ``--workers N --cache DIR`` the experiment grid is pre-computed in
+  parallel through the campaign engine and every re-run is incremental;
+- ``campaign list/run/status/clean`` — drive experiment grids through
+  the parallel campaign engine (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.suite import SUITE
@@ -135,13 +142,135 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_reproduce(args) -> int:
-    order = ["table1", "table2", "effectiveness", "injected", "table3",
-             "bloom", "idsizes", "fig7", "fig8", "fig9", "table4",
-             "hwcost", "vmtlb", "ablations"]
-    for exp_id in order:
-        print(_EXPERIMENTS[exp_id](args.scale))
+_REPRODUCE_ORDER = ["table1", "table2", "effectiveness", "injected",
+                    "table3", "bloom", "idsizes", "fig7", "fig8", "fig9",
+                    "table4", "hwcost", "vmtlb", "ablations"]
+
+#: default on-disk result cache location for campaign-backed commands
+DEFAULT_CACHE = ".repro-cache"
+
+
+def _render_reproduce(scale: float) -> None:
+    for exp_id in _REPRODUCE_ORDER:
+        print(_EXPERIMENTS[exp_id](scale))
         print()
+
+
+def _cmd_reproduce(args) -> int:
+    if args.cache is None and args.workers <= 1:
+        _render_reproduce(args.scale)
+        return 0
+
+    from repro.campaign import (
+        ResultStore,
+        get_campaign,
+        run_campaign,
+        session,
+    )
+    from repro.campaign.progress import ProgressReporter
+
+    store = ResultStore(args.cache or DEFAULT_CACHE)
+    if args.workers > 1:
+        # pre-fill the cache in parallel: every run_benchmark cell the
+        # reproduce pass will issue, executed by the worker pool
+        campaign = get_campaign("reproduce")
+        progress = ProgressReporter(total=0, quiet=args.quiet)
+        run = run_campaign(campaign, store, scale=args.scale,
+                           workers=args.workers, timeout=args.timeout,
+                           retries=args.retries, progress=progress)
+        if run.failed:
+            print(run.state.summary(), file=sys.stderr)
+    with session(store) as sess:
+        _render_reproduce(args.scale)
+    print(f"[cache] {sess.cache_hits} hits, {sess.executed} simulated, "
+          f"store at {store.root}", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# campaign verbs
+# ---------------------------------------------------------------------------
+
+def _state_path(args, store) -> Path:
+    if getattr(args, "state", None):
+        return Path(args.state)
+    return store.root / f"state-{args.campaign}.json"
+
+
+def _cmd_campaign_list(args) -> int:
+    from repro.campaign import CAMPAIGNS
+
+    print(f"{'name':14s} {'cells':>6s}  description")
+    for name in sorted(CAMPAIGNS):
+        c = CAMPAIGNS[name]
+        print(f"{name:14s} {len(c.jobs(args.scale)):6d}  {c.description}")
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import (
+        CampaignInterrupted,
+        ProgressReporter,
+        ResultStore,
+        get_campaign,
+        run_campaign,
+    )
+
+    try:
+        campaign = get_campaign(args.campaign)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.cache)
+    progress = ProgressReporter(total=0, quiet=args.quiet,
+                                min_interval=args.progress_interval)
+    try:
+        run = run_campaign(
+            campaign, store, scale=args.scale, workers=args.workers,
+            timeout=args.timeout, retries=args.retries,
+            state_path=_state_path(args, store),
+            retry_failed=args.retry_failed, progress=progress)
+    except CampaignInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return 130
+    print(run.state.summary())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(run.report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"report written to {args.report}", file=sys.stderr)
+    else:
+        print(json.dumps(run.report, indent=2, sort_keys=True))
+    return 1 if run.failed else 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign import CampaignState, ResultStore
+
+    store = ResultStore(args.cache)
+    path = _state_path(args, store)
+    if not path.exists():
+        print(f"no campaign state at {path}", file=sys.stderr)
+        return 1
+    state = CampaignState.load(path, args.campaign)
+    print(state.summary())
+    print(f"store: {len(store)} cached result(s) at {store.root}")
+    return 1 if state.failures() else 0
+
+
+def _cmd_campaign_clean(args) -> int:
+    from repro.campaign import ResultStore
+
+    store = ResultStore(args.cache)
+    older = args.older_than * 86400.0 if args.older_than is not None else None
+    removed = store.prune(older_than_seconds=older)
+    scope = (f"older than {args.older_than:g} day(s)"
+             if older is not None else "all entries")
+    print(f"removed {removed} cache entr(ies) ({scope}) from {store.root}")
+    if args.states:
+        for path in sorted(Path(store.root).glob("state-*.json")):
+            path.unlink()
+            print(f"removed {path}")
     return 0
 
 
@@ -180,13 +309,87 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("reproduce",
                            help="regenerate every table and figure")
     rep_p.add_argument("--scale", type=float, default=1.0)
+    rep_p.add_argument("--workers", type=int, default=1,
+                       help="pre-compute the experiment grid with N "
+                            "parallel workers before rendering")
+    rep_p.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-store directory; makes reproduce "
+                            f"incremental across runs (default "
+                            f"{DEFAULT_CACHE} when --workers > 1)")
+    rep_p.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (parallel only)")
+    rep_p.add_argument("--retries", type=int, default=1,
+                       help="retries per failed job (parallel only)")
+    rep_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
     rep_p.set_defaults(fn=_cmd_reproduce)
+
+    camp_p = sub.add_parser(
+        "campaign", help="run experiment grids through the campaign engine")
+    camp_sub = camp_p.add_subparsers(dest="verb", required=True)
+
+    def _common(sp, with_campaign: bool = True):
+        if with_campaign:
+            sp.add_argument("campaign", help="campaign name (see "
+                                             "'campaign list')")
+        sp.add_argument("--cache", default=DEFAULT_CACHE, metavar="DIR",
+                        help="result-store directory "
+                             f"(default {DEFAULT_CACHE})")
+        sp.add_argument("--state", default=None, metavar="FILE",
+                        help="campaign state file (default "
+                             "<cache>/state-<campaign>.json)")
+
+    list_p = camp_sub.add_parser("list", help="list known campaigns")
+    list_p.add_argument("--scale", type=float, default=1.0)
+    list_p.set_defaults(fn=_cmd_campaign_list)
+
+    crun_p = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign through the worker pool")
+    _common(crun_p)
+    crun_p.add_argument("--scale", type=float, default=1.0)
+    crun_p.add_argument("--workers", type=int, default=1)
+    crun_p.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds")
+    crun_p.add_argument("--retries", type=int, default=1,
+                        help="retries per failed job")
+    crun_p.add_argument("--retry-failed", action="store_true",
+                        help="re-queue jobs a previous run marked failed")
+    crun_p.add_argument("--report", default=None, metavar="FILE",
+                        help="write the JSON campaign report here "
+                             "instead of stdout")
+    crun_p.add_argument("--quiet", action="store_true")
+    crun_p.add_argument("--progress-interval", type=float, default=0.0,
+                        help="min seconds between progress lines")
+    crun_p.set_defaults(fn=_cmd_campaign_run)
+
+    stat_p = camp_sub.add_parser("status",
+                                 help="show a campaign's job states")
+    _common(stat_p)
+    stat_p.set_defaults(fn=_cmd_campaign_status)
+
+    clean_p = camp_sub.add_parser(
+        "clean", help="prune the result store (and optionally state files)")
+    _common(clean_p, with_campaign=False)
+    clean_p.add_argument("--older-than", type=float, default=None,
+                         metavar="DAYS",
+                         help="only remove entries older than DAYS "
+                              "(default: remove everything)")
+    clean_p.add_argument("--states", action="store_true",
+                         help="also remove campaign state files")
+    clean_p.set_defaults(fn=_cmd_campaign_clean)
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early; exit quietly the
+        # way coreutils do, without a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

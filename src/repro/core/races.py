@@ -122,6 +122,18 @@ class RaceLog:
     def total_trips(self) -> int:
         return sum(self.trip_counts.values())
 
+    def __eq__(self, other: object) -> bool:
+        """Exact-state equality (reports, trip counts, and pair keys).
+
+        Campaign parity tests rely on this: a cache-served log must be
+        indistinguishable from the live detector's log.
+        """
+        if not isinstance(other, RaceLog):
+            return NotImplemented
+        return (self.reports == other.reports
+                and self.trip_counts == other.trip_counts
+                and self._pair_keys == other._pair_keys)
+
     def clear(self) -> None:
         self.reports.clear()
         self.trip_counts.clear()

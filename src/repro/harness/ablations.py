@@ -145,8 +145,8 @@ def ablation_sync_id_optimization(
                             timing_enabled=False, **overrides)
         rows.append(AblationRow(
             name,
-            float(base.detector.rrf.stats.max_sync_increments),
-            float(abl.detector.rrf.stats.max_sync_increments),
+            float(base.id_stats.max_sync_increments),
+            float(abl.id_stats.max_sync_increments),
         ))
     return rows
 
@@ -171,8 +171,8 @@ def ablation_shadow_writeback(
         abl = run_benchmark(name, naive, scale=scale, **overrides)
         rows.append(AblationRow(
             name,
-            float(base.detector.global_rdu.shadow_transactions),
-            float(abl.detector.global_rdu.shadow_transactions),
+            float(base.shadow_transactions),
+            float(abl.shadow_transactions),
         ))
     return rows
 

@@ -263,7 +263,7 @@ def id_size_study(names: Sequence[str] = ALL_BENCH,
         res = run_benchmark(name, WORD_CONFIG, scale=scale,
                             timing_enabled=False,
                             **RACE_FREE_OVERRIDES.get(name, {}))
-        st = res.detector.rrf.stats
+        st = res.id_stats
         rows.append(IdSizeRow(
             name=name,
             max_sync_increments=st.max_sync_increments,
@@ -374,7 +374,7 @@ def fig8_shadow_split(names: Sequence[str] = ALL_BENCH,
             name=name,
             hardware_norm=hw.cycles / base.cycles,
             software_split_norm=split.cycles / base.cycles,
-            shadow_l1_misses=getattr(split.detector, "shared_shadow_misses", 0),
+            shadow_l1_misses=split.shared_shadow_misses,
         ))
     return rows
 

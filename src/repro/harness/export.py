@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from repro.common.types import KernelStats, MemSpace, RaceCategory, RaceKind
+from repro.core.clocks import ClockStats
 from repro.core.races import RaceLog, RaceReport
 from repro.harness.runner import RunResult
 
@@ -80,3 +82,156 @@ def to_json(obj: Any, indent: int = 2) -> str:
     text = json.dumps(obj, indent=indent, sort_keys=True)
     json.loads(text)  # must always round-trip
     return text
+
+
+# ---------------------------------------------------------------------------
+# full-fidelity records: RunResult <-> plain dict, exactly
+# ---------------------------------------------------------------------------
+#
+# The summary exporters above truncate race lists and drop detector state;
+# the campaign engine needs *lossless* records so a cache-served RunResult
+# compares equal to the live one. These records serialize everything except
+# the live ``detector`` handle (flagged live-only on RunResult).
+
+_STATS_FIELDS = ("instructions", "shared_reads", "shared_writes",
+                 "global_reads", "global_writes", "atomics", "barriers",
+                 "fences")
+
+_CLOCK_FIELDS = ("max_sync_increments", "max_fence_increments",
+                 "sync_overflows", "fence_overflows")
+
+
+def kernel_stats_record(stats: KernelStats) -> Dict[str, int]:
+    return {name: int(getattr(stats, name)) for name in _STATS_FIELDS}
+
+
+def kernel_stats_from_record(record: Dict[str, int]) -> KernelStats:
+    return KernelStats(**{name: int(record[name]) for name in _STATS_FIELDS})
+
+
+def race_record(race: RaceReport) -> Dict[str, Any]:
+    """One race report with *every* field (unlike :func:`race_to_dict`)."""
+    return {
+        "category": race.category.name,
+        "kind": race.kind.name,
+        "space": race.space.name,
+        "entry": int(race.entry),
+        "addr": int(race.addr),
+        "owner_tid": int(race.owner_tid),
+        "access_tid": int(race.access_tid),
+        "owner_block": int(race.owner_block),
+        "access_block": int(race.access_block),
+        "pc": int(race.pc),
+        "cycle": int(race.cycle),
+        "stale_l1": bool(race.stale_l1),
+    }
+
+
+def race_from_record(record: Dict[str, Any]) -> RaceReport:
+    return RaceReport(
+        category=RaceCategory[record["category"]],
+        kind=RaceKind[record["kind"]],
+        space=MemSpace[record["space"]],
+        entry=int(record["entry"]),
+        addr=int(record["addr"]),
+        owner_tid=int(record["owner_tid"]),
+        access_tid=int(record["access_tid"]),
+        owner_block=int(record["owner_block"]),
+        access_block=int(record["access_block"]),
+        pc=int(record["pc"]),
+        cycle=int(record["cycle"]),
+        stale_l1=bool(record["stale_l1"]),
+    )
+
+
+def race_log_record(log: RaceLog) -> Dict[str, Any]:
+    """Lossless RaceLog state: reports, trip counts, and pair keys.
+
+    Trip-count keys are (space, entry, kind, category) tuples and pair
+    keys extend them with the thread pair; both are flattened to lists of
+    enum names + ints so the record is plain JSON.
+    """
+    return {
+        "reports": [race_record(r) for r in log.reports],
+        "trips": [
+            [space.name, int(entry), kind.name, category.name, int(count)]
+            for (space, entry, kind, category), count
+            in sorted(log.trip_counts.items())
+        ],
+        "pairs": [
+            [space.name, int(entry), kind.name, category.name,
+             int(owner), int(access)]
+            for (space, entry, kind, category, owner, access)
+            in sorted(log._pair_keys)
+        ],
+    }
+
+
+def race_log_from_record(record: Dict[str, Any]) -> RaceLog:
+    log = RaceLog()
+    for r in record["reports"]:
+        report = race_from_record(r)
+        log.reports.append(report)
+        log._seen.add(log._key(report))
+    for space, entry, kind, category, count in record["trips"]:
+        key = (MemSpace[space], int(entry), RaceKind[kind],
+               RaceCategory[category])
+        log.trip_counts[key] = int(count)
+    for space, entry, kind, category, owner, access in record["pairs"]:
+        log._pair_keys.add((MemSpace[space], int(entry), RaceKind[kind],
+                            RaceCategory[category], int(owner), int(access)))
+    return log
+
+
+def clock_stats_record(stats: ClockStats) -> Dict[str, int]:
+    return {name: int(getattr(stats, name)) for name in _CLOCK_FIELDS}
+
+
+def clock_stats_from_record(record: Dict[str, int]) -> ClockStats:
+    return ClockStats(**{name: int(record[name]) for name in _CLOCK_FIELDS})
+
+
+def run_result_record(res: RunResult) -> Dict[str, Any]:
+    """Lossless RunResult record (everything but the live detector)."""
+    return {
+        "name": res.name,
+        "cycles": int(res.cycles),
+        "stats": kernel_stats_record(res.stats),
+        "dram_utilization": float(res.dram_utilization),
+        "dram_bytes": int(res.dram_bytes),
+        "dram_shadow_bytes": int(res.dram_shadow_bytes),
+        "l1_hit_rate": float(res.l1_hit_rate),
+        "l2_hit_rate": float(res.l2_hit_rate),
+        "races": race_log_record(res.races) if res.races is not None else None,
+        "verified": res.verified,
+        "data_bytes": int(res.data_bytes),
+        "num_launches": int(res.num_launches),
+        "id_stats": (clock_stats_record(res.id_stats)
+                     if res.id_stats is not None else None),
+        "shared_shadow_misses": int(res.shared_shadow_misses),
+        "shadow_transactions": int(res.shadow_transactions),
+    }
+
+
+def run_result_from_record(record: Dict[str, Any]) -> RunResult:
+    """Rebuild a RunResult that compares equal to the original."""
+    return RunResult(
+        name=record["name"],
+        cycles=int(record["cycles"]),
+        stats=kernel_stats_from_record(record["stats"]),
+        dram_utilization=float(record["dram_utilization"]),
+        dram_bytes=int(record["dram_bytes"]),
+        dram_shadow_bytes=int(record["dram_shadow_bytes"]),
+        l1_hit_rate=float(record["l1_hit_rate"]),
+        l2_hit_rate=float(record["l2_hit_rate"]),
+        races=(race_log_from_record(record["races"])
+               if record["races"] is not None else None),
+        detector=None,
+        verified=record["verified"],
+        data_bytes=int(record["data_bytes"]),
+        num_launches=int(record["num_launches"]),
+        id_stats=(clock_stats_from_record(record["id_stats"])
+                  if record["id_stats"] is not None else None),
+        shared_shadow_misses=int(record["shared_shadow_misses"]),
+        shadow_transactions=int(record["shadow_transactions"]),
+    )

@@ -4,6 +4,12 @@
 configuration, runs a benchmark's full plan (all kernel launches), and
 collects a :class:`RunResult` with everything any experiment needs: cycles,
 instruction statistics, race log, DRAM utilization, cache statistics.
+
+When a campaign session is installed (see :mod:`repro.campaign`),
+``run_benchmark`` routes through it instead: the call is canonically
+hashed into a job key, served from the content-addressed result store on
+a hit, and executed + stored on a miss. Experiments never know the
+difference — a cached :class:`RunResult` compares equal to a live one.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.common.config import (
     scaled_gpu_config,
 )
 from repro.common.types import KernelStats, MemSpace
+from repro.core.clocks import ClockStats
 from repro.core.detector import HAccRGDetector
 from repro.core.races import RaceLog
 from repro.gpu.simulator import GPUSimulator
@@ -30,7 +37,16 @@ from repro.swdetect.software_haccrg import SoftwareHAccRG
 
 @dataclass
 class RunResult:
-    """Everything one benchmark run produced."""
+    """Everything one benchmark run produced.
+
+    Every field except ``detector`` is plain data that survives a
+    JSON round trip (see :func:`repro.harness.export.run_result_record`)
+    — campaign workers ship these across process boundaries. ``detector``
+    is a *live-only* convenience handle on the in-process detector; it is
+    ``None`` for cache-served results, excluded from equality, and never
+    serialized. Experiments must read detector-derived numbers from the
+    ``id_stats`` / ``shared_shadow_misses`` fields instead.
+    """
 
     name: str
     cycles: int
@@ -41,9 +57,18 @@ class RunResult:
     l1_hit_rate: float
     l2_hit_rate: float
     races: Optional[RaceLog] = None
-    detector: Optional[object] = None
+    #: live-only simulator handle; not part of the serializable record
+    detector: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
     verified: Optional[bool] = None
     data_bytes: int = 0
+    num_launches: int = 1
+    #: §VI-A2 sync/fence ID increment statistics (hardware backend only)
+    id_stats: Optional[ClockStats] = None
+    #: Fig. 8 split-shadow L1 misses (0 unless shared_shadow_in_global)
+    shared_shadow_misses: int = 0
+    #: global-RDU shadow-line transactions (write-back ablation metric)
+    shadow_transactions: int = 0
 
     def shared_races(self) -> int:
         return self.races.count(space=MemSpace.SHARED) if self.races else 0
@@ -63,6 +88,34 @@ def make_detector(config: HAccRGConfig, sim: GPUSimulator):
     return GRaceAddrDetector(config, sim)
 
 
+# ---------------------------------------------------------------------------
+# campaign session hook
+# ---------------------------------------------------------------------------
+
+#: when set, run_benchmark routes through the installed campaign session
+#: (cache lookup + store) instead of simulating directly
+_session = None
+
+
+def install_session(session) -> Optional[object]:
+    """Install a campaign session; returns the previously installed one.
+
+    The session object must expose ``run_call(**kwargs) -> RunResult``
+    receiving exactly the keyword arguments of :func:`run_benchmark`.
+    Pass ``None`` to uninstall. Used by
+    :func:`repro.campaign.engine.session`.
+    """
+    global _session
+    previous = _session
+    _session = session
+    return previous
+
+
+def active_session():
+    """The currently installed campaign session (or None)."""
+    return _session
+
+
 def run_benchmark(name: str,
                   detector_config: Optional[HAccRGConfig] = None,
                   gpu_config: Optional[GPUConfig] = None,
@@ -79,6 +132,32 @@ def run_benchmark(name: str,
     for detection-only experiments (granularity sweeps run ~3x faster).
     ``overrides`` are forwarded to the benchmark's builder (e.g.
     ``num_blocks=1`` for the race-free SCAN configuration).
+    """
+    if _session is not None:
+        return _session.run_call(
+            name=name, detector_config=detector_config,
+            gpu_config=gpu_config, scale=scale, seed=seed,
+            injection=injection, timing_enabled=timing_enabled,
+            verify=verify, overrides=overrides)
+    return run_benchmark_direct(
+        name, detector_config, gpu_config, scale=scale, seed=seed,
+        injection=injection, timing_enabled=timing_enabled, verify=verify,
+        **overrides)
+
+
+def run_benchmark_direct(name: str,
+                         detector_config: Optional[HAccRGConfig] = None,
+                         gpu_config: Optional[GPUConfig] = None,
+                         scale: float = 1.0,
+                         seed: int = 0,
+                         injection: Injection = NO_INJECTION,
+                         timing_enabled: bool = True,
+                         verify: bool = False,
+                         **overrides) -> RunResult:
+    """Simulate unconditionally, bypassing any installed campaign session.
+
+    This is the execution path campaign workers use: the session wraps
+    *around* it, so cache misses and pool jobs always land here.
     """
     bench = get_benchmark(name)
     sim = GPUSimulator(gpu_config or scaled_gpu_config(),
@@ -97,24 +176,46 @@ def run_benchmark(name: str,
         plan.verify()  # raises on functional mismatch
         verified = True
 
+    # Per-launch SimulationResults snapshot *cumulative* simulator counters:
+    # SM stats/cycles and the cache/DRAM statistics are never reset between
+    # launches of one simulator, so the final launch's snapshot already
+    # aggregates the whole run. Its hit rates are the accesses-weighted
+    # means over all launches and its DRAM utilization is the
+    # cycles-weighted mean — summing or averaging the per-launch snapshots
+    # would double-count earlier launches.
+    last = results[-1] if results else None
     stats = KernelStats()
-    for r in results:
-        stats.merge(r.stats)
-    cycles = sum(r.cycles for r in results)
+    if last is not None:
+        stats.merge(last.stats)
+
+    id_stats: Optional[ClockStats] = None
+    clock = getattr(getattr(detector, "rrf", None), "stats", None)
+    if isinstance(clock, ClockStats):
+        id_stats = ClockStats(
+            max_sync_increments=clock.max_sync_increments,
+            max_fence_increments=clock.max_fence_increments,
+            sync_overflows=clock.sync_overflows,
+            fence_overflows=clock.fence_overflows,
+        )
+
     return RunResult(
         name=name,
-        cycles=cycles,
+        cycles=last.cycles if last else 0,
         stats=stats,
-        dram_utilization=(sum(r.dram_utilization for r in results)
-                          / max(1, len(results))),
-        dram_bytes=results[-1].dram_bytes if results else 0,
-        dram_shadow_bytes=results[-1].dram_shadow_bytes if results else 0,
-        l1_hit_rate=(sum(r.l1_hit_rate for r in results)
-                     / max(1, len(results))),
-        l2_hit_rate=(sum(r.l2_hit_rate for r in results)
-                     / max(1, len(results))),
+        dram_utilization=last.dram_utilization if last else 0.0,
+        dram_bytes=last.dram_bytes if last else 0,
+        dram_shadow_bytes=last.dram_shadow_bytes if last else 0,
+        l1_hit_rate=last.l1_hit_rate if last else 0.0,
+        l2_hit_rate=last.l2_hit_rate if last else 0.0,
         races=detector.log if detector is not None else None,
         detector=detector,
         verified=verified,
         data_bytes=plan.data_bytes,
+        num_launches=len(results),
+        id_stats=id_stats,
+        shared_shadow_misses=int(getattr(detector, "shared_shadow_misses",
+                                         0) or 0),
+        shadow_transactions=int(getattr(
+            getattr(detector, "global_rdu", None), "shadow_transactions",
+            0) or 0),
     )

@@ -1,0 +1,130 @@
+"""Job canonicalization and content-addressed hashing."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.common import Injection
+from repro.campaign.jobs import Job, JobSpecError
+from repro.common.config import (
+    DetectionMode,
+    DetectorBackend,
+    HAccRGConfig,
+    scaled_gpu_config,
+)
+
+WORD = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4,
+                    global_granularity=4)
+
+
+class TestCanonicalization:
+    def test_key_is_sha256_hex(self):
+        key = Job.from_call("SCAN").key()
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_same_call_same_key(self):
+        a = Job.from_call("SCAN", WORD, scale=0.5, seed=3)
+        b = Job.from_call("SCAN", WORD, scale=0.5, seed=3)
+        assert a.key() == b.key()
+
+    def test_override_dict_order_irrelevant(self):
+        a = Job.from_call("SCAN", overrides={"num_blocks": 1, "x": 2})
+        b = Job.from_call("SCAN", overrides={"x": 2, "num_blocks": 1})
+        assert a.key() == b.key()
+
+    def test_injection_site_order_irrelevant(self):
+        a = Job.from_call("SCAN", injection=Injection(omit=["a", "b"]))
+        b = Job.from_call("SCAN", injection=Injection(omit=["b", "a"]))
+        assert a.key() == b.key()
+
+    def test_off_mode_collapses_to_baseline(self):
+        off = Job.from_call("SCAN", HAccRGConfig(mode=DetectionMode.OFF))
+        none = Job.from_call("SCAN", None)
+        assert off.key() == none.key()
+
+    def test_default_gpu_resolved_before_hashing(self):
+        implicit = Job.from_call("SCAN")
+        explicit = Job.from_call("SCAN", gpu_config=scaled_gpu_config())
+        assert implicit.key() == explicit.key()
+
+    def test_bench_name_case_insensitive(self):
+        assert Job.from_call("scan").key() == Job.from_call("SCAN").key()
+
+    def test_non_primitive_override_rejected(self):
+        with pytest.raises(JobSpecError):
+            Job.from_call("SCAN", overrides={"bad": object()})
+
+
+class TestKeySensitivity:
+    """Every simulation-relevant argument must change the key."""
+
+    @pytest.mark.parametrize("a,b", [
+        (dict(), dict(detector_config=WORD)),
+        (dict(detector_config=WORD),
+         dict(detector_config=WORD.with_granularity(shared=8))),
+        (dict(detector_config=WORD),
+         dict(detector_config=WORD.with_backend(DetectorBackend.SOFTWARE))),
+        (dict(), dict(scale=0.5)),
+        (dict(), dict(seed=1)),
+        (dict(), dict(timing_enabled=False)),
+        (dict(), dict(verify=True)),
+        (dict(), dict(injection=Injection(omit=["s"]))),
+        (dict(), dict(overrides={"num_blocks": 1})),
+        (dict(), dict(gpu_config=scaled_gpu_config(num_sms=10,
+                                                   num_clusters=5))),
+    ])
+    def test_argument_changes_key(self, a, b):
+        assert Job.from_call("SCAN", **a).key() != \
+            Job.from_call("SCAN", **b).key()
+
+    def test_granularity_4_to_8_misses(self):
+        # the cache-contract example from the issue: 4B vs 8B granularity
+        four = Job.from_call("HIST", WORD)
+        eight = Job.from_call("HIST", WORD.with_granularity(global_=8))
+        assert four.key() != eight.key()
+
+
+class TestRoundTrip:
+    def test_record_round_trip_preserves_key(self):
+        job = Job.from_call("REDUCE", WORD, scale=0.25, seed=2,
+                            injection=Injection(omit=["fence"]),
+                            timing_enabled=False, verify=True,
+                            overrides={"num_blocks": 1})
+        clone = Job.from_record(json.loads(json.dumps(job.record())))
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_schema_mismatch_rejected(self):
+        record = Job.from_call("SCAN").record()
+        record["schema"] = 999
+        with pytest.raises(JobSpecError):
+            Job.from_record(record)
+
+
+class TestCrossProcessStability:
+    def test_key_stable_across_interpreters(self):
+        """Hashes must not depend on interpreter state (e.g. hash seed)."""
+        job = Job.from_call("SCAN", WORD, scale=0.5,
+                            overrides={"num_blocks": 1, "z": 3})
+        code = (
+            "from repro.campaign.jobs import Job\n"
+            "from repro.common.config import (DetectionMode, HAccRGConfig)\n"
+            "WORD = HAccRGConfig(mode=DetectionMode.FULL,"
+            " shared_granularity=4, global_granularity=4)\n"
+            "print(Job.from_call('SCAN', WORD, scale=0.5,"
+            " overrides={'z': 3, 'num_blocks': 1}).key())\n"
+        )
+        import os
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        env["PYTHONHASHSEED"] = "99"  # prove no dependence on str hashing
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            check=True, env=env)
+        assert out.stdout.strip() == job.key()

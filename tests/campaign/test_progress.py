@@ -1,0 +1,84 @@
+"""ProgressReporter accounting: counters, ETA, JSON report shape."""
+
+import io
+import json
+
+from repro.campaign.progress import ProgressReporter
+
+
+def _reporter(total=10, **kw):
+    return ProgressReporter(total=total, stream=io.StringIO(), **kw)
+
+
+class TestCounters:
+    def test_lifecycle_counts(self):
+        p = _reporter(total=3)
+        p.job_cached("a")
+        p.job_started("b", worker_id=0, attempt=1)
+        p.job_finished("b", ok=True, elapsed=0.5)
+        p.job_started("c", worker_id=1, attempt=1)
+        p.job_started("c", worker_id=1, attempt=2)
+        p.job_finished("c", ok=False, elapsed=0.1, error="boom")
+        assert (p.done, p.failed, p.cached, p.executed, p.retries) == \
+            (2, 1, 1, 2, 1)
+
+    def test_cache_hit_ratio(self):
+        p = _reporter(total=4)
+        p.job_cached("a")
+        p.job_cached("b")
+        p.job_started("c", 0, 1)
+        p.job_finished("c", ok=True, elapsed=0.1)
+        assert p.snapshot()["cache_hit_ratio"] == 2 / 3
+
+
+class TestEta:
+    def test_unknown_before_any_execution(self):
+        p = _reporter(total=5)
+        p.job_cached("a")  # cache hits alone give no execution rate
+        assert p.eta_seconds() is None
+
+    def test_zero_when_finished(self):
+        p = _reporter(total=1)
+        p.job_started("a", 0, 1)
+        p.job_finished("a", ok=True, elapsed=0.1)
+        assert p.eta_seconds() == 0.0
+
+    def test_scales_with_remaining_work(self):
+        p = _reporter(total=10)
+        p.started_at -= 2.0  # pretend 2 s elapsed
+        p.job_started("a", 0, 1)
+        p.job_finished("a", ok=True, elapsed=2.0)
+        eta = p.eta_seconds()
+        # 1 executed job per ~2 s, 9 remaining -> about 18 s
+        assert eta is not None and 10.0 < eta < 30.0
+
+
+class TestReport:
+    def test_report_is_json_safe_and_complete(self):
+        p = _reporter(total=2)
+        p.job_cached("a")
+        p.job_started("b", 0, 1)
+        p.job_finished("b", ok=True, elapsed=0.2)
+        report = p.report("smoke", worker_busy_seconds=[0.2, 0.0])
+        text = json.dumps(report)
+        back = json.loads(text)
+        for field in ("campaign", "total", "done", "failed", "cached",
+                      "executed", "jobs_per_second", "cache_hit_ratio",
+                      "workers", "aggregate_busy_seconds"):
+            assert field in back
+        assert back["workers"][0]["busy_seconds"] == 0.2
+        assert 0.0 <= back["workers"][0]["utilization"]
+
+    def test_quiet_suppresses_output(self):
+        stream = io.StringIO()
+        p = ProgressReporter(total=1, stream=stream, quiet=True)
+        p.job_cached("a")
+        assert stream.getvalue() == ""
+
+    def test_emit_format(self):
+        stream = io.StringIO()
+        p = ProgressReporter(total=2, stream=stream)
+        p.job_cached("table2/SCAN")
+        line = stream.getvalue()
+        assert line.startswith("[1/2] cached table2/SCAN")
+        assert "1 cached" in line

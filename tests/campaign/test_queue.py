@@ -1,0 +1,100 @@
+"""Resumable campaign state: persistence, resume demotion, reconciliation."""
+
+import json
+
+from repro.campaign.queue import (
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    CampaignState,
+    JobState,
+)
+
+
+def _state(tmp_path, keys=("k1", "k2", "k3")):
+    state = CampaignState.load(tmp_path / "state.json", "test")
+    state.sync_jobs([(f"cell/{k}", k) for k in keys])
+    return state
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        state = _state(tmp_path)
+        state.mark_running("k1")
+        state.mark_done("k1", elapsed=1.5)
+        state.mark_running("k2")
+        state.mark_failed("k2", "boom")
+        state.save()
+
+        loaded = CampaignState.load(state.path, "test")
+        assert loaded.jobs["k1"].status == DONE
+        assert loaded.jobs["k1"].elapsed == 1.5
+        assert loaded.jobs["k2"].status == FAILED
+        assert loaded.jobs["k2"].error == "boom"
+        assert loaded.jobs["k3"].status == PENDING
+
+    def test_running_demoted_to_pending_on_load(self, tmp_path):
+        # a previous driver died mid-job: its worker is gone, so the cell
+        # must be eligible for re-dispatch on resume
+        state = _state(tmp_path)
+        state.mark_running("k1")
+        state.save()
+        loaded = CampaignState.load(state.path, "test")
+        assert loaded.jobs["k1"].status == PENDING
+        assert loaded.jobs["k1"].attempts == 1  # history survives
+
+    def test_corrupt_state_starts_fresh(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("{ nope", encoding="utf-8")
+        state = CampaignState.load(path, "test")
+        assert state.jobs == {}
+
+    def test_unknown_schema_starts_fresh(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"schema": 999, "jobs": [
+            {"key": "k", "label": "l", "status": DONE}]}), encoding="utf-8")
+        assert CampaignState.load(path, "test").jobs == {}
+
+
+class TestReconciliation:
+    def test_sync_drops_stale_and_adds_new(self, tmp_path):
+        state = _state(tmp_path, keys=("k1", "k2"))
+        state.mark_running("k1")
+        state.mark_done("k1")
+        state.sync_jobs([("cell/k1", "k1"), ("cell/k9", "k9")])
+        assert set(state.jobs) == {"k1", "k9"}
+        assert state.jobs["k1"].status == DONE  # terminal status kept
+        assert state.jobs["k9"].status == PENDING
+
+
+class TestQueries:
+    def test_counts_and_finished(self, tmp_path):
+        state = _state(tmp_path)
+        assert not state.finished()
+        state.mark_running("k1")
+        state.mark_done("k1")
+        state.mark_running("k2")
+        state.mark_failed("k2", "x")
+        assert state.counts() == {PENDING: 1, RUNNING: 0, DONE: 1, FAILED: 1}
+        assert not state.finished()
+        state.mark_running("k3")
+        state.mark_done("k3")
+        assert state.finished()
+
+    def test_summary_reports_failures(self, tmp_path):
+        state = _state(tmp_path, keys=("k1",))
+        state.mark_running("k1")
+        state.mark_failed("k1", "TypeError: bogus")
+        text = state.summary()
+        assert "FAILED cell/k1" in text
+        assert "TypeError: bogus" in text
+
+    def test_state_file_never_contains_job_objects(self, tmp_path):
+        # the state is pure bookkeeping: labels + hashes, no job payloads,
+        # so it stays tiny even for the 100+-cell grids
+        state = _state(tmp_path)
+        state.save()
+        data = json.loads(state.path.read_text(encoding="utf-8"))
+        assert set(data["jobs"][0]) == set(
+            JobState.__dataclass_fields__)

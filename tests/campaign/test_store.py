@@ -1,0 +1,127 @@
+"""Content-addressed result store: hits, misses, eviction, pruning."""
+
+import json
+import time
+
+from repro.campaign.engine import session
+from repro.campaign.jobs import Job, execute
+from repro.campaign.store import ResultStore
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.harness.export import run_result_from_record
+from repro.harness.runner import run_benchmark, run_benchmark_direct
+
+WORD = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4,
+                    global_granularity=4)
+CHEAP = dict(scale=0.1, timing_enabled=False)
+
+
+def _job(**kw):
+    merged = {**CHEAP, **kw}
+    return Job.from_call(merged.pop("bench", "SCAN"),
+                         merged.pop("cfg", WORD), **merged)
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        assert store.get(job) is None
+        store.put(job, execute(job), elapsed=0.1)
+        assert job in store
+        assert store.get(job) is not None
+        assert store.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_hit_returns_identical_run_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        direct = run_benchmark_direct("SCAN", WORD, **CHEAP)
+        store.put(job, execute(job))
+        cached = run_result_from_record(store.get(job))
+        assert cached == direct
+        assert cached.races == direct.races
+        assert cached.detector is None  # live handle never survives a trip
+
+    def test_config_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_job(), execute(_job()))
+        # same benchmark, 8B granularity: different key, different cell
+        eight = _job(cfg=WORD.with_granularity(shared=8, global_=8))
+        assert eight not in store
+        assert store.get(eight) is None
+
+    def test_len_and_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = _job(), _job(seed=1)
+        store.put(a, execute(a))
+        store.put(b, execute(b))
+        assert len(store) == 2
+        assert {key for key, _ in store.entries()} == {a.key(), b.key()}
+
+
+class TestCorruption:
+    def test_corrupt_entry_evicted_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        path = store.put(job, execute(job))
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(job) is None
+        assert not path.exists()
+        assert store.evictions == 1
+        # the job simply recomputes and the store heals
+        store.put(job, execute(job))
+        assert store.get(job) is not None
+
+    def test_key_mismatch_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job, other = _job(), _job(seed=7)
+        path = store.put(job, execute(job))
+        # graft the entry under the wrong key (e.g. a hand-copied file)
+        wrong = store.path_for(other.key())
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(path.read_text(encoding="utf-8"), encoding="utf-8")
+        assert store.get(other) is None
+        assert not wrong.exists()
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        path = store.put(job, execute(job))
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = 999
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get(job) is None
+
+    def test_corrupt_entry_recomputed_through_session(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        path = store.put(job, "garbage")  # malformed result record
+        assert path.exists()
+        with session(store) as sess:
+            res = run_benchmark("SCAN", WORD, **{
+                "scale": 0.1, "timing_enabled": False})
+        assert sess.executed == 1 and sess.cache_hits == 0
+        assert res == run_benchmark_direct("SCAN", WORD, scale=0.1,
+                                           timing_enabled=False)
+        assert store.get(job) is not None  # healed
+
+
+class TestPrune:
+    def test_prune_all(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in range(3):
+            job = _job(seed=seed)
+            store.put(job, execute(job))
+        assert store.prune() == 3
+        assert len(store) == 0
+
+    def test_prune_older_than_keeps_fresh(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        old, fresh = _job(seed=0), _job(seed=1)
+        old_path = store.put(old, execute(old))
+        store.put(fresh, execute(fresh))
+        stale = time.time() - 10 * 86400
+        os.utime(old_path, (stale, stale))
+        assert store.prune(older_than_seconds=86400.0) == 1
+        assert fresh in store and old not in store

@@ -15,7 +15,6 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.types import Dim3
 from repro.gpu.kernel import Kernel
 
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.bench.common import (
     Benchmark,

@@ -9,11 +9,11 @@ run a plan on a fresh simulator and extract the Table II characteristics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.bench import fwalsh, hash as hash_bench, hist, kmeans, mcarlo
 from repro.bench import offt, psum, reduce as reduce_bench, scan, sortnw
-from repro.bench.common import Benchmark, Injection, NO_INJECTION, RunPlan
+from repro.bench.common import Benchmark
 
 #: Paper order (Table II).
 SUITE: List[Benchmark] = [

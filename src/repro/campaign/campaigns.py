@@ -12,7 +12,7 @@ at enumeration time — the content-addressed store makes the full
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.bench.common import NO_INJECTION, Injection
 from repro.bench.injection import INJECTION_CATALOG

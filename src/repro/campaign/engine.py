@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.campaign import queue as cq
 from repro.campaign.campaigns import Campaign

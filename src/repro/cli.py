@@ -74,6 +74,14 @@ def _cmd_run(args) -> int:
           f"{res.stats.instructions} instructions, "
           f"DRAM util {res.dram_utilization:.1%}, "
           f"L1 hit {res.l1_hit_rate:.1%}")
+    if res.phases is not None:
+        ph = res.phases
+        print(f"phases: {ph.issue_cycles} issue / {ph.idle_cycles} idle "
+              f"cycles, {ph.detector_stall_cycles} detector-stall "
+              f"({ph.access_stall_cycles} access, "
+              f"{ph.barrier_stall_cycles} barrier, "
+              f"{ph.fence_stall_cycles} fence), "
+              f"shadow traffic {ph.shadow_traffic_bytes} B")
     if res.races is not None:
         print(f"races: {len(res.races)} distinct "
               f"({res.shared_races()} shared, {res.global_races()} global)")

@@ -10,10 +10,10 @@ Bloom atomic IDs).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
-from repro.common.bitops import is_power_of_two, log2_exact
+from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
 
 

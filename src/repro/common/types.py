@@ -10,8 +10,8 @@ instructions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 
 class MemSpace(enum.IntEnum):

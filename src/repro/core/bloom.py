@@ -21,7 +21,7 @@ gives miss rates of 25 % / 12.5 % / 6.25 % at 8/16/32 bits, and 4 bins are
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
 
 import numpy as np
 

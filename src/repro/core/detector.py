@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.common.config import DetectionMode, GPUConfig, HAccRGConfig
+from repro.common.config import HAccRGConfig
 from repro.common.types import MemSpace, Transaction, WarpAccess
 from repro.core.bloom import BloomSignature
 from repro.core.clocks import RaceRegisterFile
@@ -88,7 +88,9 @@ class HAccRGDetector(DetectorHooks):
                 from repro.core.shadow_memory import GlobalShadowMemory
                 probe = GlobalShadowMemory(region, self.config, RaceLog(),
                                            self.rrf)
-                base = device_mem.malloc(max(1, probe.footprint_bytes()))
+                base = device_mem.malloc(max(1, probe.footprint_bytes()),
+                                         name="haccrg_global_shadow",
+                                         internal=True)
                 self._global_shadow_region = (region, base)
             region, shadow_base = self._global_shadow_region
             self.global_rdu.kernel_started(region, shadow_base)
@@ -110,7 +112,8 @@ class HAccRGDetector(DetectorHooks):
                 entries = -(-shared_bytes // self.config.shared_granularity)
                 entry_bytes = -(-self.config.shared_entry_bits() // 8)
                 shadow_base = self.sim.device_mem.malloc(
-                    max(1, entries * entry_bytes)
+                    max(1, entries * entry_bytes),
+                    name="haccrg_shared_shadow", internal=True,
                 )
         self._shared_rdu(block.sm_id).block_started(block, shadow_base)
 

@@ -9,7 +9,7 @@ the Table III experiment.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import List, Tuple
 
 from repro.common.bitops import ceil_div, is_power_of_two, log2_exact
 from repro.common.errors import ConfigError

@@ -10,7 +10,7 @@ the raw trip count for diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.types import MemSpace, RaceCategory, RaceKind

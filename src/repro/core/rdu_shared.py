@@ -17,14 +17,13 @@ lines per access — the OFFT pathology.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.common.bitops import ceil_div
 from repro.common.config import GPUConfig, HAccRGConfig
 from repro.common.types import WarpAccess
 from repro.core.races import RaceLog
 from repro.core.shadow import SharedShadowTable
-from repro.gpu.coalescer import transactions_for_lines
 
 
 class SharedRDU:

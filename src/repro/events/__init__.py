@@ -1,0 +1,63 @@
+"""Unified access-event pipeline for the execution core.
+
+Everything that happens inside the GPU model that an observer could care
+about — warp memory accesses, barriers, fences, lock transfers, block and
+kernel lifecycle, idle time — is emitted exactly once as a typed event
+record (:mod:`repro.events.records`) on the simulator's
+:class:`~repro.events.bus.EventBus`. Consumers subscribe to the bus:
+
+- the hardware detector (:class:`repro.core.detector.HAccRGDetector`) and
+  the software baselines (:mod:`repro.swdetect`) return
+  :class:`~repro.events.effects.TimingEffect`\\ s that stall the issuing
+  warp;
+- :class:`repro.harness.trace.TraceRecorder` captures replayable traces;
+- :class:`repro.events.metrics.MetricsCollector` owns the dynamic
+  instruction statistics (:class:`~repro.common.types.KernelStats`) and
+  the per-phase cycle breakdown.
+
+Any number of subscribers observe the same live run; fan-out order is
+deterministic (priority, then subscription order) and effects compose by
+summation. See ``docs/EVENTS.md`` for the taxonomy and the subscriber
+contract.
+"""
+
+from repro.events.bus import EventBus, Subscriber
+from repro.events.effects import NO_EFFECT, TimingEffect
+from repro.events.metrics import MetricsCollector, PhaseStats
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    BlockStarted,
+    ComputeIssued,
+    FenceIssued,
+    IdleAdvanced,
+    KernelEnded,
+    KernelStarted,
+    LockAcquired,
+    LockIssued,
+    LockReleased,
+    UnlockIssued,
+)
+
+__all__ = [
+    "AccessIssued",
+    "BarrierReleased",
+    "BlockEnded",
+    "BlockStarted",
+    "ComputeIssued",
+    "EventBus",
+    "FenceIssued",
+    "IdleAdvanced",
+    "KernelEnded",
+    "KernelStarted",
+    "LockAcquired",
+    "LockIssued",
+    "LockReleased",
+    "MetricsCollector",
+    "NO_EFFECT",
+    "PhaseStats",
+    "Subscriber",
+    "TimingEffect",
+    "UnlockIssued",
+]

@@ -1,0 +1,47 @@
+"""Composable timing effects returned by event subscribers.
+
+A subscriber that models work riding on an observed event (software
+instrumentation, shadow fetches, barrier invalidation) returns a
+:class:`TimingEffect`; the event bus combines the effects of every
+subscriber in the chain into one, which the SM applies to the issuing
+warp (or, for barriers, to the whole block's release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingEffect:
+    """Extra cost an observer imposes on the observed event.
+
+    ``stall_cycles`` delays the issuing warp (or, for barriers, the release
+    of the whole block). ``extra_instructions`` inflates the dynamic
+    instruction count (software instrumentation executes real instructions).
+    """
+
+    stall_cycles: int = 0
+    extra_instructions: int = 0
+
+    def combine(self, other: "TimingEffect | None") -> "TimingEffect":
+        """Compose two effects: costs from independent observers add."""
+        if other is None or other is NO_EFFECT:
+            return self
+        if self is NO_EFFECT:
+            return other
+        return TimingEffect(
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+            extra_instructions=(self.extra_instructions
+                                + other.extra_instructions),
+        )
+
+    def __add__(self, other: "TimingEffect") -> "TimingEffect":
+        return self.combine(other)
+
+    def __bool__(self) -> bool:
+        return bool(self.stall_cycles or self.extra_instructions)
+
+
+#: Singleton "free" effect; subscribers may also return ``None``.
+NO_EFFECT = TimingEffect()

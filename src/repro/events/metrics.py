@@ -1,0 +1,167 @@
+"""Metrics collection as an event subscriber.
+
+The execution core no longer counts anything itself: the
+:class:`MetricsCollector` rides the event bus and owns every dynamic
+statistic — the per-SM :class:`~repro.common.types.KernelStats` the paper's
+Table II is built from, plus the per-phase cycle breakdown (issue slots,
+idle jumps, detector-induced stalls by event kind) that the seed simulator
+never surfaced.
+
+The collector is deliberately cumulative across kernel launches of one
+simulator, exactly like the cache/DRAM statistics: a multi-launch
+benchmark's final snapshot aggregates the whole run (see
+:func:`repro.harness.runner.run_benchmark_direct`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.types import AccessKind, KernelStats, MemSpace
+from repro.events.bus import Subscriber
+from repro.events.effects import TimingEffect
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    ComputeIssued,
+    FenceIssued,
+    IdleAdvanced,
+    LockIssued,
+    UnlockIssued,
+)
+
+
+@dataclass
+class PhaseStats:
+    """Where the cycles and the detector overhead went.
+
+    ``issue_cycles`` is time the SMs spent issuing warp instructions
+    (slots x pipeline issue width), ``idle_cycles`` time jumped over with
+    no ready warp. The three stall counters split the detector-induced
+    cycles by the event that imposed them; ``shadow_traffic_bytes`` is the
+    total shadow-memory payload the detection hardware moved through the
+    memory system (L1/L2/DRAM, demand and background).
+    """
+
+    issue_slots: int = 0
+    issue_cycles: int = 0
+    idle_cycles: int = 0
+    access_stall_cycles: int = 0
+    barrier_stall_cycles: int = 0
+    fence_stall_cycles: int = 0
+    shadow_traffic_bytes: int = 0
+
+    @property
+    def detector_stall_cycles(self) -> int:
+        """Total warp-stall cycles imposed by subscribers."""
+        return (self.access_stall_cycles + self.barrier_stall_cycles
+                + self.fence_stall_cycles)
+
+
+class MetricsCollector(Subscriber):
+    """Subscriber that owns KernelStats and the phase-cycle breakdown."""
+
+    def __init__(self, issue_width_cycles: int = 1) -> None:
+        self._issue_width = issue_width_cycles
+        self._per_sm: Dict[int, KernelStats] = {}
+        self.phase = PhaseStats()
+
+    # ------------------------------------------------------------------
+    # stats access
+
+    def sm_stats(self, sm_id: int) -> KernelStats:
+        """The (live, mutable) stats record for one SM."""
+        stats = self._per_sm.get(sm_id)
+        if stats is None:
+            stats = self._per_sm[sm_id] = KernelStats()
+        return stats
+
+    def total_stats(self) -> KernelStats:
+        """Aggregate stats over every SM (a fresh record)."""
+        total = KernelStats()
+        for stats in self._per_sm.values():
+            total.merge(stats)
+        return total
+
+    def snapshot(self, shadow_traffic_bytes: int = 0) -> PhaseStats:
+        """A copy of the phase counters, with shadow traffic attributed."""
+        return PhaseStats(
+            issue_slots=self.phase.issue_slots,
+            issue_cycles=self.phase.issue_cycles,
+            idle_cycles=self.phase.idle_cycles,
+            access_stall_cycles=self.phase.access_stall_cycles,
+            barrier_stall_cycles=self.phase.barrier_stall_cycles,
+            fence_stall_cycles=self.phase.fence_stall_cycles,
+            shadow_traffic_bytes=shadow_traffic_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # event handlers
+
+    def _issued(self) -> None:
+        self.phase.issue_slots += 1
+        self.phase.issue_cycles += self._issue_width
+
+    def on_compute(self, ev: ComputeIssued) -> None:
+        self.sm_stats(ev.sm_id).instructions += ev.instructions
+        self._issued()
+
+    def on_access(self, ev: AccessIssued) -> None:
+        stats = self.sm_stats(ev.sm_id)
+        n = len(ev.access.lanes)
+        stats.instructions += n
+        if ev.access.kind == AccessKind.ATOMIC:
+            stats.atomics += n
+        elif ev.access.space == MemSpace.SHARED:
+            if ev.access.kind == AccessKind.READ:
+                stats.shared_reads += n
+            else:
+                stats.shared_writes += n
+        else:
+            if ev.access.kind == AccessKind.READ:
+                stats.global_reads += n
+            else:
+                stats.global_writes += n
+        self._issued()
+        return None
+
+    def on_barrier(self, ev: BarrierReleased) -> None:
+        stats = self.sm_stats(ev.sm_id)
+        stats.barriers += ev.released_lanes
+        stats.instructions += ev.released_lanes
+        return None
+
+    def on_fence(self, ev: FenceIssued) -> None:
+        stats = self.sm_stats(ev.sm_id)
+        stats.fences += 1
+        stats.instructions += ev.lanes
+        self._issued()
+        return None
+
+    def on_lock(self, ev: LockIssued) -> None:
+        stats = self.sm_stats(ev.sm_id)
+        # each attempt, granted or not, is an atomicExch instruction
+        stats.instructions += ev.attempts
+        stats.atomics += ev.attempts
+        self._issued()
+
+    def on_unlock(self, ev: UnlockIssued) -> None:
+        stats = self.sm_stats(ev.sm_id)
+        stats.instructions += ev.lanes
+        stats.atomics += ev.lanes  # release is an atomic store
+        self._issued()
+
+    def on_idle(self, ev: IdleAdvanced) -> None:
+        self.phase.idle_cycles += ev.cycles
+
+    def on_effect(self, ev, effect: TimingEffect) -> None:
+        if not effect:
+            return
+        self.sm_stats(ev.sm_id).instructions += effect.extra_instructions
+        if isinstance(ev, AccessIssued):
+            self.phase.access_stall_cycles += effect.stall_cycles
+        elif isinstance(ev, BarrierReleased):
+            self.phase.barrier_stall_cycles += effect.stall_cycles
+        elif isinstance(ev, FenceIssued):
+            self.phase.fence_stall_cycles += effect.stall_cycles

@@ -9,7 +9,7 @@ address.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.errors import KernelError, SimulationError
 

@@ -12,7 +12,7 @@ faithful.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ class DeviceMemory:
     def __init__(self, capacity: int = 1 << 26) -> None:
         self.capacity = int(capacity)
         self._next = 0
+        self._app_next = 0
         self._values: Optional[np.ndarray] = None
         self._allocs: Dict[int, int] = {}  # base -> size
         self._names: Dict[int, str] = {}   # base -> allocation name
@@ -52,8 +53,23 @@ class DeviceMemory:
         """High-water mark of allocated device memory."""
         return self._next
 
-    def malloc(self, nbytes: int, name: str = "") -> int:
-        """Allocate ``nbytes`` of device memory; return the base address."""
+    @property
+    def app_bytes(self) -> int:
+        """High-water mark of *application* allocations only.
+
+        Detector-internal reservations (``internal=True`` mallocs, e.g.
+        the hardware shadow region) are excluded, so observers report the
+        same application footprint whether or not a detector is attached.
+        """
+        return self._app_next
+
+    def malloc(self, nbytes: int, name: str = "", *,
+               internal: bool = False) -> int:
+        """Allocate ``nbytes`` of device memory; return the base address.
+
+        ``internal`` marks detector/runtime bookkeeping that should not
+        count toward the application footprint (:attr:`app_bytes`).
+        """
         if nbytes <= 0:
             raise KernelError(f"malloc size must be positive, got {nbytes}")
         base = self._next
@@ -62,6 +78,8 @@ class DeviceMemory:
             raise KernelError(
                 f"device memory exhausted: need {self._next}, have {self.capacity}"
             )
+        if not internal:
+            self._app_next = self._next
         self._allocs[base] = nbytes
         if name:
             self._names[base] = name

@@ -1,37 +1,48 @@
-"""Hook interfaces through which detectors observe the GPU substrate.
+"""Legacy detector-hook interface, bridged onto the event pipeline.
 
-The GPU package depends only on :mod:`repro.common`; race detectors (the
-hardware RDUs of :mod:`repro.core`, the software baselines of
-:mod:`repro.swdetect`) plug in by implementing :class:`DetectorHooks`. Every
-hook may return a :class:`TimingEffect` describing cycles the *issuing warp*
-must additionally stall (software instrumentation, barrier shadow
-invalidation, ...). Hardware RDU shadow traffic that does not stall the warp
-is injected by the detector directly into the memory system it holds a
-handle to.
+Race detectors (the hardware RDUs of :mod:`repro.core`, the software
+baselines of :mod:`repro.swdetect`) implement :class:`DetectorHooks`: a
+flat callback interface that predates the unified event pipeline of
+:mod:`repro.events`. The execution core no longer calls these hooks
+directly — every architectural event is emitted exactly once on the
+simulator's :class:`~repro.events.bus.EventBus`, and an attached detector
+rides the bus through the :class:`HooksSubscriber` adapter (at
+:data:`~repro.events.bus.PRIORITY_DETECTOR`, so it acts before passive
+observers and the metrics collector see the combined effect).
+
+Every timed hook may return a :class:`~repro.events.effects.TimingEffect`
+describing cycles the *issuing warp* must additionally stall (software
+instrumentation, barrier shadow invalidation, ...). Hardware RDU shadow
+traffic that does not stall the warp is injected by the detector directly
+into the memory system it holds a handle to.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.common.types import WarpAccess
+from repro.events.bus import Subscriber
+from repro.events.effects import NO_EFFECT, TimingEffect
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    BlockStarted,
+    FenceIssued,
+    KernelEnded,
+    KernelStarted,
+    LockAcquired,
+    LockReleased,
+)
 
-
-@dataclass(frozen=True)
-class TimingEffect:
-    """Extra cost a hook imposes on the hooked event.
-
-    ``stall_cycles`` delays the issuing warp (or, for barriers, the release
-    of the whole block). ``extra_instructions`` inflates the dynamic
-    instruction count (software instrumentation executes real instructions).
-    """
-
-    stall_cycles: int = 0
-    extra_instructions: int = 0
-
-
-NO_EFFECT = TimingEffect()
+__all__ = [
+    "DetectorHooks",
+    "HooksSubscriber",
+    "NO_EFFECT",
+    "NULL_DETECTOR",
+    "TimingEffect",
+]
 
 
 class DetectorHooks:
@@ -76,3 +87,48 @@ class DetectorHooks:
 
 #: Singleton null detector used when detection is off.
 NULL_DETECTOR = DetectorHooks()
+
+
+class HooksSubscriber(Subscriber):
+    """Adapter: subscribe a :class:`DetectorHooks` detector to the bus.
+
+    Translates each typed event record into the corresponding legacy hook
+    call, so existing detectors participate in the unified pipeline
+    unchanged. Lock events double as signature queries: the wrapped
+    detector's return value is forwarded as the chain's answer.
+    """
+
+    def __init__(self, hooks: DetectorHooks) -> None:
+        self.hooks = hooks
+
+    @property
+    def request_id_bits(self) -> int:  # type: ignore[override]
+        return self.hooks.request_id_bits
+
+    def on_kernel_start(self, ev: KernelStarted) -> None:
+        self.hooks.on_kernel_start(ev.launch, ev.device_mem)
+
+    def on_kernel_end(self, ev: KernelEnded) -> None:
+        self.hooks.on_kernel_end()
+
+    def on_block_start(self, ev: BlockStarted) -> None:
+        self.hooks.on_block_start(ev.block)
+
+    def on_block_end(self, ev: BlockEnded) -> None:
+        self.hooks.on_block_end(ev.block)
+
+    def on_access(self, ev: AccessIssued) -> Optional[TimingEffect]:
+        return self.hooks.on_warp_access(ev.access, ev.cycle,
+                                         lane_l1_hit=ev.lane_l1_hit)
+
+    def on_barrier(self, ev: BarrierReleased) -> Optional[TimingEffect]:
+        return self.hooks.on_barrier(ev.block, ev.cycle)
+
+    def on_fence(self, ev: FenceIssued) -> Optional[TimingEffect]:
+        return self.hooks.on_fence(ev.warp, ev.cycle)
+
+    def on_lock_acquired(self, ev: LockAcquired) -> Optional[int]:
+        return self.hooks.on_lock_acquire(ev.thread, ev.addr)
+
+    def on_lock_released(self, ev: LockReleased) -> Optional[int]:
+        return self.hooks.on_lock_release(ev.thread, ev.addr)

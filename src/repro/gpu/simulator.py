@@ -1,26 +1,44 @@
 """Top-level GPU simulator: block dispatch and global-time advancement.
 
 :class:`GPUSimulator` owns the SM array, the memory system, the device
-memory, the lock table, and the attached detector. Kernel launches dispatch
-blocks round-robin across SMs (respecting residency limits) and the run loop
+memory, the lock table, and the :class:`~repro.events.bus.EventBus` through
+which everything observes the run. Kernel launches dispatch blocks
+round-robin across SMs (respecting residency limits) and the run loop
 always advances the SM with the smallest local cycle, keeping memory-system
 arrival times near-monotonic so DRAM queueing and bandwidth accounting stay
 meaningful.
+
+Consumers attach to the bus rather than to the simulator internals: a race
+detector subscribes (through the :class:`~repro.gpu.hooks.HooksSubscriber`
+adapter) at detector priority via :meth:`GPUSimulator.attach_detector`;
+passive observers (tracers, parity checkers, experiment probes) via
+:meth:`GPUSimulator.add_observer`; and the always-present
+:class:`~repro.events.metrics.MetricsCollector` rides at metrics priority
+and owns every dynamic statistic.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.common.config import GPUConfig
 from repro.common.errors import SimulationError
 from repro.common.types import Dim3, KernelStats
+from repro.events import (
+    EventBus,
+    KernelEnded,
+    KernelStarted,
+    MetricsCollector,
+    PhaseStats,
+    Subscriber,
+)
+from repro.events.bus import PRIORITY_DETECTOR, PRIORITY_METRICS, PRIORITY_OBSERVER
 from repro.gpu.atomics import LockTable
 from repro.gpu.block import ThreadBlock
 from repro.gpu.device import DeviceArray, DeviceMemory, device_alloc
-from repro.gpu.hooks import NULL_DETECTOR, DetectorHooks
+from repro.gpu.hooks import NULL_DETECTOR, DetectorHooks, HooksSubscriber
 from repro.gpu.kernel import Kernel, KernelLaunch
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.memory.system import MemorySystem
@@ -39,6 +57,7 @@ class SimulationResult:
     l2_hit_rate: float
     sm_cycles: List[int] = field(default_factory=list)
     blocks_run: int = 0
+    phases: Optional[PhaseStats] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -49,24 +68,27 @@ class SimulationResult:
 
 
 class GPUSimulator:
-    """The whole GPU: SMs + memory system + detector + device memory."""
+    """The whole GPU: SMs + memory system + event bus + device memory."""
 
     def __init__(self, config: Optional[GPUConfig] = None,
                  detector: Optional[DetectorHooks] = None,
                  timing_enabled: bool = True) -> None:
         self.config = config or GPUConfig()
-        self.detector = detector or NULL_DETECTOR
         self.timing_enabled = timing_enabled
         self.device_mem = DeviceMemory()
         self.memory = MemorySystem(self.config, timing_enabled=timing_enabled)
         self.lock_table = LockTable()
-        self.warp_regrouping = getattr(
-            getattr(self.detector, "config", None), "warp_regrouping", False
+        self.bus = EventBus()
+        self.metrics = self.bus.subscribe(
+            MetricsCollector(issue_width_cycles=self.config.warp_issue_cycles),
+            PRIORITY_METRICS,
         )
-        self.sync_id_lazy = getattr(
-            getattr(self.detector, "config", None), "sync_id_lazy_increment",
-            True,
-        )
+        self.detector: DetectorHooks = NULL_DETECTOR
+        self._detector_sub: Optional[HooksSubscriber] = None
+        self.warp_regrouping = False
+        self.sync_id_lazy = True
+        if detector is not None:
+            self.attach_detector(detector)
         self.sms = [
             StreamingMultiprocessor(i, self.config, self)
             for i in range(self.config.num_sms)
@@ -83,14 +105,32 @@ class GPUSimulator:
         return device_alloc(self.device_mem, name, length, itemsize)
 
     def attach_detector(self, detector: DetectorHooks) -> None:
-        """Install a race detector before launching (replaces the null one)."""
+        """Install a race detector before launching (replaces the current one).
+
+        The detector is bridged onto the event bus at detector priority so
+        it observes every event before passive observers and the metrics
+        collector.
+        """
+        if self._detector_sub is not None:
+            self.bus.unsubscribe(self._detector_sub)
         self.detector = detector
+        self._detector_sub = HooksSubscriber(detector)
+        self.bus.subscribe(self._detector_sub, PRIORITY_DETECTOR)
         self.warp_regrouping = getattr(
             getattr(detector, "config", None), "warp_regrouping", False
         )
         self.sync_id_lazy = getattr(
             getattr(detector, "config", None), "sync_id_lazy_increment", True
         )
+
+    def add_observer(self, subscriber: Subscriber,
+                     priority: int = PRIORITY_OBSERVER) -> Subscriber:
+        """Subscribe a passive observer (tracer, probe) to the event bus."""
+        return self.bus.subscribe(subscriber, priority)
+
+    def remove_observer(self, subscriber: Subscriber) -> bool:
+        """Detach a previously added observer."""
+        return self.bus.unsubscribe(subscriber)
 
     def launch(self, kernel: Kernel, grid, block, args: Sequence[Any] = ()
                ) -> SimulationResult:
@@ -109,7 +149,9 @@ class GPUSimulator:
             )
         self._launch = launch
         self._blocks_run = 0
-        self.detector.on_kernel_start(launch, self.device_mem)
+        self.bus.emit_kernel_start(
+            KernelStarted(launch=launch, device_mem=self.device_mem)
+        )
 
         self._pending_blocks = [
             ThreadBlock(launch, bid, self.config.warp_size,
@@ -138,7 +180,7 @@ class GPUSimulator:
             if sm.active:
                 heapq.heappush(heap, (sm.cycle, sm_id))
 
-        self.detector.on_kernel_end()
+        self.bus.emit_kernel_end(KernelEnded())
         return self._collect(launch)
 
     def on_block_retired(self, sm: StreamingMultiprocessor) -> None:
@@ -151,9 +193,7 @@ class GPUSimulator:
     # ------------------------------------------------------------------
 
     def _collect(self, launch: KernelLaunch) -> SimulationResult:
-        stats = KernelStats()
-        for sm in self.sms:
-            stats.merge(sm.stats)
+        stats = self.metrics.total_stats()
         cycles = max((sm.cycle for sm in self.sms), default=0)
         l1_acc, l1_hit, _ = self.memory.l1_stats_total()
         l2_acc, l2_hit, _ = self.memory.l2_stats_total()
@@ -167,4 +207,7 @@ class GPUSimulator:
             l2_hit_rate=l2_hit / l2_acc if l2_acc else 0.0,
             sm_cycles=[sm.cycle for sm in self.sms],
             blocks_run=self._blocks_run,
+            phases=self.metrics.snapshot(
+                shadow_traffic_bytes=self.memory.shadow_traffic_bytes()
+            ),
         )

@@ -7,17 +7,47 @@ warp in round-robin order. Timing is event-driven: warps carry a
 ``ready_at`` cycle; compute ops cost issue slots, memory ops cost the full
 coalesced round trip through the memory hierarchy the simulator provides.
 
-Detector hooks fire synchronously with execution, so detection results are
-exact with respect to the simulated interleaving even though timing is
-warp-granular rather than cycle-accurate.
+The issue path is decomposed into four steps, each with one home:
+
+1. **decode** — :meth:`_decode_lanes` turns a warp op-group into per-lane
+   :class:`~repro.common.types.LaneAccess` records (shared by the shared-
+   and global-memory paths);
+2. **timing** — bank-conflict passes, coalescing and the memory-system
+   round trip price the access;
+3. **emission** — the event is published exactly once on the simulator's
+   :class:`~repro.events.bus.EventBus`; subscribers (detector, tracer,
+   metrics) observe it synchronously with execution, so detection results
+   are exact with respect to the simulated interleaving even though timing
+   is warp-granular, and the combined
+   :class:`~repro.events.effects.TimingEffect` feeds back into the warp's
+   wake-up time;
+4. **functional execution** — lane values move and the warp advances.
+
+The SM counts nothing itself: dynamic statistics live in the bus's
+:class:`~repro.events.metrics.MetricsCollector` (``self.stats`` is a view
+onto this SM's slice of it).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from bisect import bisect_right
+from typing import List, Optional, Tuple
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.types import AccessKind, KernelStats, LaneAccess, MemSpace, WarpAccess
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    BlockStarted,
+    ComputeIssued,
+    FenceIssued,
+    IdleAdvanced,
+    LockAcquired,
+    LockIssued,
+    LockReleased,
+    UnlockIssued,
+)
 from repro.gpu.atomics import apply_atomic
 from repro.gpu.block import ThreadBlock
 from repro.gpu.coalescer import coalesce
@@ -31,7 +61,7 @@ from repro.gpu.ops import (
     OP_UNLOCK,
 )
 from repro.gpu.shared_memory import SharedMemoryModel
-from repro.gpu.warp import ThreadState, Warp
+from repro.gpu.warp import Warp
 
 #: Cycles a warp waits before re-attempting a contended lock acquire.
 LOCK_RETRY_INTERVAL = 40
@@ -50,7 +80,8 @@ class StreamingMultiprocessor:
     def __init__(self, sm_id: int, config, gpu) -> None:
         self.sm_id = sm_id
         self.config = config
-        self.gpu = gpu  # GPUSimulator: memory system, detector, lock table
+        self.gpu = gpu  # GPUSimulator: memory system, event bus, lock table
+        self.bus = gpu.bus
         self.cycle = 0
         self.blocks: List[ThreadBlock] = []
         self.warps: List[Warp] = []
@@ -58,9 +89,13 @@ class StreamingMultiprocessor:
         self.shared_model = SharedMemoryModel(
             config.shared_mem_banks, config.shared_bank_width
         )
-        self.stats = KernelStats()
         self.idle_cycles = 0
         self.retired_blocks = 0
+
+    @property
+    def stats(self) -> KernelStats:
+        """This SM's slice of the bus-owned dynamic statistics."""
+        return self.gpu.metrics.sm_stats(self.sm_id)
 
     # ------------------------------------------------------------------
     # residency
@@ -88,7 +123,7 @@ class StreamingMultiprocessor:
             w.ready_at = self.cycle
         self.blocks.append(block)
         self.warps.extend(block.warps)
-        self.gpu.detector.on_block_start(block)
+        self.bus.emit_block_start(BlockStarted(block=block, sm_id=self.sm_id))
 
     @property
     def active(self) -> bool:
@@ -123,8 +158,10 @@ class StreamingMultiprocessor:
         ]
         if pending:
             target = max(self.cycle + 1, min(pending))
-            self.idle_cycles += target - self.cycle
+            jumped = target - self.cycle
+            self.idle_cycles += jumped
             self.cycle = target
+            self.bus.emit_idle(IdleAdvanced(sm_id=self.sm_id, cycles=jumped))
             return
         # every unfinished warp is parked at a barrier: barriers should have
         # been released when the last warp arrived, so this is a divergent
@@ -153,7 +190,6 @@ class StreamingMultiprocessor:
 
         key, lanes = group
         code = key[0]
-        warp.pc += 1
 
         if code == OP_COMPUTE:
             self._exec_compute(warp, lanes, issue)
@@ -172,59 +208,80 @@ class StreamingMultiprocessor:
         else:  # pragma: no cover - barrier never reaches here
             raise SimulationError(f"unexpected opcode {code} in issue path")
 
+        # the PC names the op-group just executed; incrementing after the
+        # dispatch keeps WarpAccess.pc (and race reports) on the racing
+        # instruction rather than its successor
+        warp.pc += 1
         self.cycle += issue
 
     def _exec_compute(self, warp: Warp, lanes, issue: int) -> None:
+        # decode
         n = 0
+        total = 0
         for _, t in lanes:
             n = max(n, t.pending[1])
-            self.stats.instructions += t.pending[1]
+            total += t.pending[1]
+        # emission
+        self.bus.emit_compute(ComputeIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle,
+            lanes=len(lanes), instructions=total,
+        ))
+        # functional execution + timing
+        for _, t in lanes:
             warp.complete_lane(t)
         warp.ready_at = self.cycle + max(1, n) * issue
+
+    # -- decode ------------------------------------------------------------
+
+    @staticmethod
+    def _decode_lanes(code: int, lanes) -> Tuple[AccessKind, List[LaneAccess]]:
+        """Turn one memory op-group into per-lane access records.
+
+        Groups are homogeneous in opcode, so the warp-level kind matches
+        every lane's kind.
+        """
+        if code == OP_LOAD:
+            kind = AccessKind.READ
+        elif code == OP_STORE:
+            kind = AccessKind.WRITE
+        else:
+            kind = AccessKind.ATOMIC
+        lane_accesses = [
+            LaneAccess(lane_idx, t.pending[2], t.pending[3], kind,
+                       sig=t.lock_sig, critical=t.critical_depth > 0)
+            for lane_idx, t in lanes
+        ]
+        return kind, lane_accesses
 
     # -- shared memory ---------------------------------------------------
 
     def _exec_shared(self, warp: Warp, code: int, lanes, issue: int) -> None:
         block = warp.block
-        lane_accesses = []
-        kind = AccessKind.READ
-        for lane_idx, t in lanes:
-            op = t.pending
-            if code == OP_LOAD:
-                k = AccessKind.READ
-            elif code == OP_STORE:
-                k = AccessKind.WRITE
-                kind = AccessKind.WRITE
-            else:
-                k = AccessKind.ATOMIC
-                kind = AccessKind.ATOMIC
-            lane_accesses.append(
-                LaneAccess(lane_idx, op[2], op[3], k,
-                           sig=t.lock_sig, critical=t.critical_depth > 0)
-            )
+        # decode
+        kind, lane_accesses = self._decode_lanes(code, lanes)
 
+        # timing: bank-conflict replay passes
         passes = self.shared_model.conflict_passes(lane_accesses)
         cost = self.config.shared_latency + passes * issue
 
+        # emission
         access = self._make_warp_access(warp, MemSpace.SHARED, kind, lane_accesses)
-        effect = self.gpu.detector.on_warp_access(access, self.cycle)
+        effect = self.bus.emit_access(AccessIssued(
+            access=access, sm_id=self.sm_id, cycle=self.cycle,
+        ))
         cost += effect.stall_cycles
-        self.stats.instructions += len(lanes) + effect.extra_instructions
 
         # functional execution (shared atomics serialize per address in
         # lane order, matching the hardware's conflict replay)
         if code == OP_LOAD:
-            self.stats.shared_reads += len(lanes)
             for la, (_, t) in zip(lane_accesses, lanes):
                 warp.complete_lane(t, block.shared_load(la.addr))
         elif code == OP_STORE:
-            self.stats.shared_writes += len(lanes)
             for (_, t) in lanes:
                 op = t.pending
                 block.shared_store(op[2], op[4])
                 warp.complete_lane(t)
         else:
-            self.stats.atomics += len(lanes)
             for (_, t) in lanes:
                 op = t.pending
                 old = block.shared_load(op[2])
@@ -237,28 +294,15 @@ class StreamingMultiprocessor:
 
     def _exec_global(self, warp: Warp, code: int, lanes, issue: int) -> None:
         mem = self.gpu.device_mem
-        lane_accesses = []
-        kind = AccessKind.READ
-        for lane_idx, t in lanes:
-            op = t.pending
-            if code == OP_LOAD:
-                k = AccessKind.READ
-            elif code == OP_STORE:
-                k = AccessKind.WRITE
-                kind = AccessKind.WRITE
-            else:
-                k = AccessKind.ATOMIC
-                kind = AccessKind.ATOMIC
-            lane_accesses.append(
-                LaneAccess(lane_idx, op[2], op[3], k,
-                           sig=t.lock_sig, critical=t.critical_depth > 0)
-            )
+        # decode
+        kind, lane_accesses = self._decode_lanes(code, lanes)
 
+        # timing: coalesce and take the memory-system round trip
         is_write = code != OP_LOAD
         txns = coalesce(lane_accesses, is_write)
         latency, txn_levels = self.gpu.memory.warp_access(
             self.sm_id, txns, self.cycle,
-            id_bits=self.gpu.detector.request_id_bits,
+            id_bits=self.bus.request_id_bits,
         )
 
         # per-lane L1-hit flags for the stale-read check (§IV-B)
@@ -271,25 +315,24 @@ class StreamingMultiprocessor:
                 per_addr[la.addr] = per_addr.get(la.addr, 0) + 1
             latency += (max(per_addr.values()) - 1) * issue
 
+        # emission
         access = self._make_warp_access(warp, MemSpace.GLOBAL, kind, lane_accesses)
-        effect = self.gpu.detector.on_warp_access(access, self.cycle,
-                                                  lane_l1_hit=lane_l1_hit)
+        effect = self.bus.emit_access(AccessIssued(
+            access=access, sm_id=self.sm_id, cycle=self.cycle,
+            lane_l1_hit=lane_l1_hit,
+        ))
         warp.block.global_accessed_since_barrier = True
-        self.stats.instructions += len(lanes) + effect.extra_instructions
 
         # functional execution
         if code == OP_LOAD:
-            self.stats.global_reads += len(lanes)
             for la, (_, t) in zip(lane_accesses, lanes):
                 warp.complete_lane(t, mem.load(la.addr))
         elif code == OP_STORE:
-            self.stats.global_writes += len(lanes)
             for (_, t) in lanes:
                 op = t.pending
                 mem.store(op[2], op[4])
                 warp.complete_lane(t)
         else:
-            self.stats.atomics += len(lanes)
             # serialize same-address atomics in lane order
             for (_, t) in lanes:
                 op = t.pending
@@ -301,26 +344,37 @@ class StreamingMultiprocessor:
 
     @staticmethod
     def _lane_hit_flags(lane_accesses, txns, txn_levels) -> List[bool]:
-        """Map per-transaction hit levels back to per-lane L1-hit flags."""
+        """Map per-transaction hit levels back to per-lane L1-hit flags.
+
+        Coalesced transactions are disjoint address intervals, so one
+        sorted interval map built per warp access answers every lane with
+        a binary search instead of rescanning the transaction list.
+        """
+        if not txns:
+            return [False] * len(lane_accesses)
+        intervals = sorted(
+            (txn.addr, txn.addr + txn.size, level == "l1")
+            for txn, level in zip(txns, txn_levels)
+        )
+        starts = [iv[0] for iv in intervals]
         flags = []
         for la in lane_accesses:
-            hit = False
-            for txn, level in zip(txns, txn_levels):
-                if txn.addr <= la.addr < txn.addr + txn.size:
-                    hit = level == "l1"
-                    break
-            flags.append(hit)
+            i = bisect_right(starts, la.addr) - 1
+            flags.append(i >= 0 and la.addr < intervals[i][1]
+                         and intervals[i][2])
         return flags
 
     # -- synchronization -----------------------------------------------------
 
     def _exec_fence(self, warp: Warp, lanes, issue: int) -> None:
+        # functional execution
         for _, t in lanes:
             warp.complete_lane(t)
         warp.note_fence()
-        effect = self.gpu.detector.on_fence(warp, self.cycle)
-        self.stats.instructions += len(lanes) + effect.extra_instructions
-        self.stats.fences += 1
+        # emission + timing
+        effect = self.bus.emit_fence(FenceIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+        ))
         warp.ready_at = self.cycle + FENCE_BASE_COST + effect.stall_cycles
 
     def _exec_lock(self, warp: Warp, lanes, issue: int) -> None:
@@ -331,12 +385,16 @@ class StreamingMultiprocessor:
             if table.try_acquire(addr, t.global_tid):
                 t.held_locks.append(addr)
                 t.critical_depth += 1
-                t.lock_sig = self.gpu.detector.on_lock_acquire(t, addr)
+                t.lock_sig = self.bus.lock_acquired(LockAcquired(
+                    thread=t, addr=addr, sm_id=self.sm_id, cycle=self.cycle,
+                ))
                 warp.complete_lane(t)
                 granted += 1
             # ungranted lanes keep their pending op; the warp retries
-        self.stats.instructions += len(lanes)
-        self.stats.atomics += len(lanes)  # each attempt is an atomicExch
+        self.bus.emit_lock(LockIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle,
+            attempts=len(lanes), granted=granted,
+        ))
         if granted:
             warp.retries = 0
             # atomic-exchange round trip to acquire the lock line
@@ -356,10 +414,13 @@ class StreamingMultiprocessor:
             table.release(addr, t.global_tid)
             t.held_locks.remove(addr)
             t.critical_depth -= 1
-            t.lock_sig = self.gpu.detector.on_lock_release(t, addr)
+            t.lock_sig = self.bus.lock_released(LockReleased(
+                thread=t, addr=addr, sm_id=self.sm_id, cycle=self.cycle,
+            ))
             warp.complete_lane(t)
-        self.stats.instructions += len(lanes)
-        self.stats.atomics += len(lanes)  # release is an atomic store
+        self.bus.emit_unlock(UnlockIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+        ))
         warp.ready_at = self.cycle + self.config.l2_latency
 
     # ------------------------------------------------------------------
@@ -368,23 +429,33 @@ class StreamingMultiprocessor:
     def _maybe_release_barrier(self, block: ThreadBlock) -> None:
         if not block.all_at_barrier():
             return
-        effect = self.gpu.detector.on_barrier(block, self.cycle)
-        release_at = self.cycle + BARRIER_BASE_COST + effect.stall_cycles
-        released = block.release_barrier(release_at,
-                                         lazy_sync=self.gpu.sync_id_lazy)
-        self.stats.barriers += sum(len(w.live_lanes()) for w in released)
-        self.stats.instructions += (
-            sum(len(w.live_lanes()) for w in released) + effect.extra_instructions
+        # release_barrier only resets barrier state, so the lanes that will
+        # be released are exactly the live lanes of the parked warps
+        released_lanes = sum(
+            len(w.live_lanes()) for w in block.warps if w.at_barrier
         )
+        effect = self.bus.emit_barrier(BarrierReleased(
+            block=block, sm_id=self.sm_id, cycle=self.cycle,
+            released_lanes=released_lanes,
+        ))
+        release_at = self.cycle + BARRIER_BASE_COST + effect.stall_cycles
+        block.release_barrier(release_at, lazy_sync=self.gpu.sync_id_lazy)
 
     def _maybe_retire(self, block: ThreadBlock) -> None:
         if not block.check_done():
             return
         self.blocks.remove(block)
+        # remap the round-robin pointer past the removed warps: resetting
+        # it to 0 would bias scheduling back to warp 0 after every block
+        # retirement
+        removed_before = sum(
+            1 for w in self.warps[:self._rr] if w.block is block
+        )
         self.warps = [w for w in self.warps if w.block is not block]
-        self._rr = 0
+        self._rr = ((self._rr - removed_before) % len(self.warps)
+                    if self.warps else 0)
         self.retired_blocks += 1
-        self.gpu.detector.on_block_end(block)
+        self.bus.emit_block_end(BlockEnded(block=block, sm_id=self.sm_id))
         self.gpu.on_block_retired(self)
 
     # ------------------------------------------------------------------

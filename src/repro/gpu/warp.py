@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.common.errors import KernelError, SimulationError
+from repro.common.errors import SimulationError
 from repro.gpu.ops import (
     OP_BARRIER,
     OP_LOCK,

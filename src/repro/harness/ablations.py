@@ -19,10 +19,10 @@ was buying:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.common.config import DetectionMode, HAccRGConfig
-from repro.harness.experiments import ALL_BENCH, RACE_FREE_OVERRIDES, WORD_CONFIG
+from repro.harness.experiments import RACE_FREE_OVERRIDES, WORD_CONFIG
 from repro.harness.runner import run_benchmark
 
 

@@ -10,10 +10,10 @@ race category (barrier / fence / lockset / stale-L1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.common.types import MemSpace, RaceCategory
 from repro.core.races import RaceLog, RaceReport
 from repro.gpu.device import DeviceMemory
 

@@ -9,25 +9,24 @@ experiments use the scaled GPU configuration (see
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bench.injection import CATEGORY_COUNTS, INJECTION_CATALOG, InjectionSpec
-from repro.bench.suite import SUITE, Characteristics, get_benchmark
+from repro.bench.injection import INJECTION_CATALOG, InjectionSpec
+from repro.bench.suite import SUITE, Characteristics
 from repro.common.config import (
     DetectionMode,
     DetectorBackend,
     GPUConfig,
     HAccRGConfig,
-    scaled_gpu_config,
 )
-from repro.common.types import MemSpace, RaceCategory, RaceKind
+from repro.common.types import MemSpace
 from repro.core.bloom import BloomSignature
 from repro.core.hw_cost import comparator_budget, storage_budget
 from repro.core.shadow_memory import global_shadow_footprint
-from repro.harness.runner import RunResult, run_benchmark
+from repro.harness.runner import run_benchmark
 
 ALL_BENCH = [b.name for b in SUITE]
 

@@ -9,11 +9,12 @@ into plain dicts of primitives; everything returned is ``json.dumps``-safe.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.common.types import KernelStats, MemSpace, RaceCategory, RaceKind
 from repro.core.clocks import ClockStats
 from repro.core.races import RaceLog, RaceReport
+from repro.events import PhaseStats
 from repro.harness.runner import RunResult
 
 
@@ -72,6 +73,10 @@ def run_result_to_dict(res: RunResult,
         "data_bytes": int(res.data_bytes),
         "verified": res.verified,
     }
+    if res.phases is not None:
+        out["phases"] = phase_stats_record(res.phases)
+        out["phases"]["detector_stall_cycles"] = int(
+            res.phases.detector_stall_cycles)
     if res.races is not None:
         out["race_log"] = race_log_to_dict(res.races, max_races=max_races)
     return out
@@ -99,6 +104,18 @@ _STATS_FIELDS = ("instructions", "shared_reads", "shared_writes",
 
 _CLOCK_FIELDS = ("max_sync_increments", "max_fence_increments",
                  "sync_overflows", "fence_overflows")
+
+_PHASE_FIELDS = ("issue_slots", "issue_cycles", "idle_cycles",
+                 "access_stall_cycles", "barrier_stall_cycles",
+                 "fence_stall_cycles", "shadow_traffic_bytes")
+
+
+def phase_stats_record(phases: PhaseStats) -> Dict[str, int]:
+    return {name: int(getattr(phases, name)) for name in _PHASE_FIELDS}
+
+
+def phase_stats_from_record(record: Dict[str, int]) -> PhaseStats:
+    return PhaseStats(**{name: int(record[name]) for name in _PHASE_FIELDS})
 
 
 def kernel_stats_record(stats: KernelStats) -> Dict[str, int]:
@@ -210,6 +227,8 @@ def run_result_record(res: RunResult) -> Dict[str, Any]:
                      if res.id_stats is not None else None),
         "shared_shadow_misses": int(res.shared_shadow_misses),
         "shadow_transactions": int(res.shadow_transactions),
+        "phases": (phase_stats_record(res.phases)
+                   if res.phases is not None else None),
     }
 
 
@@ -234,4 +253,7 @@ def run_result_from_record(record: Dict[str, Any]) -> RunResult:
                   if record["id_stats"] is not None else None),
         shared_shadow_misses=int(record["shared_shadow_misses"]),
         shadow_transactions=int(record["shadow_transactions"]),
+        # .get(): records cached before the event pipeline lack the field
+        phases=(phase_stats_from_record(record["phases"])
+                if record.get("phases") is not None else None),
     )

@@ -15,8 +15,8 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.common.config import DetectionMode, DetectorBackend, HAccRGConfig
 from repro.common.types import MemSpace
-from repro.harness.runner import run_benchmark
-from repro.harness.trace import record, replay
+from repro.harness.runner import run_benchmark, run_benchmark_direct
+from repro.harness.trace import TraceRecorder, replay
 
 #: a race's identity for cross-implementation comparison
 RaceKey = Tuple[MemSpace, int, str, str]
@@ -57,12 +57,15 @@ def check_parity(name: str, scale: float = 0.5,
     """Run ``name`` under all comparable implementations and diff."""
     cfg = config or HAccRGConfig(mode=DetectionMode.FULL,
                                  shared_granularity=4)
-    hw = run_benchmark(name, cfg, scale=scale, timing_enabled=False,
-                       **overrides)
+    # the trace is recorded *during* the hardware run — detector and
+    # recorder subscribe to the same event bus and observe the identical
+    # live interleaving, so no separate recording pass is needed
+    recorder = TraceRecorder()
+    hw = run_benchmark_direct(name, cfg, scale=scale, timing_enabled=False,
+                              observers=[recorder], **overrides)
     sw = run_benchmark(name, cfg.with_backend(DetectorBackend.SOFTWARE),
                        scale=scale, timing_enabled=False, **overrides)
-    events = record(name, scale=scale, **overrides)
-    rep = replay(events, cfg)
+    rep = replay(recorder.events, cfg)
     return ParityResult(
         benchmark=name,
         hardware=_keys(hw.races),

@@ -15,7 +15,7 @@ difference — a cached :class:`RunResult` compares equal to a live one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional, Sequence
 
 from repro.bench.common import Injection, NO_INJECTION
 from repro.bench.suite import get_benchmark
@@ -30,6 +30,7 @@ from repro.common.types import KernelStats, MemSpace
 from repro.core.clocks import ClockStats
 from repro.core.detector import HAccRGDetector
 from repro.core.races import RaceLog
+from repro.events import PhaseStats, Subscriber
 from repro.gpu.simulator import GPUSimulator
 from repro.swdetect.grace import GRaceAddrDetector
 from repro.swdetect.software_haccrg import SoftwareHAccRG
@@ -69,6 +70,10 @@ class RunResult:
     shared_shadow_misses: int = 0
     #: global-RDU shadow-line transactions (write-back ablation metric)
     shadow_transactions: int = 0
+    #: per-phase cycle breakdown from the event pipeline's metrics
+    #: collector (issue/idle split, detector-induced stalls, shadow
+    #: traffic); None for results cached before the field existed
+    phases: Optional[PhaseStats] = None
 
     def shared_races(self) -> int:
         return self.races.count(space=MemSpace.SHARED) if self.races else 0
@@ -153,11 +158,17 @@ def run_benchmark_direct(name: str,
                          injection: Injection = NO_INJECTION,
                          timing_enabled: bool = True,
                          verify: bool = False,
+                         observers: Optional[Sequence[Subscriber]] = None,
                          **overrides) -> RunResult:
     """Simulate unconditionally, bypassing any installed campaign session.
 
     This is the execution path campaign workers use: the session wraps
     *around* it, so cache misses and pool jobs always land here.
+
+    ``observers`` are event-bus subscribers (tracers, probes) added at
+    observer priority alongside any detector — they watch the same live
+    run. They are live objects, so this parameter exists only on the
+    direct path: it never reaches a campaign session's cache key.
     """
     bench = get_benchmark(name)
     sim = GPUSimulator(gpu_config or scaled_gpu_config(),
@@ -166,6 +177,8 @@ def run_benchmark_direct(name: str,
     if detector_config is not None and detector_config.mode != DetectionMode.OFF:
         detector = make_detector(detector_config, sim)
         sim.attach_detector(detector)
+    for obs in observers or ():
+        sim.add_observer(obs)
 
     plan = bench.plan(sim, scale=scale, seed=seed, injection=injection,
                       **overrides)
@@ -218,4 +231,5 @@ def run_benchmark_direct(name: str,
         shadow_transactions=int(getattr(
             getattr(detector, "global_rdu", None), "shadow_transactions",
             0) or 0),
+        phases=last.phases if last else None,
     )

@@ -7,9 +7,11 @@ access stream it produces is identical every time (execution is
 deterministic and hardware detection never perturbs it). This module
 splits the two:
 
-- :class:`TraceRecorder` is a detector hook that captures every warp
-  access plus the synchronization events (barriers with block sync-IDs,
-  fences, kernel/block boundaries) as compact records;
+- :class:`TraceRecorder` is an event-bus subscriber that captures every
+  warp access plus the synchronization events (barriers with block
+  sync-IDs, fences, kernel/block boundaries) as compact records — it can
+  ride a live run alongside an attached detector (same bus, observer
+  priority) or record standalone;
 - :func:`replay` feeds a recorded trace back through any
   :class:`~repro.core.detector.HAccRGDetector`-compatible detector's
   *detection* structures, producing the identical race log at a fraction
@@ -27,16 +29,24 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.config import DetectionMode, HAccRGConfig
 from repro.common.types import AccessKind, LaneAccess, MemSpace, WarpAccess
 from repro.core.clocks import RaceRegisterFile
 from repro.core.races import RaceLog
-from repro.core.rdu_shared import SharedRDU
 from repro.core.shadow import SharedShadowTable
 from repro.core.shadow_memory import GlobalShadowMemory
-from repro.gpu.hooks import NO_EFFECT, DetectorHooks
+from repro.events import Subscriber
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    BlockStarted,
+    FenceIssued,
+    KernelStarted,
+    LockAcquired,
+)
 
 #: trace record kinds
 _ACCESS, _BARRIER, _FENCE, _BLOCK_START, _BLOCK_END, _KERNEL = (
@@ -97,31 +107,41 @@ class TraceEvent:
         )
 
 
-class TraceRecorder(DetectorHooks):
-    """Hook that records every detection-relevant event of a run."""
+class TraceRecorder(Subscriber):
+    """Bus subscriber that records every detection-relevant event of a run.
+
+    Subscribe at observer priority (``sim.add_observer(recorder)``): it
+    never perturbs timing or detection, so it can record the same live run
+    a detector is analyzing. When recording standalone it also answers
+    lock-signature queries with the paper's Bloom geometry, so critical
+    sections carry real signatures into the trace.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         self.region_bytes = 0
 
-    def on_kernel_start(self, launch, device_mem) -> None:
-        self.region_bytes = max(self.region_bytes,
-                                device_mem.allocated_bytes)
-        self.events.append(TraceEvent(
-            kind=_KERNEL, region_bytes=device_mem.allocated_bytes))
+    def on_kernel_start(self, ev: KernelStarted) -> None:
+        # record the *application* footprint: a co-resident detector's
+        # internal shadow reservation must not leak into the trace, or
+        # concurrently recorded traces would differ from standalone ones
+        region = ev.device_mem.app_bytes
+        self.region_bytes = max(self.region_bytes, region)
+        self.events.append(TraceEvent(kind=_KERNEL, region_bytes=region))
 
-    def on_block_start(self, block) -> None:
+    def on_block_start(self, ev: BlockStarted) -> None:
+        block = ev.block
         self.events.append(TraceEvent(
             kind=_BLOCK_START, block_id=block.block_id,
             sm_id=block.sm_id or 0,
             shared_bytes=block.launch.kernel.shared_bytes()))
 
-    def on_block_end(self, block) -> None:
+    def on_block_end(self, ev: BlockEnded) -> None:
         self.events.append(TraceEvent(kind=_BLOCK_END,
-                                      block_id=block.block_id))
+                                      block_id=ev.block.block_id))
 
-    def on_warp_access(self, access: WarpAccess, now,
-                       lane_l1_hit=None):
+    def on_access(self, ev: AccessIssued):
+        access = ev.access
         self.events.append(TraceEvent(
             kind=_ACCESS,
             space=int(access.space),
@@ -135,26 +155,29 @@ class TraceRecorder(DetectorHooks):
             base_tid=access.base_tid,
             sync_id=access.sync_id,
             fence_id=access.fence_id,
-            l1_hits=list(lane_l1_hit) if lane_l1_hit is not None else None,
+            l1_hits=(list(ev.lane_l1_hit)
+                     if ev.lane_l1_hit is not None else None),
         ))
-        return NO_EFFECT
+        return None
 
-    def on_barrier(self, block, now):
+    def on_barrier(self, ev: BarrierReleased):
         self.events.append(TraceEvent(kind=_BARRIER,
-                                      block_id=block.block_id))
-        return NO_EFFECT
+                                      block_id=ev.block.block_id))
+        return None
 
-    def on_fence(self, warp, now):
-        self.events.append(TraceEvent(kind=_FENCE, warp_id=warp.warp_id,
-                                      fence_id=warp.fence_id))
-        return NO_EFFECT
+    def on_fence(self, ev: FenceIssued):
+        self.events.append(TraceEvent(kind=_FENCE, warp_id=ev.warp.warp_id,
+                                      fence_id=ev.warp.fence_id))
+        return None
 
-    def on_lock_acquire(self, thread, addr: int) -> int:
-        # signatures must reach the trace: encode with the paper geometry
+    def on_lock_acquired(self, ev: LockAcquired) -> int:
+        # signatures must reach the trace: encode with the paper geometry.
+        # With a detector on the bus its (identical) answer wins — it sits
+        # at detector priority, ahead of this observer.
         from repro.core.bloom import BloomSignature
         if not hasattr(self, "_bloom"):
             self._bloom = BloomSignature(16, 2)
-        return self._bloom.insert(thread.lock_sig, addr)
+        return self._bloom.insert(ev.thread.lock_sig, ev.addr)
 
     # ------------------------------------------------------------------
 
@@ -177,7 +200,7 @@ def record(benchmark_name: str, scale: float = 1.0,
 
     recorder = TraceRecorder()
     sim = GPUSimulator(scaled_gpu_config(), timing_enabled=False)
-    sim.attach_detector(recorder)
+    sim.add_observer(recorder)
     plan = get_benchmark(benchmark_name).plan(sim, scale=scale, **overrides)
     plan.run(sim)
     return recorder.events

@@ -14,24 +14,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.common.types import MemSpace, WarpAccess
-from repro.gpu.hooks import DetectorHooks, NO_EFFECT
+from repro.common.types import MemSpace
+from repro.events import Subscriber
+from repro.events.records import AccessIssued
 from repro.harness.experiments import RACE_FREE_OVERRIDES
-from repro.harness.runner import run_benchmark
 from repro.vm.page_table import PageTable
 from repro.vm.tlb import SplitTLB, TaggedTLB
 
 
-class _TraceCollector(DetectorHooks):
-    """Hook that records the global-access address stream of a run."""
+class _TraceCollector(Subscriber):
+    """Bus observer that records the global-access address stream of a run."""
 
     def __init__(self) -> None:
         self.addrs: List[int] = []
 
-    def on_warp_access(self, access: WarpAccess, now, lane_l1_hit=None):
-        if access.space == MemSpace.GLOBAL:
-            self.addrs.extend(la.addr for la in access.lanes)
-        return NO_EFFECT
+    def on_access(self, ev: AccessIssued):
+        if ev.access.space == MemSpace.GLOBAL:
+            self.addrs.extend(la.addr for la in ev.access.lanes)
+        return None
 
 
 @dataclass
@@ -56,7 +56,7 @@ def collect_global_trace(name: str, scale: float = 1.0) -> List[int]:
     from repro.bench.suite import get_benchmark
 
     sim = GPUSimulator(scaled_gpu_config(), timing_enabled=False)
-    sim.attach_detector(collector)
+    sim.add_observer(collector)
     plan = get_benchmark(name).plan(
         sim, scale=scale, **RACE_FREE_OVERRIDES.get(name, {})
     )

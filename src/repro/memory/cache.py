@@ -10,8 +10,8 @@ statistics can be reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.common.bitops import is_power_of_two, log2_exact
 from repro.common.errors import ConfigError

@@ -18,7 +18,7 @@ stall the issuing warp (the RDU works alongside the pipeline).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.common.config import GPUConfig
 from repro.common.types import Transaction
@@ -52,6 +52,11 @@ class MemorySystem:
         self.icnt = InterconnectModel(
             flit_size=config.flit_size, hop_latency=config.icnt_latency
         )
+        #: total payload bytes of shadow-tagged transactions entering the
+        #: hierarchy (demand checks and background RDU traffic alike,
+        #: regardless of which level satisfied them — unlike
+        #: :meth:`dram_shadow_bytes`, which only sees DRAM arrivals)
+        self._shadow_traffic_bytes = 0
 
     # ------------------------------------------------------------------
 
@@ -86,6 +91,8 @@ class MemorySystem:
                          id_bits: int, bypass_l1: bool = False) -> Tuple[int, str]:
         cfg = self.config
         l1 = self.l1[sm_id]
+        if txn.is_shadow:
+            self._shadow_traffic_bytes += txn.size
 
         # ---- L1 ----------------------------------------------------------
         if not bypass_l1:
@@ -155,6 +162,10 @@ class MemorySystem:
 
     def dram_shadow_bytes(self) -> int:
         return sum(ch.stats.shadow_bytes for ch in self.dram)
+
+    def shadow_traffic_bytes(self) -> int:
+        """Shadow payload bytes injected into the hierarchy (all levels)."""
+        return self._shadow_traffic_bytes
 
     def l1_stats_total(self):
         """Aggregate (accesses, hits, misses) over all L1s."""

@@ -25,7 +25,7 @@ with the data size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import HAccRGConfig
 from repro.common.types import (

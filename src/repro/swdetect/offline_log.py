@@ -20,7 +20,7 @@ This implementation captures both costs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import HAccRGConfig
 from repro.common.types import (

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.common.config import HAccRGConfig
-from repro.common.types import MemSpace, Transaction, WarpAccess
+from repro.common.types import Transaction, WarpAccess
 from repro.core.detector import HAccRGDetector
 from repro.gpu.hooks import NO_EFFECT, TimingEffect
 from repro.swdetect.instrumentation import SOFTWARE_HACCRG_COST

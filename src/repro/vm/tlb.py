@@ -18,10 +18,9 @@ misses walk the page table (allocating shadow pages on demand).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
-from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
 from repro.vm.page_table import PageTable
 

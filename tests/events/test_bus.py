@@ -1,0 +1,166 @@
+"""Tests for EventBus fan-out order, effect combination, and lock queries."""
+
+from repro.events import EventBus, Subscriber, TimingEffect
+from repro.events.bus import PRIORITY_DETECTOR, PRIORITY_METRICS, PRIORITY_OBSERVER
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    KernelStarted,
+    LockAcquired,
+    LockReleased,
+)
+
+
+class Recorder(Subscriber):
+    """Logs every handler call into a shared journal."""
+
+    def __init__(self, name, journal, effect=None, sig=None, id_bits=0):
+        self.name = name
+        self.journal = journal
+        self.effect = effect
+        self.sig = sig
+        self.request_id_bits = id_bits
+
+    def on_kernel_start(self, ev):
+        self.journal.append((self.name, "kernel_start"))
+
+    def on_access(self, ev):
+        self.journal.append((self.name, "access"))
+        return self.effect
+
+    def on_barrier(self, ev):
+        self.journal.append((self.name, "barrier"))
+        return self.effect
+
+    def on_effect(self, ev, effect):
+        self.journal.append((self.name, "effect", effect))
+
+    def on_lock_acquired(self, ev):
+        self.journal.append((self.name, "lock_acquired"))
+        return self.sig
+
+    def on_lock_released(self, ev):
+        self.journal.append((self.name, "lock_released"))
+        return self.sig
+
+
+class _Thread:
+    def __init__(self, lock_sig=0, held_locks=()):
+        self.lock_sig = lock_sig
+        self.held_locks = list(held_locks)
+
+
+def _access_event():
+    return AccessIssued(access=None, sm_id=0, cycle=0)
+
+
+class TestFanOutOrder:
+    def test_priority_bands_order_delivery(self):
+        journal = []
+        bus = EventBus()
+        bus.subscribe(Recorder("metrics", journal), PRIORITY_METRICS)
+        bus.subscribe(Recorder("observer", journal), PRIORITY_OBSERVER)
+        bus.subscribe(Recorder("detector", journal), PRIORITY_DETECTOR)
+        bus.emit_kernel_start(KernelStarted(launch=None, device_mem=None))
+        assert journal == [("detector", "kernel_start"),
+                           ("observer", "kernel_start"),
+                           ("metrics", "kernel_start")]
+
+    def test_same_priority_keeps_subscription_order(self):
+        journal = []
+        bus = EventBus()
+        for name in ("first", "second", "third"):
+            bus.subscribe(Recorder(name, journal))
+        bus.emit_kernel_start(KernelStarted(launch=None, device_mem=None))
+        assert [name for name, _ in journal] == ["first", "second", "third"]
+
+    def test_order_is_stable_across_emissions(self):
+        journal = []
+        bus = EventBus()
+        bus.subscribe(Recorder("b", journal), PRIORITY_OBSERVER)
+        bus.subscribe(Recorder("a", journal), PRIORITY_DETECTOR)
+        for _ in range(3):
+            bus.emit_kernel_start(KernelStarted(launch=None, device_mem=None))
+        assert [name for name, _ in journal] == ["a", "b"] * 3
+
+    def test_unsubscribe(self):
+        journal = []
+        bus = EventBus()
+        gone = bus.subscribe(Recorder("gone", journal))
+        bus.subscribe(Recorder("stays", journal))
+        assert bus.unsubscribe(gone)
+        assert not bus.unsubscribe(gone)  # second removal is a no-op
+        bus.emit_kernel_start(KernelStarted(launch=None, device_mem=None))
+        assert journal == [("stays", "kernel_start")]
+
+    def test_request_id_bits_is_chain_maximum(self):
+        bus = EventBus()
+        assert bus.request_id_bits == 0
+        bus.subscribe(Recorder("a", [], id_bits=3))
+        bus.subscribe(Recorder("b", [], id_bits=11))
+        assert bus.request_id_bits == 11
+
+
+class TestEffectCombination:
+    def test_effects_sum_across_chain(self):
+        journal = []
+        bus = EventBus()
+        bus.subscribe(Recorder("det", journal,
+                               effect=TimingEffect(stall_cycles=10)),
+                      PRIORITY_DETECTOR)
+        bus.subscribe(Recorder("sw", journal,
+                               effect=TimingEffect(stall_cycles=5,
+                                                   extra_instructions=2)))
+        bus.subscribe(Recorder("obs", journal, effect=None))
+        combined = bus.emit_access(_access_event())
+        assert combined == TimingEffect(stall_cycles=15, extra_instructions=2)
+
+    def test_every_subscriber_sees_the_combined_effect(self):
+        journal = []
+        bus = EventBus()
+        bus.subscribe(Recorder("det", journal,
+                               effect=TimingEffect(stall_cycles=7)),
+                      PRIORITY_DETECTOR)
+        bus.subscribe(Recorder("metrics", journal), PRIORITY_METRICS)
+        combined = bus.emit_access(_access_event())
+        effects = [e[2] for e in journal if e[1] == "effect"]
+        assert effects == [combined, combined]
+        # handlers all run before any on_effect notification
+        assert [e[1] for e in journal] == ["access", "access",
+                                           "effect", "effect"]
+
+    def test_barrier_effects_combine_too(self):
+        bus = EventBus()
+        bus.subscribe(Recorder("a", [], effect=TimingEffect(stall_cycles=2)))
+        bus.subscribe(Recorder("b", [], effect=TimingEffect(stall_cycles=3)))
+        ev = BarrierReleased(block=None, sm_id=0, cycle=0, released_lanes=32)
+        assert bus.emit_barrier(ev).stall_cycles == 5
+
+
+class TestLockQueries:
+    def test_first_non_none_signature_wins(self):
+        journal = []
+        bus = EventBus()
+        bus.subscribe(Recorder("det", journal, sig=0xBEEF), PRIORITY_DETECTOR)
+        bus.subscribe(Recorder("obs", journal, sig=0xDEAD))
+        ev = LockAcquired(thread=_Thread(lock_sig=1), addr=64, sm_id=0,
+                          cycle=0)
+        assert bus.lock_acquired(ev) == 0xBEEF
+        # both subscribers still observed the event
+        assert [e[0] for e in journal] == ["det", "obs"]
+
+    def test_abstaining_chain_defaults_to_unchanged_sig(self):
+        bus = EventBus()
+        bus.subscribe(Recorder("obs", [], sig=None))
+        ev = LockAcquired(thread=_Thread(lock_sig=0x55), addr=64, sm_id=0,
+                          cycle=0)
+        assert bus.lock_acquired(ev) == 0x55
+
+    def test_release_defaults_to_clear_on_empty(self):
+        bus = EventBus()
+        holding = LockReleased(thread=_Thread(lock_sig=0x55, held_locks=[4]),
+                               addr=8, sm_id=0, cycle=0)
+        empty = LockReleased(thread=_Thread(lock_sig=0x55), addr=8, sm_id=0,
+                             cycle=0)
+        assert bus.lock_released(holding) == 0x55
+        assert bus.lock_released(empty) == 0

@@ -1,0 +1,53 @@
+"""Tests for composable TimingEffects."""
+
+from repro.events import NO_EFFECT, TimingEffect
+
+
+class TestCombine:
+    def test_costs_add(self):
+        a = TimingEffect(stall_cycles=3, extra_instructions=1)
+        b = TimingEffect(stall_cycles=5, extra_instructions=2)
+        c = a.combine(b)
+        assert c == TimingEffect(stall_cycles=8, extra_instructions=3)
+
+    def test_none_is_identity(self):
+        a = TimingEffect(stall_cycles=3)
+        assert a.combine(None) is a
+
+    def test_no_effect_is_identity_both_sides(self):
+        a = TimingEffect(stall_cycles=3)
+        assert a.combine(NO_EFFECT) is a
+        assert NO_EFFECT.combine(a) is a
+
+    def test_operator_form(self):
+        total = (TimingEffect(stall_cycles=1)
+                 + TimingEffect(extra_instructions=4)
+                 + TimingEffect(stall_cycles=2))
+        assert total == TimingEffect(stall_cycles=3, extra_instructions=4)
+
+    def test_associative_over_a_chain(self):
+        effects = [TimingEffect(stall_cycles=i, extra_instructions=i % 2)
+                   for i in range(5)]
+        left = NO_EFFECT
+        for e in effects:
+            left = left.combine(e)
+        right = NO_EFFECT
+        for e in reversed(effects):
+            right = e.combine(right)
+        assert left == right
+
+
+class TestTruthiness:
+    def test_no_effect_is_falsy(self):
+        assert not NO_EFFECT
+        assert not TimingEffect()
+
+    def test_any_cost_is_truthy(self):
+        assert TimingEffect(stall_cycles=1)
+        assert TimingEffect(extra_instructions=1)
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NO_EFFECT.stall_cycles = 7

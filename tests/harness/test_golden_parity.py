@@ -1,0 +1,43 @@
+"""Golden-parity gate: the event-pipeline refactor must not move results.
+
+The reference file (tests/golden/parity.json) was recorded on the
+pre-pipeline issue path; every benchmark in every detection mode must
+still produce a bit-identical race log, identical dynamic-instruction
+statistics, and the exact same cycle count. Regenerate it only for an
+intentional behavior change, with ``tools/record_golden_parity.py``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "record_golden_parity", _REPO / "tools" / "record_golden_parity.py")
+_tool = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("record_golden_parity", _tool)
+_spec.loader.exec_module(_tool)
+
+GOLDEN = json.loads(_tool.GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_spec_matches_recording():
+    """The recorder and this gate must agree on the run parameters."""
+    assert GOLDEN["spec"] == _tool.GOLDEN_SPEC
+
+
+@pytest.mark.parametrize("mode", _tool.GOLDEN_SPEC["modes"])
+@pytest.mark.parametrize("name", sorted(
+    {key.split("/")[0] for key in GOLDEN["cells"]}))
+def test_golden_parity(name, mode):
+    live = _tool.golden_cell(name, mode)
+    reference = GOLDEN["cells"][f"{name}/{mode}"]
+    assert live["races"] == reference["races"], (
+        f"{name}/{mode}: race log diverged from golden reference")
+    assert live["stats"] == reference["stats"], (
+        f"{name}/{mode}: instruction statistics diverged")
+    assert live["cycles"] == reference["cycles"], (
+        f"{name}/{mode}: cycle count diverged")

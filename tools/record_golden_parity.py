@@ -1,0 +1,83 @@
+"""Record the golden-parity reference results (tests/golden/parity.json).
+
+The golden-parity gate (tests/harness/test_golden_parity.py) asserts that
+race logs are bit-identical and total cycles unchanged for every benchmark
+in every detection mode. This script regenerates the reference file; run it
+ONLY when a change intentionally alters detection results or timing, and
+say so in the commit that updates the JSON:
+
+    PYTHONPATH=src python tools/record_golden_parity.py
+
+The parameters here (scale, granularities, timing) must match the test —
+both import :data:`GOLDEN_SPEC` so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.suite import SUITE
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.harness.export import kernel_stats_record, race_log_record
+from repro.harness.runner import run_benchmark
+
+#: parameters shared by the recorder and the gate test
+GOLDEN_SPEC = {
+    "scale": 0.25,
+    "shared_granularity": 4,
+    "global_granularity": 4,
+    "timing_enabled": True,
+    "modes": ["OFF", "SHARED", "GLOBAL", "FULL"],
+}
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "golden" / "parity.json"
+
+
+def detector_config(mode_name: str) -> HAccRGConfig | None:
+    mode = DetectionMode[mode_name]
+    if mode == DetectionMode.OFF:
+        return None
+    return HAccRGConfig(
+        mode=mode,
+        shared_granularity=GOLDEN_SPEC["shared_granularity"],
+        global_granularity=GOLDEN_SPEC["global_granularity"],
+    )
+
+
+def golden_cell(name: str, mode_name: str) -> dict:
+    """One benchmark × mode reference record (must stay JSON-safe)."""
+    res = run_benchmark(name, detector_config(mode_name),
+                        scale=GOLDEN_SPEC["scale"],
+                        timing_enabled=GOLDEN_SPEC["timing_enabled"])
+    return {
+        "cycles": int(res.cycles),
+        "stats": kernel_stats_record(res.stats),
+        "races": (race_log_record(res.races)
+                  if res.races is not None else None),
+    }
+
+
+def record() -> dict:
+    cells = {}
+    for bench in SUITE:
+        for mode_name in GOLDEN_SPEC["modes"]:
+            cells[f"{bench.name}/{mode_name}"] = golden_cell(
+                bench.name, mode_name)
+            print(f"recorded {bench.name}/{mode_name}", file=sys.stderr)
+    return {"spec": GOLDEN_SPEC, "cells": cells}
+
+
+def main() -> int:
+    data = record()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(data, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {len(data['cells'])} cells to {GOLDEN_PATH}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

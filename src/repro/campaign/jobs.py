@@ -203,3 +203,46 @@ def execute(job: Job) -> Dict[str, Any]:
 
     res = run_benchmark_direct(job.bench, **job.run_kwargs())
     return run_result_record(res)
+
+
+def execute_bench_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point for benchmark jobs (the default kind)."""
+    return execute(Job.from_record(record))
+
+
+# ---------------------------------------------------------------------------
+# job-kind registry
+#
+# The pool executes *records*, not Job instances, so any subsystem can
+# ride the same workers/cache/retry machinery by contributing a frozen
+# spec with ``key()``/``record()`` and registering an executor for its
+# ``kind``. Targets are "module:function" strings imported lazily so the
+# supervisor process never pays for subsystems a campaign doesn't use.
+
+JOB_EXECUTORS: Dict[str, str] = {
+    "bench": "repro.campaign.jobs:execute_bench_record",
+    "fuzz": "repro.fuzz.worker:execute_fuzz_record",
+}
+
+
+def register_executor(kind: str, target: str) -> None:
+    """Register (or override) the executor for one job kind."""
+    if ":" not in target:
+        raise JobSpecError(f"executor target {target!r} is not "
+                           f"'module:function'")
+    JOB_EXECUTORS[kind] = target
+
+
+def execute_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one job record, dispatching on its ``kind`` field."""
+    import importlib
+
+    kind = record.get("kind", "bench")
+    try:
+        target = JOB_EXECUTORS[kind]
+    except KeyError:
+        raise JobSpecError(f"no executor registered for job kind "
+                           f"{kind!r}") from None
+    mod_name, fn_name = target.split(":", 1)
+    fn = getattr(importlib.import_module(mod_name), fn_name)
+    return fn(record)

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.campaign.jobs import Job, execute
+from repro.campaign.jobs import Job, execute_record
 
 #: outcome status values
 OK = "ok"
@@ -61,7 +61,7 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
         key, job_record = item
         start = time.perf_counter()
         try:
-            record = execute(Job.from_record(job_record))
+            record = execute_record(job_record)
             result_q.put((worker_id, key, OK, record, None,
                           time.perf_counter() - start))
         except Exception as exc:  # crash isolation: report, keep serving
@@ -171,7 +171,7 @@ class WorkerPool:
                     on_dispatch(key, 0, attempts)
                 start = time.perf_counter()
                 try:
-                    record = execute(job)
+                    record = execute_record(job.record())
                     elapsed = time.perf_counter() - start
                     busy += elapsed
                     outcome = JobOutcome(key, OK, record, None, attempts,

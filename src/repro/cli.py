@@ -282,6 +282,90 @@ def _cmd_campaign_clean(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# trace + fuzz verbs
+# ---------------------------------------------------------------------------
+
+def _cmd_trace_record(args) -> int:
+    from repro.harness.runner import run_benchmark_direct
+    from repro.harness.trace import TraceRecorder, write_trace
+
+    recorder = TraceRecorder()
+    run_benchmark_direct(args.bench.upper(), detector_config=None,
+                         scale=args.scale, seed=args.seed,
+                         timing_enabled=False, observers=(recorder,))
+    write_trace(args.output, recorder.events,
+                binary=True if args.binary else None)
+    size = os.path.getsize(args.output)
+    print(f"{args.bench.upper()}: {len(recorder.events)} events -> "
+          f"{args.output} ({size} bytes)")
+    return 0
+
+
+def _cmd_trace_replay(args) -> int:
+    from repro.harness.trace import read_trace, replay
+
+    events = read_trace(args.trace)
+    mode = _MODES[args.mode]
+    if mode == DetectionMode.OFF:
+        print("error: replay needs a detection mode", file=sys.stderr)
+        return 2
+    cfg = HAccRGConfig(mode=mode,
+                       shared_granularity=args.shared_granularity,
+                       global_granularity=args.global_granularity,
+                       sync_id_bits=args.sync_id_bits,
+                       fence_id_bits=args.fence_id_bits)
+    log = replay(events, cfg, perfect_sigs=args.perfect_sigs)
+    print(f"{args.trace}: {len(events)} events, {len(log)} distinct races")
+    for r in log.reports[: args.max_races]:
+        print("  " + r.describe())
+    hidden = len(log) - args.max_races
+    if hidden > 0:
+        print(f"  ... and {hidden} more")
+    if args.oracle:
+        from repro.core.groundtruth import (detector_entries,
+                                            oracle_entries, oracle_races)
+        races = oracle_races(events)
+        orc = oracle_entries(races, cfg.shared_granularity,
+                             cfg.global_granularity,
+                             cfg.mode.shared_enabled,
+                             cfg.mode.global_enabled)
+        det = detector_entries(log, cfg.mode.shared_enabled,
+                               cfg.mode.global_enabled)
+        print(f"oracle: {len(races)} racing byte-pairs, {len(orc)} entries; "
+              f"detector-only {len(det - orc)}, oracle-only {len(orc - det)}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import GeneratorParams, run_fuzz_campaign
+
+    params = GeneratorParams(inject_every=args.inject_every)
+    result = run_fuzz_campaign(
+        seed=args.seed, iterations=args.iterations, workers=args.workers,
+        params=params, modes=tuple(args.mode or ()),
+        cache_dir=args.cache, corpus_dir=args.corpus,
+        minimize=args.minimize, timeout=args.timeout)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"fuzz: {summary['iterations']} iterations "
+              f"({summary['cache_hits']} cached, {summary['errors']} "
+              f"errors), corpus digest {summary['digest'][:16]}")
+        print(f"  programs: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(summary["programs_by_note"].items())))
+        for name, res in sorted(summary["modes"].items()):
+            fp = ", ".join(f"{k}={v}" for k, v in sorted(res["fp"].items()))
+            fn = ", ".join(f"{k}={v}" for k, v in sorted(res["fn"].items()))
+            print(f"  {name}: detected {res['detected']} vs oracle "
+                  f"{res['oracle']}; fp [{fp or '-'}] fn [{fn or '-'}]")
+        print(f"  real reproduction bugs: {summary['real_bugs']}"
+              + (f" {summary['real_bug_hashes']}"
+                 if summary['real_bug_hashes'] else ""))
+    return 1 if summary["real_bugs"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -385,6 +469,66 @@ def build_parser() -> argparse.ArgumentParser:
     clean_p.add_argument("--states", action="store_true",
                          help="also remove campaign state files")
     clean_p.set_defaults(fn=_cmd_campaign_clean)
+
+    trace_p = sub.add_parser(
+        "trace", help="record and replay execution traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    trec_p = trace_sub.add_parser(
+        "record", help="record a benchmark's access trace (no detector)")
+    trec_p.add_argument("bench", choices=[b.name for b in SUITE],
+                        type=str.upper)
+    trec_p.add_argument("-o", "--output", required=True, metavar="PATH",
+                        help="trace file (.bin = compact binary, else "
+                             "JSON-lines)")
+    trec_p.add_argument("--scale", type=float, default=1.0)
+    trec_p.add_argument("--seed", type=int, default=0)
+    trec_p.add_argument("--binary", action="store_true",
+                        help="force the binary format regardless of suffix")
+    trec_p.set_defaults(fn=_cmd_trace_record)
+
+    trep_p = trace_sub.add_parser(
+        "replay", help="replay a trace through the detection structures")
+    trep_p.add_argument("trace", help="trace file (binary or JSON-lines)")
+    trep_p.add_argument("--mode", choices=sorted(_MODES), default="full")
+    trep_p.add_argument("--shared-granularity", type=int, default=4)
+    trep_p.add_argument("--global-granularity", type=int, default=4)
+    trep_p.add_argument("--sync-id-bits", type=int, default=8)
+    trep_p.add_argument("--fence-id-bits", type=int, default=8)
+    trep_p.add_argument("--perfect-sigs", action="store_true",
+                        help="replace Bloom lock signatures with exact "
+                             "per-lock bits (aliasing ablation)")
+    trep_p.add_argument("--oracle", action="store_true",
+                        help="also run the exact happens-before oracle "
+                             "and report the entry-level diff")
+    trep_p.add_argument("--max-races", type=int, default=10)
+    trep_p.set_defaults(fn=_cmd_trace_replay)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential kernel fuzzing against the exact "
+                     "happens-before oracle (see docs/FUZZING.md)")
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--iterations", type=int, default=100)
+    fuzz_p.add_argument("--workers", type=int, default=1)
+    fuzz_p.add_argument("--inject-every", type=int, default=2,
+                        help="inject a planned race into every Nth "
+                             "program (0 = never)")
+    fuzz_p.add_argument("--mode", action="append", metavar="NAME",
+                        help="detector mode(s) to diff (default: all; "
+                             "repeatable)")
+    fuzz_p.add_argument("--cache", default=None, metavar="DIR",
+                        help="campaign result store for resumable runs")
+    fuzz_p.add_argument("--corpus", default=None, metavar="DIR",
+                        help="corpus directory (programs, reproducer "
+                             "traces, summary)")
+    fuzz_p.add_argument("--minimize", action="store_true",
+                        help="delta-debug real-bug reproducers")
+    fuzz_p.add_argument("--timeout", type=float, default=None,
+                        help="per-iteration timeout (seconds, parallel "
+                             "runs only)")
+    fuzz_p.add_argument("--json", action="store_true",
+                        help="print the full summary as JSON")
+    fuzz_p.set_defaults(fn=_cmd_fuzz)
     return p
 
 

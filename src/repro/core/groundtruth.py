@@ -1,0 +1,431 @@
+"""Exact happens-before + lockset race oracle over recorded traces.
+
+The hardware detector approximates: shadow entries summarize access
+history per *granule*, sync/fence epochs are stored in a handful of bits,
+locksets are Bloom signatures, and every structure forgets on races and
+refreshes. This module is the other end of the differential-fuzzing
+scale: an offline detector that is **exact** over a recorded trace
+(:mod:`repro.harness.trace`), at byte granularity, with unbounded
+per-block barrier epochs, unbounded per-warp fence epochs, and precise
+per-thread locksets reconstructed from the trace's lock markers.
+
+Semantics (deliberately mirroring the architecture the paper detects
+*for*, not the detector's finite-state approximation of it):
+
+- two accesses by the same warp are ordered (lockstep execution);
+- two accesses by the same block in different barrier epochs are ordered
+  (``__syncthreads``); barrier epochs are counted exactly per block;
+- a read of another warp's write is *suppressed* iff the writing warp
+  issued a ``__threadfence`` after the write — the fence epoch is kept
+  per warp, never reset (the race register file persists across
+  launches), and never truncated;
+- critical sections follow the paper's lockset rules pairwise: disjoint
+  locksets on a conflict race (category iv); a common lock orders
+  conflicts *except* a cross-warp read of an unfenced write (Fig. 2(b),
+  reported as category iii); mixing protected and unprotected conflicting
+  accesses races;
+- two hardware atomics never race with each other (they serialize in the
+  memory partition) — in **global** memory; the shared-memory table has
+  no atomic exemption, and the oracle mirrors that;
+- the serialization order of atomics on one location is a happens-before
+  chain: a warp that performed an atomic on a byte is ordered after every
+  earlier atomic in that byte's chain, so its *subsequent* accesses to
+  the byte cannot race with those atomics (the ticket/"last block resets
+  the counter" idiom, e.g. PSUM's single-pass partial-sum counter);
+- same-instruction writes of one warp race iff their byte footprints
+  overlap (the associative pre-issue check), with the atomic-atomic
+  exemption in global memory only;
+- a read served from a non-coherent L1 while the last writer sits on a
+  different SM is reported stale (§IV-B) when the pair is unordered.
+
+Race *categories* are assigned exactly as the detector assigns them
+(the paper's i–iv taxonomy): SHARED_BARRIER for shared-memory races,
+GLOBAL_BARRIER for same-block global races and all global WAW/WAR,
+GLOBAL_FENCE for cross-block RAW and unfenced common-lock RAW,
+GLOBAL_LOCKSET for critical-section violations. Unlike the detector, the
+oracle never loses a pair to entry refreshes, signature aliasing, or
+epoch wraparound — diffs against it are the fuzzer's measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.common.types import AccessKind, MemSpace, RaceCategory, RaceKind
+
+_READ = int(AccessKind.READ)
+_ATOMIC = int(AccessKind.ATOMIC)
+
+# trace record kinds (mirrors repro.harness.trace)
+_ACCESS, _BARRIER, _FENCE, _BLOCK_START, _BLOCK_END, _KERNEL = (
+    "A", "B", "F", "S", "E", "K")
+_LOCK, _UNLOCK = "L", "U"
+
+
+@dataclass(frozen=True)
+class OracleRace:
+    """One racing byte-level access pair found by the oracle."""
+
+    space: MemSpace
+    #: absolute device byte (global) or in-block shared offset
+    byte: int
+    kind: RaceKind
+    category: RaceCategory
+    first_tid: int
+    second_tid: int
+    first_block: int
+    second_block: int
+    stale_l1: bool = False
+
+    def entry(self, granularity: int) -> int:
+        """The shadow entry this byte falls in at ``granularity``."""
+        return self.byte // granularity
+
+
+class _Endpoint:
+    """One byte-level access endpoint retained in the oracle's shadow."""
+
+    __slots__ = ("tid", "wid", "bid", "sid", "epoch", "fence", "locks",
+                 "atomic", "is_write", "pos")
+
+    def __init__(self, tid: int, wid: int, bid: int, sid: int, epoch: int,
+                 fence: int, locks: FrozenSet[int], atomic: bool,
+                 is_write: bool, pos: int = 0) -> None:
+        self.tid = tid
+        self.wid = wid
+        self.bid = bid
+        self.sid = sid
+        self.epoch = epoch
+        self.fence = fence
+        self.locks = locks
+        self.atomic = atomic
+        self.is_write = is_write
+        #: position in the byte's atomic RMW serialization chain
+        #: (meaningful only when ``atomic`` is set)
+        self.pos = pos
+
+
+class _ByteState:
+    """All writers and readers of one byte, deduplicated by epoch key.
+
+    Endpoints with equal ``(warp, barrier epoch, lockset, atomic)`` are
+    interchangeable for every pairwise ordering decision except fence
+    suppression — and there the *latest* same-key write strictly
+    dominates (an older one is separated from it by a fence, which
+    suppresses its RAW pairs anyway). So one representative per key is
+    exact, and state stays bounded by distinct epochs rather than by
+    access count.
+    """
+
+    __slots__ = ("writers", "readers", "atomic_pos", "next_pos")
+
+    def __init__(self) -> None:
+        self.writers: Dict[tuple, _Endpoint] = {}
+        self.readers: Dict[tuple, _Endpoint] = {}
+        #: warp id -> position of its latest atomic in this byte's RMW
+        #: serialization chain (trace order = partition order)
+        self.atomic_pos: Dict[int, int] = {}
+        self.next_pos = 0
+
+
+class GroundTruthOracle:
+    """Run the exact detector over a trace; collect :class:`OracleRace`."""
+
+    def __init__(self, fence_check_enabled: bool = True,
+                 stale_l1_check_enabled: bool = True) -> None:
+        self.fence_check = fence_check_enabled
+        self.stale_check = stale_l1_check_enabled
+        #: per-warp fence epoch; persists across kernel launches, exactly
+        #: like the hardware race register file
+        self._fence_now: Dict[int, int] = {}
+        self._block_epoch: Dict[int, int] = {}
+        self._held: Dict[int, List[int]] = {}   # thread -> held lock addrs
+        self._global: Dict[int, _ByteState] = {}
+        self._shared: Dict[int, Dict[int, _ByteState]] = {}
+        self._races: Dict[tuple, OracleRace] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, events: Iterable) -> List[OracleRace]:
+        """Process a full trace; returns deduplicated races in trace order."""
+        for ev in events:
+            kind = ev.kind
+            if kind == _ACCESS:
+                self._on_access(ev)
+            elif kind == _BARRIER:
+                self._block_epoch[ev.block_id] = \
+                    self._block_epoch.get(ev.block_id, 0) + 1
+                shared = self._shared.get(ev.block_id)
+                if shared is not None:
+                    shared.clear()
+            elif kind == _FENCE:
+                self._fence_now[ev.warp_id] = \
+                    self._fence_now.get(ev.warp_id, 0) + 1
+            elif kind == _LOCK:
+                self._held.setdefault(ev.thread, []).append(ev.addr)
+            elif kind == _UNLOCK:
+                held = self._held.get(ev.thread)
+                if held and ev.addr in held:
+                    held.remove(ev.addr)
+            elif kind == _BLOCK_START:
+                self._block_epoch[ev.block_id] = 0
+                self._shared[ev.block_id] = {}
+            elif kind == _BLOCK_END:
+                self._shared.pop(ev.block_id, None)
+            elif kind == _KERNEL:
+                # fresh launch: shadow state is invalidated; fence epochs
+                # intentionally survive (the RRF is never reset)
+                self._global.clear()
+                self._shared.clear()
+                self._block_epoch.clear()
+                self._held.clear()
+        return list(self._races.values())
+
+    @property
+    def races(self) -> List[OracleRace]:
+        return list(self._races.values())
+
+    # ------------------------------------------------------------------
+
+    def _report(self, space: MemSpace, byte: int, kind: RaceKind,
+                category: RaceCategory, prev: _Endpoint, cur: _Endpoint,
+                stale: bool = False) -> None:
+        key = (space, byte, kind, category)
+        if key not in self._races:
+            self._races[key] = OracleRace(
+                space=space, byte=byte, kind=kind, category=category,
+                first_tid=prev.tid, second_tid=cur.tid,
+                first_block=prev.bid, second_block=cur.bid,
+                stale_l1=stale)
+
+    # ------------------------------------------------------------------
+    # access processing
+
+    def _on_access(self, ev) -> None:
+        space = MemSpace(ev.space)
+        if space == MemSpace.SHARED:
+            shadow = self._shared.get(ev.block_id)
+            if shadow is None:
+                shadow = self._shared.setdefault(ev.block_id, {})
+            self._intra_warp_waw(ev, space)
+            for lane, addr, size, _sig, _crit in ev.lanes:
+                kind = ev.access_kind
+                is_write = kind != _READ
+                ep = _Endpoint(
+                    tid=ev.base_tid + lane, wid=ev.warp_id,
+                    bid=ev.block_id, sid=ev.sm_id,
+                    epoch=self._block_epoch.get(ev.block_id, 0),
+                    fence=0, locks=frozenset(),
+                    atomic=kind == _ATOMIC, is_write=is_write)
+                for byte in range(addr, addr + size):
+                    self._check_shared(shadow, byte, ep)
+        else:
+            self._intra_warp_waw(ev, space)
+            epoch = self._block_epoch.get(ev.block_id, 0)
+            fence = self._fence_now.get(ev.warp_id, 0)
+            kind = ev.access_kind
+            is_write = kind != _READ
+            for i, (lane, addr, size, _sig, crit) in enumerate(ev.lanes):
+                locks = (frozenset(self._held.get(ev.base_tid + lane, ()))
+                         if crit else frozenset())
+                l1_hit = bool(ev.l1_hits[i]) if ev.l1_hits else False
+                ep = _Endpoint(
+                    tid=ev.base_tid + lane, wid=ev.warp_id,
+                    bid=ev.block_id, sid=ev.sm_id, epoch=epoch,
+                    fence=fence, locks=locks,
+                    atomic=kind == _ATOMIC, is_write=is_write)
+                for byte in range(addr, addr + size):
+                    self._check_global(byte, ep, l1_hit)
+
+    def _intra_warp_waw(self, ev, space: MemSpace) -> None:
+        """Same-instruction overlapping writes of one warp (pre-issue)."""
+        if ev.access_kind == _READ:
+            return
+        atomic = ev.access_kind == _ATOMIC
+        category = (RaceCategory.SHARED_BARRIER if space == MemSpace.SHARED
+                    else RaceCategory.GLOBAL_BARRIER)
+        first: Dict[int, int] = {}  # byte -> first writing lane
+        for lane, addr, size, _sig, _crit in ev.lanes:
+            for byte in range(addr, addr + size):
+                prev_lane = first.setdefault(byte, lane)
+                if prev_lane == lane:
+                    continue
+                # concurrent global atomics to one location serialize
+                if atomic and space != MemSpace.SHARED:
+                    continue
+                prev = _Endpoint(ev.base_tid + prev_lane, ev.warp_id,
+                                 ev.block_id, ev.sm_id, 0, 0, frozenset(),
+                                 atomic, True)
+                cur = _Endpoint(ev.base_tid + lane, ev.warp_id,
+                                ev.block_id, ev.sm_id, 0, 0, frozenset(),
+                                atomic, True)
+                self._report(space, byte, RaceKind.WAW, category, prev, cur)
+
+    # ------------------------------------------------------------------
+    # shared memory: pure happens-before within a barrier interval
+
+    def _check_shared(self, shadow: Dict[int, _ByteState], byte: int,
+                      ep: _Endpoint) -> None:
+        st = shadow.get(byte)
+        if st is None:
+            st = shadow[byte] = _ByteState()
+        if ep.is_write:
+            for prev in st.writers.values():
+                if prev.wid != ep.wid:
+                    self._report(MemSpace.SHARED, byte, RaceKind.WAW,
+                                 RaceCategory.SHARED_BARRIER, prev, ep)
+            for prev in st.readers.values():
+                if prev.wid != ep.wid:
+                    self._report(MemSpace.SHARED, byte, RaceKind.WAR,
+                                 RaceCategory.SHARED_BARRIER, prev, ep)
+            st.writers[ep.wid] = ep
+        else:
+            for prev in st.writers.values():
+                if prev.wid != ep.wid:
+                    self._report(MemSpace.SHARED, byte, RaceKind.RAW,
+                                 RaceCategory.SHARED_BARRIER, prev, ep)
+            st.readers[ep.wid] = ep
+
+    # ------------------------------------------------------------------
+    # global memory: barriers + fences + locksets + atomics
+
+    def _check_global(self, byte: int, ep: _Endpoint, l1_hit: bool) -> None:
+        st = self._global.get(byte)
+        if st is None:
+            st = self._global[byte] = _ByteState()
+        chain = st.atomic_pos.get(ep.wid, -1)
+        if ep.atomic:
+            # chain position is a per-byte property, so give this byte its
+            # own endpoint copy (the caller shares one across the lane)
+            ep = _Endpoint(ep.tid, ep.wid, ep.bid, ep.sid, ep.epoch,
+                           ep.fence, ep.locks, True, ep.is_write,
+                           pos=st.next_pos)
+            st.next_pos += 1
+        if ep.is_write:
+            for prev in st.writers.values():
+                self._pair(byte, prev, ep, l1_hit, chain)
+            for prev in st.readers.values():
+                self._pair(byte, prev, ep, l1_hit, chain)
+            st.writers[(ep.wid, ep.epoch, ep.locks, ep.atomic)] = ep
+        else:
+            for prev in st.writers.values():
+                self._pair(byte, prev, ep, l1_hit, chain)
+            st.readers[(ep.wid, ep.epoch, ep.locks)] = ep
+        if ep.atomic:
+            st.atomic_pos[ep.wid] = ep.pos
+
+    def _pair(self, byte: int, prev: _Endpoint, cur: _Endpoint,
+              l1_hit: bool, chain: int = -1) -> None:
+        """Exact pairwise dispatch; at least one endpoint is a write.
+
+        ``chain`` is the position of ``cur``'s warp's latest atomic in
+        this byte's RMW serialization chain (-1 when it has none).
+        """
+        # happens-before: lockstep warps, and barriers within a block
+        if prev.wid == cur.wid:
+            return
+        if prev.bid == cur.bid and prev.epoch != cur.epoch:
+            return
+        # atomic-chain happens-before: cur's warp performed an atomic on
+        # this byte *after* prev's atomic, so the serialized RMW chain
+        # orders prev before everything cur's warp did since
+        if prev.atomic and chain > prev.pos:
+            return
+
+        raw = prev.is_write and not cur.is_write
+        war = not prev.is_write  # then cur must be the write
+        kind = (RaceKind.RAW if raw
+                else RaceKind.WAR if war else RaceKind.WAW)
+
+        # lockset rules take priority inside critical sections (§III-B)
+        if prev.locks or cur.locks:
+            if prev.locks and cur.locks:
+                if prev.locks & cur.locks:
+                    # common lock orders the pair — except a read of a
+                    # write whose producer never fenced (Fig. 2(b))
+                    if (raw and self.fence_check
+                            and self._fence_now.get(prev.wid, 0)
+                            == prev.fence):
+                        self._report(MemSpace.GLOBAL, byte, RaceKind.RAW,
+                                     RaceCategory.GLOBAL_FENCE, prev, cur)
+                    return
+                self._report(MemSpace.GLOBAL, byte, kind,
+                             RaceCategory.GLOBAL_LOCKSET, prev, cur)
+                return
+            # protected/unprotected mixing on a conflict
+            self._report(MemSpace.GLOBAL, byte, kind,
+                         RaceCategory.GLOBAL_LOCKSET, prev, cur)
+            return
+
+        # serialized atomic RMW chains do not race with each other
+        if prev.atomic and cur.atomic:
+            return
+
+        if raw:
+            # non-coherent L1: the read may return the pre-write value
+            # even when a fence ordered the pair
+            if (self.stale_check and l1_hit and prev.sid != cur.sid):
+                self._report(MemSpace.GLOBAL, byte, RaceKind.RAW,
+                             RaceCategory.GLOBAL_FENCE, prev, cur,
+                             stale=True)
+                return
+            if (self.fence_check
+                    and self._fence_now.get(prev.wid, 0) != prev.fence):
+                return  # producer fenced after the write
+            category = (RaceCategory.GLOBAL_BARRIER
+                        if prev.bid == cur.bid else
+                        RaceCategory.GLOBAL_FENCE)
+            self._report(MemSpace.GLOBAL, byte, RaceKind.RAW, category,
+                         prev, cur)
+            return
+        self._report(MemSpace.GLOBAL, byte, kind,
+                     RaceCategory.GLOBAL_BARRIER, prev, cur)
+
+
+def oracle_races(events: Iterable,
+                 fence_check_enabled: bool = True,
+                 stale_l1_check_enabled: bool = True) -> List[OracleRace]:
+    """Convenience wrapper: run the oracle over a trace, return the races."""
+    oracle = GroundTruthOracle(fence_check_enabled=fence_check_enabled,
+                               stale_l1_check_enabled=stale_l1_check_enabled)
+    return oracle.run(events)
+
+
+def oracle_entries(races: Iterable[OracleRace],
+                   shared_granularity: int,
+                   global_granularity: int,
+                   shared_enabled: bool = True,
+                   global_enabled: bool = True
+                   ) -> "set[Tuple[str, int]]":
+    """Map oracle races to ``(space_name, entry)`` keys at a detector's
+    granularities — the unit the differential harness diffs on.
+
+    The entry level (rather than ``(entry, kind)``) is deliberate: after
+    a reported race the detector re-initializes the entry with the racing
+    access as its new owner, so the *kinds* of follow-on reports are
+    state- and order-dependent in both directions, while the conflicting
+    entries themselves are robust.
+    """
+    out: set = set()
+    for r in races:
+        if r.space == MemSpace.SHARED:
+            if shared_enabled:
+                out.add((r.space.name, r.entry(shared_granularity)))
+        elif global_enabled:
+            out.add((r.space.name, r.entry(global_granularity)))
+    return out
+
+
+def detector_entries(log, shared_enabled: bool = True,
+                     global_enabled: bool = True
+                     ) -> "set[Tuple[str, int]]":
+    """The same ``(space_name, entry)`` keys from a detector RaceLog."""
+    out: set = set()
+    for r in log.reports:
+        if r.space == MemSpace.SHARED:
+            if shared_enabled:
+                out.add((r.space.name, int(r.entry)))
+        elif global_enabled:
+            out.add((r.space.name, int(r.entry)))
+    return out

@@ -1,0 +1,36 @@
+"""repro.fuzz: differential kernel fuzzing against the exact oracle.
+
+Pipeline: :mod:`generator` composes random CUDA-style kernels from the
+paper's access-pattern vocabulary (optionally with deliberate races whose
+expected categories are known); :mod:`harness` records each kernel's
+trace, runs the exact :mod:`repro.core.groundtruth` oracle and every
+requested detector mode over it, diffs the race logs, and triages each
+mismatch into the expected-by-design artifact classes (Bloom aliasing,
+granularity, ID-width wraparound) via feature-ablated replays — anything
+left is a *real reproduction bug*; :mod:`minimize` shrinks such
+reproducers with delta debugging; :mod:`corpus` persists programs,
+binary traces, and the campaign summary; :mod:`worker` adapts iterations
+to the campaign engine's worker pool and result cache.
+"""
+
+from repro.fuzz.corpus import CorpusStore, corpus_digest
+from repro.fuzz.generator import GeneratorParams, generate_program
+from repro.fuzz.harness import run_iteration
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.program import FuzzProgram, make_kernel, record_program
+from repro.fuzz.worker import FuzzJob, execute_fuzz_record, run_fuzz_campaign
+
+__all__ = [
+    "CorpusStore",
+    "FuzzJob",
+    "FuzzProgram",
+    "GeneratorParams",
+    "corpus_digest",
+    "execute_fuzz_record",
+    "generate_program",
+    "make_kernel",
+    "minimize_program",
+    "record_program",
+    "run_fuzz_campaign",
+    "run_iteration",
+]

@@ -1,0 +1,279 @@
+"""Seeded random program generation with optional race injection.
+
+Race-free programs are built by construction: the global array is
+partitioned into per-statement regions, write statements give every
+thread a private word (or byte), shared read-after-write phases are
+barrier-separated, critical sections fence before unlocking, and atomics
+all target the same serialized slot. Injected programs then break exactly
+one rule, so the expected outcome — race categories for the oracle and
+detector, or an expected detector-side artifact label — is known.
+
+Everything is driven by a ``random.Random(seed)``; the same seed always
+yields the same program (the determinism the campaign digest asserts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.fuzz.program import FuzzProgram
+
+#: injection kinds -> expected race-category names (sets, because the
+#: same bug may surface as RAW or WAR depending on the interleaving)
+INJECTION_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "shared_missing_barrier": ("SHARED_BARRIER",),
+    "tree_missing_barrier": ("SHARED_BARRIER",),
+    "global_missing_barrier": ("GLOBAL_BARRIER",),
+    "xblock": ("GLOBAL_FENCE", "GLOBAL_BARRIER"),
+    "missing_fence": ("GLOBAL_FENCE", "GLOBAL_BARRIER"),
+    # lockset bugs can also surface as intra-warp WAW (GLOBAL_BARRIER):
+    # two lanes of one warp holding different/no locks enter the critical
+    # section concurrently and store in the same lockstep instruction
+    "naked_write": ("GLOBAL_LOCKSET", "GLOBAL_BARRIER"),
+    "wrong_lock": ("GLOBAL_LOCKSET", "GLOBAL_BARRIER"),
+    "atomic_mix": ("GLOBAL_BARRIER",),
+}
+
+#: artifact-only injections: race-free for the oracle, but provoke a
+#: known expected-by-design detector false positive
+ARTIFACT_INJECTIONS = ("byte_granularity_fp",)
+
+_WARP = 32
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Knobs of the random generator (part of the campaign cache key)."""
+
+    max_safe_stmts: int = 5
+    inject_every: int = 2     # 1 = always inject, 2 = every other program
+    max_blocks: int = 4
+    allow_locks: bool = True
+
+    def record(self) -> Dict[str, Any]:
+        return {
+            "max_safe_stmts": self.max_safe_stmts,
+            "inject_every": self.inject_every,
+            "max_blocks": self.max_blocks,
+            "allow_locks": self.allow_locks,
+        }
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, Any]) -> "GeneratorParams":
+        return cls(**{k: rec[k] for k in
+                      ("max_safe_stmts", "inject_every", "max_blocks",
+                       "allow_locks")})
+
+
+class _Regions:
+    """Hand out disjoint global-array regions; track the array size."""
+
+    def __init__(self) -> None:
+        self.next_base = 0
+
+    def take(self, words: int) -> int:
+        base = self.next_base
+        self.next_base += words
+        return base
+
+
+def _safe_stmt(rng: random.Random, prog: Dict[str, Any],
+               regions: _Regions) -> List[Dict[str, Any]]:
+    """One race-free vocabulary item (possibly a multi-stmt phase)."""
+    total = prog["blocks"] * prog["threads"]
+    threads = prog["threads"]
+    choice = rng.choice(
+        ["gwrite", "gread", "gatomic", "swrite", "sshift", "tree",
+         "byte", "div", "locked"])
+    if choice == "gwrite":
+        base = regions.take(total)
+        return [{"op": "g", "kind": "write", "base": base, "stride": 1,
+                 "shift": 0, "span": total, "scope": "grid"}]
+    if choice == "gread":
+        # read-only region: arbitrary stride/shift patterns cannot race
+        base = regions.take(total)
+        return [{"op": "g", "kind": "read", "base": base,
+                 "stride": rng.choice([1, 2, 3]),
+                 "shift": rng.randrange(total), "span": total,
+                 "scope": "grid"}]
+    if choice == "gatomic":
+        # all threads hammer one serialized slot
+        base = regions.take(1)
+        return [{"op": "g", "kind": "atomic", "base": base, "stride": 0,
+                 "shift": 0, "span": 1, "scope": "grid"}]
+    if choice == "swrite" and prog["shared_words"] >= threads:
+        return [{"op": "s", "kind": "write", "base": 0, "stride": 1,
+                 "shift": 0, "span": threads}]
+    if choice == "sshift" and prog["shared_words"] >= threads:
+        # write own slot, barrier, read a rotated slot: safe *because*
+        # of the barriers (their omission is the shared injection); the
+        # trailing one orders the rotated read against later writers
+        shift = rng.choice([1, _WARP, threads // 2 or 1])
+        return [
+            {"op": "s", "kind": "write", "base": 0, "stride": 1,
+             "shift": 0, "span": threads},
+            {"op": "barrier"},
+            {"op": "s", "kind": "read", "base": 0, "stride": 1,
+             "shift": shift, "span": threads},
+            {"op": "barrier"},
+        ]
+    if choice == "tree" and prog["shared_words"] >= threads:
+        levels = 1 + max(1, threads).bit_length()  # seed + each halving
+        return [{"op": "tree", "barriers": [True] * levels}]
+    if choice == "byte" and prog["byte_bytes"] >= total:
+        # warp-aligned base: one byte per thread, entries never split
+        return [{"op": "byte", "kind": "write", "base": 0, "shift": 0,
+                 "span": total}]
+    if choice == "div":
+        base = regions.take(total)
+        return [{"op": "div", "base": base}]
+    if choice == "locked" and prog["allow_locks"] and prog["num_locks"]:
+        slot = regions.take(1)
+        return [{"op": "locked", "slot": slot,
+                 "lock": rng.randrange(prog["num_locks"]),
+                 "fence": True, "mod": 16}]
+    # fallbacks when shared/byte arrays are absent
+    base = regions.take(total)
+    return [{"op": "g", "kind": "write", "base": base, "stride": 1,
+             "shift": 0, "span": total, "scope": "grid"}]
+
+
+def _injection(rng: random.Random, prog: Dict[str, Any],
+               regions: _Regions) -> Tuple[str, List[Dict[str, Any]]]:
+    """One deliberately racy (or artifact-provoking) phase."""
+    total = prog["blocks"] * prog["threads"]
+    threads = prog["threads"]
+    candidates = ["missing_fence", "atomic_mix"]
+    if threads > _WARP:
+        # needs two warps inside one block to conflict
+        candidates.append("global_missing_barrier")
+        if prog["shared_words"] >= threads:
+            candidates += ["shared_missing_barrier", "tree_missing_barrier"]
+    if prog["blocks"] > 1:
+        candidates.append("xblock")
+    if prog["allow_locks"] and prog["num_locks"] >= 2:
+        candidates += ["naked_write", "wrong_lock"]
+    if prog["byte_bytes"] >= 2 * total + 4:
+        candidates.append("byte_granularity_fp")
+    kind = rng.choice(candidates)
+
+    if kind == "shared_missing_barrier":
+        return kind, [
+            {"op": "s", "kind": "write", "base": 0, "stride": 1,
+             "shift": 0, "span": threads},
+            # no barrier: the rotated read crosses a warp boundary
+            {"op": "s", "kind": "read", "base": 0, "stride": 1,
+             "shift": _WARP, "span": threads},
+        ]
+    if kind == "tree_missing_barrier":
+        # only the seed->level-1 boundary crosses warps (deeper levels
+        # run entirely inside warp 0), so that is the barrier to drop
+        levels = 1 + max(1, threads).bit_length()
+        barriers = [True] * levels
+        barriers[0] = False
+        return kind, [{"op": "tree", "barriers": barriers}]
+    if kind == "global_missing_barrier":
+        base = regions.take(total)
+        write = {"op": "g", "kind": "write", "base": base, "stride": 1,
+                 "shift": 0, "span": threads, "scope": "block"}
+        # cross-warp rotated read in the same block, no barrier between
+        shift = _WARP if threads > _WARP else 1
+        read = {"op": "g", "kind": "read", "base": base, "stride": 1,
+                "shift": shift, "span": threads, "scope": "block"}
+        return kind, [write, read]
+    if kind == "xblock":
+        base = regions.take(total)
+        write = {"op": "g", "kind": "write", "base": base, "stride": 1,
+                 "shift": 0, "span": total, "scope": "grid"}
+        # rotated read lands in the *next block's* slots, unfenced
+        read = {"op": "g", "kind": "read", "base": base, "stride": 1,
+                "shift": threads, "span": total, "scope": "grid"}
+        return kind, [write, read]
+    if kind == "missing_fence":
+        slot = regions.take(1)
+        return kind, [{"op": "locked", "slot": slot, "lock": 0,
+                       "fence": False, "mod": 16}]
+    if kind == "naked_write":
+        # one participant per warp (mod 32): a same-warp *locked*
+        # participant would re-own the shadow entry right after the
+        # naked access (program order) and shadow it from the
+        # cross-warp conflict the oracle still sees
+        slot = regions.take(1)
+        naked = rng.randrange(prog["blocks"]) * threads  # a participant
+        return kind, [{"op": "locked", "slot": slot, "lock": 0,
+                       "fence": True, "mod": 32, "skip_tid": naked}]
+    if kind == "wrong_lock":
+        slot = regions.take(1)
+        wrong = rng.randrange(prog["blocks"]) * threads
+        return kind, [{"op": "locked", "slot": slot, "lock": 0,
+                       "fence": True, "mod": 16, "wrong_lock_tid": wrong,
+                       "wrong_lock": 1}]
+    if kind == "atomic_mix":
+        # every warp except the plain writer's atomics one slot; then a
+        # single thread stores into it plainly. Excluding the writer's
+        # own warp matters: divergence executes the not-taken path
+        # first, so a sibling-lane atomic would re-own the entry right
+        # before the write and the single-owner entry would absorb the
+        # conflict instead of reporting it.
+        slot = regions.take(1)
+        plain_tid = rng.randrange(total)
+        return kind, [
+            {"op": "g", "kind": "atomic", "base": slot, "stride": 0,
+             "shift": 0, "span": 1, "scope": "grid",
+             "skip_warp_of": plain_tid},
+            {"op": "g", "kind": "write", "base": slot, "stride": 0,
+             "shift": 0, "span": 1, "scope": "grid",
+             "only_tid": plain_tid},
+        ]
+    # byte_granularity_fp: artifact-only — byte bins whose base is not
+    # entry-aligned, so one 4-byte shadow entry spans two warps: a
+    # detector false WAW the byte-exact oracle rejects. The region
+    # starts past the safe byte stream's [0, total) to avoid real WAWs.
+    return "byte_granularity_fp", [
+        {"op": "byte", "kind": "write", "base": total + 2, "shift": 0,
+         "span": total}]
+
+
+def generate_program(seed: int, params: GeneratorParams = GeneratorParams()
+                     ) -> FuzzProgram:
+    """Deterministically generate one program from a seed."""
+    rng = random.Random(seed)
+    blocks = rng.choice([b for b in (1, 2, 4) if b <= params.max_blocks])
+    threads = rng.choice([_WARP, 2 * _WARP])
+    if blocks * threads <= _WARP:
+        threads = 2 * _WARP  # single-warp grids cannot race at all
+    total = blocks * threads
+    shared_words = threads if rng.random() < 0.8 else 0
+    byte_bytes = 2 * total + 8 if rng.random() < 0.5 else 0
+    num_locks = 2 if params.allow_locks else 0
+
+    prog_meta = {"blocks": blocks, "threads": threads,
+                 "shared_words": shared_words, "byte_bytes": byte_bytes,
+                 "num_locks": num_locks, "allow_locks": params.allow_locks}
+    regions = _Regions()
+    stmts: List[Dict[str, Any]] = []
+    for _ in range(rng.randrange(2, params.max_safe_stmts + 1)):
+        stmts.extend(_safe_stmt(rng, prog_meta, regions))
+        if rng.random() < 0.3:
+            stmts.append({"op": rng.choice(["barrier", "fence"])})
+
+    expected: Tuple[str, ...] = ()
+    expected_fp: Tuple[str, ...] = ()
+    note = "safe"
+    if params.inject_every and seed % params.inject_every == 0:
+        kind, injected = _injection(rng, prog_meta, regions)
+        stmts.extend(injected)
+        note = kind
+        if kind in INJECTION_CATEGORIES:
+            expected = INJECTION_CATEGORIES[kind]
+        else:
+            expected_fp = ("granularity",)
+
+    return FuzzProgram(
+        blocks=blocks, threads=threads,
+        global_words=max(regions.next_base, total) + 4,
+        shared_words=shared_words, byte_bytes=byte_bytes,
+        num_locks=num_locks, stmts=tuple(stmts),
+        expected=expected, expected_fp_labels=expected_fp, note=note)

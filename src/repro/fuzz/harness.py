@@ -1,0 +1,259 @@
+"""Differential harness: detector modes vs the exact oracle, with triage.
+
+One iteration records a program's trace once, runs the exact
+happens-before oracle over it, then replays the trace through each
+hardware detection mode (and runs the software backend live, recording
+its own trace concurrently). Race logs are diffed against the oracle at
+``(space, entry)`` granularity. Every mismatch is triaged by *feature
+ablation*: the trace is replayed with one approximation removed at a
+time — byte granularity (removes entry sharing), 30-bit sync/fence IDs
+(removes clock wraparound), perfect lock signatures (removes Bloom
+aliasing) — and the mismatch is attributed to the first ablation that
+makes it disappear (false positives) or appear (false negatives).
+Whatever survives all three ablations is a **real reproduction bug**:
+the detector and the oracle disagree for a reason the paper's design
+does not predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+from repro.common.config import (DetectionMode, DetectorBackend,
+                                 HAccRGConfig)
+from repro.core.groundtruth import (detector_entries, oracle_entries,
+                                    oracle_races)
+from repro.fuzz.program import FuzzProgram, record_program, run_program
+from repro.harness.trace import TraceRecorder, replay
+
+ITERATION_SCHEMA = 1
+
+#: triage labels — the paper's expected-by-design artifact classes
+LABEL_GRANULARITY = "granularity"   # >1B entries alias distinct bytes
+LABEL_CLOCK = "clock"               # 8-bit sync/fence ID wraparound
+LABEL_BLOOM = "bloom"               # Bloom lock-signature aliasing
+LABEL_REAL = "real-bug"             # unexplained: a reproduction bug
+
+_WIDE_ID_BITS = 30
+
+
+@dataclass(frozen=True)
+class FuzzMode:
+    """One detector configuration the harness diffs against the oracle."""
+
+    name: str
+    config: HAccRGConfig
+    #: live=True runs the detector inside the simulation (software
+    #: backends, which cannot be replayed) and records its own trace
+    live: bool = False
+
+
+def default_modes() -> Tuple[FuzzMode, ...]:
+    word = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4,
+                        global_granularity=4)
+    return (
+        FuzzMode("hw-full-word", word),
+        FuzzMode("hw-full-paper", HAccRGConfig(mode=DetectionMode.FULL)),
+        FuzzMode("hw-shared", word.with_mode(DetectionMode.SHARED)),
+        FuzzMode("hw-global", word.with_mode(DetectionMode.GLOBAL)),
+        FuzzMode("software",
+                 word.with_backend(DetectorBackend.SOFTWARE), live=True),
+    )
+
+
+def mode_by_name(name: str) -> FuzzMode:
+    for m in default_modes():
+        if m.name == name:
+            return m
+    raise KeyError(f"unknown fuzz mode {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# ablation replays (lazy, cached per mode)
+# ---------------------------------------------------------------------------
+
+class _Ablations:
+    """Replay the trace with one approximation removed at a time."""
+
+    def __init__(self, events: Sequence, cfg: HAccRGConfig) -> None:
+        self._events = events
+        self._cfg = cfg
+        self._cache: Dict[str, Set[Tuple[str, int]]] = {}
+
+    def entries(self, which: str) -> Set[Tuple[str, int]]:
+        if which not in self._cache:
+            cfg = self._cfg
+            if which == "gran1":
+                log = replay(self._events,
+                             replace(cfg, shared_granularity=1,
+                                     global_granularity=1))
+            elif which == "wide":
+                log = replay(self._events,
+                             replace(cfg, sync_id_bits=_WIDE_ID_BITS,
+                                     fence_id_bits=_WIDE_ID_BITS))
+            elif which == "perfect":
+                log = replay(self._events, cfg, perfect_sigs=True)
+            else:
+                raise KeyError(which)
+            self._cache[which] = detector_entries(
+                log, cfg.mode.shared_enabled, cfg.mode.global_enabled)
+        return self._cache[which]
+
+
+def _granularity(cfg: HAccRGConfig, space: str) -> int:
+    return (cfg.shared_granularity if space == "SHARED"
+            else cfg.global_granularity)
+
+
+def _byte_in_range(entries: Set[Tuple[str, int]], space: str,
+                   lo: int, hi: int) -> bool:
+    return any(s == space and lo <= b < hi for s, b in entries)
+
+
+def triage_fp(key: Tuple[str, int], abl: _Ablations,
+              cfg: HAccRGConfig) -> str:
+    """Attribute a detector-only entry (detected, oracle says clean)."""
+    space, entry = key
+    g = _granularity(cfg, space)
+    if not _byte_in_range(abl.entries("gran1"), space, entry * g,
+                          (entry + 1) * g):
+        return LABEL_GRANULARITY
+    if key not in abl.entries("wide"):
+        return LABEL_CLOCK
+    if key not in abl.entries("perfect"):
+        return LABEL_BLOOM
+    return LABEL_REAL
+
+
+def triage_fn(key: Tuple[str, int], abl: _Ablations,
+              cfg: HAccRGConfig) -> str:
+    """Attribute an oracle-only entry (real race the detector missed)."""
+    space, entry = key
+    if key in abl.entries("perfect"):
+        return LABEL_BLOOM
+    if key in abl.entries("wide"):
+        return LABEL_CLOCK
+    g = _granularity(cfg, space)
+    if _byte_in_range(abl.entries("gran1"), space, entry * g,
+                      (entry + 1) * g):
+        return LABEL_GRANULARITY
+    return LABEL_REAL
+
+
+# ---------------------------------------------------------------------------
+# per-mode evaluation
+# ---------------------------------------------------------------------------
+
+def _evaluate_mode(mode: FuzzMode, program: FuzzProgram,
+                   events: Sequence, races) -> Dict[str, Any]:
+    cfg = mode.config
+    parity_ok = True
+    if mode.live:
+        # the software backend runs inside the simulation; record its
+        # own trace concurrently so the oracle judges what it actually
+        # saw, and check live-vs-replay parity on that same trace
+        recorder = TraceRecorder()
+        run = run_program(program, detector_config=cfg,
+                          observers=(recorder,))
+        events = recorder.events
+        races = oracle_races(
+            events, fence_check_enabled=cfg.fence_check_enabled,
+            stale_l1_check_enabled=cfg.stale_l1_check_enabled)
+        det = detector_entries(run.races, cfg.mode.shared_enabled,
+                               cfg.mode.global_enabled)
+        replayed = detector_entries(replay(events, cfg),
+                                    cfg.mode.shared_enabled,
+                                    cfg.mode.global_enabled)
+        parity_ok = det == replayed
+    else:
+        det = detector_entries(replay(events, cfg),
+                               cfg.mode.shared_enabled,
+                               cfg.mode.global_enabled)
+    orc = oracle_entries(races, cfg.shared_granularity,
+                         cfg.global_granularity,
+                         cfg.mode.shared_enabled, cfg.mode.global_enabled)
+
+    abl = _Ablations(events, cfg)
+    fp = {key: triage_fp(key, abl, cfg) for key in sorted(det - orc)}
+    fn = {key: triage_fn(key, abl, cfg) for key in sorted(orc - det)}
+
+    def _counts(labels: Dict[Tuple[str, int], str]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for lab in labels.values():
+            out[lab] = out.get(lab, 0) + 1
+        return out
+
+    real = [list(k) for k, lab in list(fp.items()) + list(fn.items())
+            if lab == LABEL_REAL]
+    return {
+        "detected": len(det),
+        "oracle": len(orc),
+        "agree": len(det & orc),
+        "fp": _counts(fp),
+        "fn": _counts(fn),
+        "real_keys": sorted(real),
+        "parity_ok": parity_ok,
+        "real_bugs": len(real) + (0 if parity_ok else 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# one full iteration
+# ---------------------------------------------------------------------------
+
+def expected_ok(program: FuzzProgram, races) -> bool:
+    """Does the oracle verdict match the generator's injection plan?"""
+    cats = {r.category.name for r in races}
+    if program.expected:
+        return bool(cats) and cats <= set(program.expected)
+    return not cats
+
+
+def run_iteration(program: FuzzProgram,
+                  modes: Optional[Sequence[FuzzMode]] = None
+                  ) -> Dict[str, Any]:
+    """Record, oracle, diff and triage one program across all modes."""
+    modes = tuple(modes) if modes is not None else default_modes()
+    events = record_program(program)
+    races = oracle_races(events)
+
+    ok = expected_ok(program, races)
+    mode_results = {m.name: _evaluate_mode(m, program, events, races)
+                    for m in modes}
+    real_bugs = sum(r["real_bugs"] for r in mode_results.values())
+    if not ok:
+        real_bugs += 1
+
+    return {
+        "schema": ITERATION_SCHEMA,
+        "hash": program.digest(),
+        "note": program.note,
+        "program": program.record(),
+        "oracle_races": len(races),
+        "oracle_categories": sorted({r.category.name for r in races}),
+        "expected_ok": ok,
+        "modes": mode_results,
+        "real_bugs": real_bugs,
+    }
+
+
+def iteration_has_real_bug(record: Dict[str, Any]) -> bool:
+    return bool(record.get("real_bugs", 0))
+
+
+__all__ = [
+    "FuzzMode",
+    "ITERATION_SCHEMA",
+    "LABEL_BLOOM",
+    "LABEL_CLOCK",
+    "LABEL_GRANULARITY",
+    "LABEL_REAL",
+    "default_modes",
+    "expected_ok",
+    "iteration_has_real_bug",
+    "mode_by_name",
+    "run_iteration",
+    "triage_fn",
+    "triage_fp",
+]

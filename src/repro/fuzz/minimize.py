@@ -1,0 +1,76 @@
+"""Delta-debugging minimizer for real-bug reproducers.
+
+Classic ddmin over the program's statement list: try dropping chunks of
+statements (halving chunk size down to single statements) while the
+reduced program still reproduces at least one real-bug-triaged mismatch
+in some detection mode. Each candidate re-runs the full differential
+iteration, so minimization is exact with respect to the harness verdict
+— a minimized reproducer fails CI for the same reason the original did.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.fuzz.harness import FuzzMode, iteration_has_real_bug, run_iteration
+from repro.fuzz.program import FuzzProgram
+
+
+def _still_buggy(program: FuzzProgram,
+                 modes: Optional[Sequence[FuzzMode]]) -> bool:
+    if not program.stmts:
+        return False
+    try:
+        return iteration_has_real_bug(run_iteration(program, modes))
+    except Exception:
+        # a reduction that crashes the harness is not a valid reproducer
+        return False
+
+
+def minimize_program(program: FuzzProgram,
+                     modes: Optional[Sequence[FuzzMode]] = None,
+                     predicate: Optional[Callable[[FuzzProgram], bool]] = None,
+                     max_rounds: int = 16) -> FuzzProgram:
+    """Shrink ``program`` while ``predicate`` (default: still shows a
+    real-bug mismatch) holds. Returns the smallest variant found."""
+    check = predicate or (lambda p: _still_buggy(p, modes))
+
+    def test(p: FuzzProgram) -> bool:
+        try:
+            return bool(check(p))
+        except Exception:
+            # a reduction that crashes the predicate is not a reproducer
+            return False
+
+    if not test(program):
+        return program
+
+    stmts = list(program.stmts)
+    chunk = max(1, len(stmts) // 2)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        rounds += 1
+        shrunk = False
+        i = 0
+        while i < len(stmts):
+            candidate = stmts[:i] + stmts[i + chunk:]
+            if candidate:
+                reduced = program.with_stmts(candidate)
+                if test(reduced):
+                    stmts = candidate
+                    shrunk = True
+                    continue  # retry same position at this chunk size
+            i += chunk
+        if not shrunk:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return program.with_stmts(stmts)
+
+
+def minimization_report(original: FuzzProgram,
+                        minimized: FuzzProgram) -> Dict[str, int]:
+    return {
+        "original_stmts": len(original.stmts),
+        "minimized_stmts": len(minimized.stmts),
+    }

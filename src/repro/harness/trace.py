@@ -17,19 +17,28 @@ splits the two:
   *detection* structures, producing the identical race log at a fraction
   of the cost;
 - traces serialize to/from a JSON-lines text format for offline analysis
-  or cross-tool exchange.
+  or cross-tool exchange, and to a struct-packed binary format (versioned
+  ``HART`` header) that fuzz corpora use to keep stores small.
 
 Replay fidelity: hardware detection is passive, so replayed race results
 are bit-identical to live runs at any granularity (asserted by the
 tests). Timing-dependent detectors (the software baselines) cannot be
 replayed — they change the interleaving they measure.
+
+The trace also records lock acquire/release markers ("L"/"U" records with
+the thread's global id and the lock address). Normal replay ignores them;
+``replay(..., perfect_sigs=True)`` reconstructs each thread's *precise*
+lockset from the markers and substitutes exact one-bit-per-lock
+signatures for the recorded Bloom signatures — the fuzzer's ablation knob
+for attributing Bloom-aliasing mismatches.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import DetectionMode, HAccRGConfig
 from repro.common.types import AccessKind, LaneAccess, MemSpace, WarpAccess
@@ -46,11 +55,13 @@ from repro.events.records import (
     FenceIssued,
     KernelStarted,
     LockAcquired,
+    LockReleased,
 )
 
 #: trace record kinds
 _ACCESS, _BARRIER, _FENCE, _BLOCK_START, _BLOCK_END, _KERNEL = (
     "A", "B", "F", "S", "E", "K")
+_LOCK, _UNLOCK = "L", "U"
 
 
 @dataclass
@@ -74,6 +85,9 @@ class TraceEvent:
     # barrier / fence / block fields
     shared_bytes: int = 0
     region_bytes: int = 0
+    # lock marker fields ("L"/"U"): acquiring thread and lock address
+    thread: int = 0
+    addr: int = 0
 
     def to_json(self) -> str:
         return json.dumps(self.__dict__, separators=(",", ":"))
@@ -84,9 +98,14 @@ class TraceEvent:
         d["lanes"] = [tuple(l) for l in d.get("lanes", [])]
         return TraceEvent(**d)
 
-    def to_warp_access(self) -> WarpAccess:
+    def to_warp_access(self, sig_for: Optional[Callable[[int], int]] = None
+                       ) -> WarpAccess:
+        """Build the WarpAccess; ``sig_for(tid)`` overrides critical-lane
+        signatures (perfect-signature replay)."""
         lanes = [
-            LaneAccess(lane, addr, size, AccessKind(kind_), sig=sig,
+            LaneAccess(lane, addr, size, AccessKind(kind_),
+                       sig=(sig_for(self.base_tid + lane)
+                            if sig_for is not None and crit else sig),
                        critical=crit)
             for lane, addr, size, kind_, sig, crit in (
                 (l[0], l[1], l[2], self.access_kind, l[3], l[4])
@@ -171,6 +190,12 @@ class TraceRecorder(Subscriber):
         return None
 
     def on_lock_acquired(self, ev: LockAcquired) -> int:
+        # the marker itself is recorded so offline analyses (the oracle's
+        # precise locksets, perfect-signature replay) can reconstruct the
+        # exact set of locks each thread holds at every access
+        self.events.append(TraceEvent(kind=_LOCK,
+                                      thread=ev.thread.global_tid,
+                                      addr=ev.addr))
         # signatures must reach the trace: encode with the paper geometry.
         # With a detector on the bus its (identical) answer wins — it sits
         # at detector priority, ahead of this observer.
@@ -178,6 +203,12 @@ class TraceRecorder(Subscriber):
         if not hasattr(self, "_bloom"):
             self._bloom = BloomSignature(16, 2)
         return self._bloom.insert(ev.thread.lock_sig, ev.addr)
+
+    def on_lock_released(self, ev: LockReleased) -> None:
+        self.events.append(TraceEvent(kind=_UNLOCK,
+                                      thread=ev.thread.global_tid,
+                                      addr=ev.addr))
+        return None  # abstain: the bus default (clear-on-empty) applies
 
     # ------------------------------------------------------------------
 
@@ -189,6 +220,173 @@ class TraceRecorder(Subscriber):
     def load(text: str) -> List[TraceEvent]:
         return [TraceEvent.from_json(line)
                 for line in text.splitlines() if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# compact binary format (versioned; fuzz corpora store traces this way)
+# ---------------------------------------------------------------------------
+
+#: magic + version header; bump the version on any layout change
+_BIN_MAGIC = b"HART"
+_BIN_VERSION = 1
+
+_BIN_KIND_CODES = {_KERNEL: 0, _BLOCK_START: 1, _BLOCK_END: 2, _BARRIER: 3,
+                   _FENCE: 4, _ACCESS: 5, _LOCK: 6, _UNLOCK: 7}
+_BIN_KIND_NAMES = {v: k for k, v in _BIN_KIND_CODES.items()}
+
+_S_HEADER = struct.Struct("<4sH")           # magic, version
+_S_KIND = struct.Struct("<B")
+_S_KERNEL = struct.Struct("<q")             # region_bytes
+_S_BLOCK_START = struct.Struct("<iiq")      # block_id, sm_id, shared_bytes
+_S_BLOCK = struct.Struct("<i")              # block_id (end / barrier)
+_S_FENCE = struct.Struct("<iq")             # warp_id, fence_id
+_S_LOCK = struct.Struct("<qq")              # thread, addr
+#: space, access_kind, sm, block, warp, warp_in_block, base_tid, sync,
+#: fence, l1-flag (0 absent / 1 present), lane count
+_S_ACCESS = struct.Struct("<BBiiiiqqqBH")
+_S_LANE = struct.Struct("<BqiqB")           # lane, addr, size, sig, critical
+
+
+def dump_binary(events: Sequence[TraceEvent]) -> bytes:
+    """Struct-pack a trace (~6x smaller than the JSON-lines form)."""
+    out = [_S_HEADER.pack(_BIN_MAGIC, _BIN_VERSION)]
+    for ev in events:
+        out.append(_S_KIND.pack(_BIN_KIND_CODES[ev.kind]))
+        if ev.kind == _KERNEL:
+            out.append(_S_KERNEL.pack(ev.region_bytes))
+        elif ev.kind == _BLOCK_START:
+            out.append(_S_BLOCK_START.pack(ev.block_id, ev.sm_id,
+                                           ev.shared_bytes))
+        elif ev.kind in (_BLOCK_END, _BARRIER):
+            out.append(_S_BLOCK.pack(ev.block_id))
+        elif ev.kind == _FENCE:
+            out.append(_S_FENCE.pack(ev.warp_id, ev.fence_id))
+        elif ev.kind in (_LOCK, _UNLOCK):
+            out.append(_S_LOCK.pack(ev.thread, ev.addr))
+        elif ev.kind == _ACCESS:
+            has_l1 = ev.l1_hits is not None
+            out.append(_S_ACCESS.pack(
+                ev.space, ev.access_kind, ev.sm_id, ev.block_id,
+                ev.warp_id, ev.warp_in_block, ev.base_tid, ev.sync_id,
+                ev.fence_id, 1 if has_l1 else 0, len(ev.lanes)))
+            for lane, addr, size, sig, crit in ev.lanes:
+                out.append(_S_LANE.pack(lane, addr, size, sig,
+                                        1 if crit else 0))
+            if has_l1:
+                out.append(bytes(1 if h else 0 for h in ev.l1_hits))
+        else:  # pragma: no cover - all kinds enumerated above
+            raise ValueError(f"unknown trace kind {ev.kind!r}")
+    return b"".join(out)
+
+
+def load_binary(data: bytes) -> List[TraceEvent]:
+    """Parse a binary trace produced by :func:`dump_binary`."""
+    magic, version = _S_HEADER.unpack_from(data, 0)
+    if magic != _BIN_MAGIC:
+        raise ValueError("not a binary trace (bad magic)")
+    if version != _BIN_VERSION:
+        raise ValueError(f"binary trace version {version} unsupported "
+                         f"(expected {_BIN_VERSION})")
+    pos = _S_HEADER.size
+    events: List[TraceEvent] = []
+    while pos < len(data):
+        (code,) = _S_KIND.unpack_from(data, pos)
+        pos += _S_KIND.size
+        kind = _BIN_KIND_NAMES[code]
+        if kind == _KERNEL:
+            (region,) = _S_KERNEL.unpack_from(data, pos)
+            pos += _S_KERNEL.size
+            events.append(TraceEvent(kind=kind, region_bytes=region))
+        elif kind == _BLOCK_START:
+            bid, sm, shared = _S_BLOCK_START.unpack_from(data, pos)
+            pos += _S_BLOCK_START.size
+            events.append(TraceEvent(kind=kind, block_id=bid, sm_id=sm,
+                                     shared_bytes=shared))
+        elif kind in (_BLOCK_END, _BARRIER):
+            (bid,) = _S_BLOCK.unpack_from(data, pos)
+            pos += _S_BLOCK.size
+            events.append(TraceEvent(kind=kind, block_id=bid))
+        elif kind == _FENCE:
+            wid, fid = _S_FENCE.unpack_from(data, pos)
+            pos += _S_FENCE.size
+            events.append(TraceEvent(kind=kind, warp_id=wid, fence_id=fid))
+        elif kind in (_LOCK, _UNLOCK):
+            thread, addr = _S_LOCK.unpack_from(data, pos)
+            pos += _S_LOCK.size
+            events.append(TraceEvent(kind=kind, thread=thread, addr=addr))
+        else:  # access
+            (space, akind, sm, bid, wid, wib, base_tid, sync, fence,
+             l1_flag, n_lanes) = _S_ACCESS.unpack_from(data, pos)
+            pos += _S_ACCESS.size
+            lanes = []
+            for _ in range(n_lanes):
+                lane, addr, size, sig, crit = _S_LANE.unpack_from(data, pos)
+                pos += _S_LANE.size
+                lanes.append((lane, addr, size, sig, bool(crit)))
+            l1_hits: Optional[List[bool]] = None
+            if l1_flag:
+                l1_hits = [b != 0 for b in data[pos:pos + n_lanes]]
+                pos += n_lanes
+            events.append(TraceEvent(
+                kind=kind, space=space, access_kind=akind, lanes=lanes,
+                sm_id=sm, block_id=bid, warp_id=wid, warp_in_block=wib,
+                base_tid=base_tid, sync_id=sync, fence_id=fence,
+                l1_hits=l1_hits))
+    return events
+
+
+def write_trace(path, events: Sequence[TraceEvent],
+                binary: Optional[bool] = None) -> None:
+    """Write a trace file; binary iff requested or the suffix is ``.bin``."""
+    from pathlib import Path
+    p = Path(path)
+    if binary is None:
+        binary = p.suffix == ".bin"
+    if binary:
+        p.write_bytes(dump_binary(events))
+    else:
+        p.write_text("\n".join(e.to_json() for e in events) + "\n",
+                     encoding="utf-8")
+
+
+def read_trace(path) -> List[TraceEvent]:
+    """Read a trace file, sniffing binary vs JSON-lines by the magic."""
+    from pathlib import Path
+    data = Path(path).read_bytes()
+    if data[:len(_BIN_MAGIC)] == _BIN_MAGIC:
+        return load_binary(data)
+    return TraceRecorder.load(data.decode("utf-8"))
+
+
+class _PreciseLocksets:
+    """Track per-thread held locks from "L"/"U" records and hand out exact
+    one-bit-per-lock signatures (first-seen lock order; deterministic)."""
+
+    #: shadow sig fields are int64: cap the distinct-lock universe safely
+    MAX_LOCKS = 62
+
+    def __init__(self) -> None:
+        self._held: Dict[int, List[int]] = {}
+        self._bit: Dict[int, int] = {}
+
+    def acquire(self, thread: int, addr: int) -> None:
+        self._held.setdefault(thread, []).append(addr)
+
+    def release(self, thread: int, addr: int) -> None:
+        held = self._held.get(thread)
+        if held and addr in held:
+            held.remove(addr)
+
+    def sig_for(self, thread: int) -> int:
+        sig = 0
+        for addr in self._held.get(thread, ()):
+            bit = self._bit.setdefault(addr, len(self._bit))
+            if bit >= self.MAX_LOCKS:
+                raise ValueError(
+                    f"perfect-signature replay supports at most "
+                    f"{self.MAX_LOCKS} distinct locks")
+            sig |= 1 << bit
+        return sig
 
 
 def record(benchmark_name: str, scale: float = 1.0,
@@ -207,13 +405,20 @@ def record(benchmark_name: str, scale: float = 1.0,
 
 
 def replay(events: Sequence[TraceEvent],
-           config: Optional[HAccRGConfig] = None) -> RaceLog:
+           config: Optional[HAccRGConfig] = None,
+           perfect_sigs: bool = False) -> RaceLog:
     """Feed a recorded trace through fresh detection structures.
 
     Reproduces exactly what a live :class:`HAccRGDetector` run reports at
     the given configuration: per-block shared shadow tables (reset at
     barriers), a global shadow memory re-initialized per kernel, and the
     race register file driven by the trace's fence events.
+
+    ``perfect_sigs=True`` replaces the recorded Bloom lock signatures with
+    exact one-bit-per-lock signatures reconstructed from the trace's
+    lock markers — a Bloom-aliasing ablation that no config switch can
+    express, because the recorded lane signatures bake in the encoding
+    geometry of record time.
     """
     cfg = config or HAccRGConfig(mode=DetectionMode.FULL,
                                  shared_granularity=4)
@@ -221,6 +426,7 @@ def replay(events: Sequence[TraceEvent],
     rrf = RaceRegisterFile(cfg.fence_id_bits)
     shared_tables: dict = {}
     gsm: Optional[GlobalShadowMemory] = None
+    locksets = _PreciseLocksets() if perfect_sigs else None
 
     for ev in events:
         if ev.kind == _KERNEL:
@@ -241,8 +447,15 @@ def replay(events: Sequence[TraceEvent],
                 table.barrier_reset()
         elif ev.kind == _FENCE:
             rrf.on_fence(ev.warp_id, ev.fence_id)
+        elif ev.kind == _LOCK:
+            if locksets is not None:
+                locksets.acquire(ev.thread, ev.addr)
+        elif ev.kind == _UNLOCK:
+            if locksets is not None:
+                locksets.release(ev.thread, ev.addr)
         elif ev.kind == _ACCESS:
-            access = ev.to_warp_access()
+            access = ev.to_warp_access(
+                sig_for=locksets.sig_for if locksets is not None else None)
             if access.space == MemSpace.SHARED:
                 table = shared_tables.get(ev.block_id)
                 if table is not None:

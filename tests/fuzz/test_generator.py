@@ -1,0 +1,62 @@
+"""Generator determinism and injection-plan invariants."""
+
+from repro.fuzz.generator import (ARTIFACT_INJECTIONS, GeneratorParams,
+                                  INJECTION_CATEGORIES, generate_program)
+from repro.fuzz.program import FuzzProgram
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for seed in range(40):
+            a = generate_program(seed)
+            b = generate_program(seed)
+            assert a == b
+            assert a.digest() == b.digest()
+
+    def test_seeds_diversify(self):
+        digests = {generate_program(s).digest() for s in range(60)}
+        assert len(digests) > 40
+
+    def test_params_change_the_stream(self):
+        tight = GeneratorParams(max_safe_stmts=2, inject_every=1)
+        assert generate_program(3, tight) != generate_program(3)
+
+    def test_params_roundtrip(self):
+        p = GeneratorParams(max_safe_stmts=3, inject_every=5,
+                            max_blocks=2, allow_locks=False)
+        assert GeneratorParams.from_record(p.record()) == p
+
+
+class TestInjectionPlan:
+    def test_inject_every_other_seed(self):
+        for seed in range(30):
+            prog = generate_program(seed)
+            if seed % 2 == 0:
+                assert prog.note != "safe"
+            else:
+                assert prog.note == "safe"
+                assert not prog.expected
+                assert not prog.expected_fp_labels
+
+    def test_injected_programs_carry_expectations(self):
+        for seed in range(0, 120, 2):
+            prog = generate_program(seed)
+            if prog.note in INJECTION_CATEGORIES:
+                assert set(prog.expected) == \
+                    set(INJECTION_CATEGORIES[prog.note])
+                assert not prog.expected_fp_labels
+            else:
+                assert prog.note in ARTIFACT_INJECTIONS
+                assert prog.expected_fp_labels == ("granularity",)
+                assert not prog.expected
+
+    def test_no_single_warp_grids(self):
+        # one warp executes in lockstep and cannot race at all
+        for seed in range(80):
+            prog = generate_program(seed)
+            assert prog.total_threads > 32
+
+    def test_record_roundtrip(self):
+        for seed in range(20):
+            prog = generate_program(seed)
+            assert FuzzProgram.from_record(prog.record()) == prog

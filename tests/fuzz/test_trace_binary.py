@@ -1,0 +1,75 @@
+"""Binary trace format: round-trip fidelity and versioned header."""
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.program import record_program
+from repro.harness.trace import (TraceRecorder, dump_binary, load_binary,
+                                 read_trace, replay, write_trace)
+from repro.harness.runner import run_benchmark_direct
+
+
+def _bench_events(name="SCAN", scale=0.25):
+    recorder = TraceRecorder()
+    run_benchmark_direct(name, timing_enabled=False, scale=scale,
+                         observers=(recorder,))
+    return recorder.events
+
+
+def _assert_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.__dict__ == y.__dict__
+
+
+class TestBinaryRoundTrip:
+    def test_benchmark_trace_roundtrips(self):
+        events = _bench_events()
+        _assert_equal(load_binary(dump_binary(events)), events)
+
+    def test_fuzz_traces_roundtrip(self):
+        # fuzz traces exercise lock/unlock markers and critical lanes
+        for seed in range(0, 8):
+            events = record_program(generate_program(seed))
+            _assert_equal(load_binary(dump_binary(events)), events)
+
+    def test_replay_sees_identical_races(self):
+        events = _bench_events()
+        from repro.common.config import DetectionMode, HAccRGConfig
+        cfg = HAccRGConfig(mode=DetectionMode.FULL)
+        key = lambda r: (r.space, r.entry, r.kind, r.category)
+        assert sorted(map(key, replay(events, cfg).reports)) == \
+            sorted(map(key, replay(load_binary(dump_binary(events)),
+                                   cfg).reports))
+
+
+class TestFileFormat:
+    def test_bin_suffix_selects_binary(self, tmp_path):
+        events = _bench_events()
+        bin_path = tmp_path / "t.bin"
+        json_path = tmp_path / "t.jsonl"
+        write_trace(bin_path, events)
+        write_trace(json_path, events)
+        assert bin_path.read_bytes()[:4] == b"HART"
+        assert json_path.read_bytes()[:4] != b"HART"
+        _assert_equal(read_trace(bin_path), events)
+        _assert_equal(read_trace(json_path), events)
+
+    def test_binary_smaller_than_json(self, tmp_path):
+        events = _bench_events()
+        binary = dump_binary(events)
+        from repro.harness.trace import TraceRecorder as TR
+        rec = TR()
+        rec.events = list(events)
+        assert len(binary) < len(rec.dump().encode())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            load_binary(b"NOPE" + b"\x00" * 16)
+
+    def test_future_version_rejected(self):
+        events = _bench_events()
+        data = bytearray(dump_binary(events))
+        data[4] = 250  # header: 4-byte magic then version
+        with pytest.raises(ValueError):
+            load_binary(bytes(data))

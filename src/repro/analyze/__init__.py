@@ -1,0 +1,64 @@
+"""Static race analysis over fuzz-kernel programs.
+
+Lowers a :class:`repro.fuzz.program.FuzzProgram` to per-warp lockstep
+instruction streams, classifies every byte-level access pair across
+*all* legal schedules, and reports one verdict per array region:
+``race-free`` (with a proof sketch), ``racy`` (with a witness pair the
+ground-truth oracle can confirm), or ``unknown``. See docs/ANALYSIS.md.
+"""
+
+from repro.analyze.benchmodels import (
+    BENCHES,
+    build_model,
+    catalog_models,
+    model_for,
+    safe_model,
+)
+from repro.analyze.indexset import (
+    AffineMap,
+    disjoint_proof,
+    map_of_stmt,
+    privacy_proof,
+)
+from repro.analyze.lower import device_layout, lower_program
+from repro.analyze.passes import classify_program
+from repro.analyze.validate import cross_check, validation_table
+from repro.analyze.verdict import (
+    REPORT_SCHEMA,
+    analyze_program,
+    build_report,
+    report_json,
+)
+from repro.analyze.worker import (
+    ANALYZE_SCHEMA,
+    AnalyzeCampaignResult,
+    AnalyzeJob,
+    execute_analyze_record,
+    run_analyze_campaign,
+)
+
+__all__ = [
+    "ANALYZE_SCHEMA",
+    "AffineMap",
+    "AnalyzeCampaignResult",
+    "AnalyzeJob",
+    "BENCHES",
+    "REPORT_SCHEMA",
+    "analyze_program",
+    "build_model",
+    "build_report",
+    "catalog_models",
+    "classify_program",
+    "cross_check",
+    "device_layout",
+    "disjoint_proof",
+    "execute_analyze_record",
+    "lower_program",
+    "map_of_stmt",
+    "model_for",
+    "privacy_proof",
+    "report_json",
+    "run_analyze_campaign",
+    "safe_model",
+    "validation_table",
+]

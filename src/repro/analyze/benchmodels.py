@@ -1,0 +1,208 @@
+"""Per-benchmark IR summaries for the static analyzer.
+
+The benchmark suite's kernels are generator-based Python; the analyzer
+consumes the declarative :class:`repro.fuzz.program.FuzzProgram` IR. So
+each benchmark gets a small *model*: a FuzzProgram capturing the
+sharing pattern each injection site of
+:data:`repro.bench.injection.INJECTION_CATALOG` perturbs — the
+shared-memory phase whose barrier the ``barrier:*`` site removes, the
+critical-section update whose ``__threadfence`` the ``fence`` site
+drops, the lock protocol the ``critical:*`` dummies violate, and a
+cross-block producer/consumer pair for the ``xblock`` dummies.
+
+Models are keyed by ``(bench, omit, emit)``: seed/scale overrides of a
+spec change data values, not the sharing structure, so they collapse to
+one model. ``xblock`` models always launch two blocks (the injected
+access crosses block boundaries even when the host benchmark is forced
+to one block) and carry no critical sections — a fenced critical
+section after a cross-block write would leave the RAW direction
+fence-dependent, which is exactly the UNKNOWN the models exist to
+avoid.
+
+Every model is a real runnable program, so the same
+oracle-differential that grades fuzz verdicts grades these:
+``analyze_program(model)`` vs ``oracle_races(record_program(model))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.injection import INJECTION_CATALOG, InjectionSpec
+from repro.fuzz.program import FuzzProgram
+
+#: verdict the injected variant must reach (oracle category names)
+MODEL_EXPECTED = {
+    "barrier": ("SHARED_BARRIER",),
+    "xblock": ("GLOBAL_BARRIER", "GLOBAL_FENCE"),
+    "fence": ("GLOBAL_FENCE",),
+    "critical": ("GLOBAL_LOCKSET",),
+}
+
+BENCHES = ("MCARLO", "SCAN", "FWALSH", "HIST", "SORTNW",
+           "REDUCE", "PSUM", "OFFT", "KMEANS", "HASH")
+
+
+class _Alloc:
+    """Bump allocator over the model's global words."""
+
+    def __init__(self) -> None:
+        self.next = 0
+
+    def take(self, words: int) -> int:
+        base = self.next
+        self.next += words
+        return base
+
+
+def _shared_phase(stmts: List[dict], span: int, shift: int,
+                  site: str, omit: Tuple[str, ...]) -> None:
+    """write / [barrier site] / shifted read / barrier on shared memory."""
+    stmts.append({"op": "s", "kind": "write", "base": 0,
+                  "stride": 1, "shift": 0, "span": span})
+    if site not in omit:
+        stmts.append({"op": "barrier"})
+    stmts.append({"op": "s", "kind": "read", "base": 0,
+                  "stride": 1, "shift": shift, "span": span})
+    stmts.append({"op": "barrier"})
+
+
+def _locked_stmt(slot: int, fenced: bool, **extra: object) -> dict:
+    st: Dict[str, object] = {"op": "locked", "slot": slot, "lock": 0,
+                             "mod": 16, "fence": bool(fenced)}
+    st.update(extra)
+    return st
+
+
+def _xblock_pair(stmts: List[dict], alloc: _Alloc, blocks: int,
+                 threads: int) -> None:
+    total = blocks * threads
+    base = alloc.take(total)
+    stmts.append({"op": "g", "kind": "write", "base": base, "stride": 1,
+                  "shift": 0, "span": total, "scope": "grid"})
+    stmts.append({"op": "g", "kind": "read", "base": base, "stride": 1,
+                  "shift": threads, "span": total, "scope": "grid"})
+
+
+def _private_write(stmts: List[dict], alloc: _Alloc, total: int) -> None:
+    base = alloc.take(total)
+    stmts.append({"op": "g", "kind": "write", "base": base, "stride": 1,
+                  "shift": 0, "span": total, "scope": "grid"})
+
+
+#: per-benchmark shared-phase sites: site name -> read shift
+_SHARED_SITES: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "SCAN": tuple((f"barrier:step{k}", 2 ** k) for k in range(7)),
+    "SORTNW": tuple((f"barrier:step{k}", 2 ** (k - 1))
+                    for k in range(1, 7)),
+    "FWALSH": (("barrier:store", 1), ("barrier:stage5", 32),
+               ("barrier:stage6", 64)),
+    "MCARLO": (("barrier:store", 32),),
+    "HIST": (("barrier:merge", 32),),
+    "PSUM": (("barrier:final", 32),),
+    "OFFT": (("barrier:fft0", 32),),
+}
+
+#: (blocks, threads) per benchmark model (xblock models override)
+_SHAPES: Dict[str, Tuple[int, int]] = {
+    "SCAN": (1, 128), "SORTNW": (1, 128), "FWALSH": (1, 128),
+    "OFFT": (1, 128), "REDUCE": (2, 128), "MCARLO": (2, 64),
+    "HIST": (2, 64), "PSUM": (2, 64), "KMEANS": (2, 64),
+    "HASH": (2, 64),
+}
+
+#: benchmarks whose model carries a fenced critical-section update
+#: (the three fence-removal sites live here)
+_FENCE_BENCHES = ("REDUCE", "PSUM", "KMEANS")
+
+
+def build_model(bench: str, omit: Tuple[str, ...] = (),
+                emit: Tuple[str, ...] = ()) -> FuzzProgram:
+    """The model program of ``bench`` with the given injection applied."""
+    if bench not in _SHAPES:
+        raise ValueError(f"no model for benchmark {bench!r}")
+    xblock = "xblock" in emit
+    blocks, threads = (2, 64) if xblock else _SHAPES[bench]
+    total = blocks * threads
+    alloc = _Alloc()
+    stmts: List[dict] = []
+    shared_words = 0
+    num_locks = 1
+    category = ""
+
+    if xblock:
+        # structure-preserving safe prefix, then the cross-block dummy
+        shared_words = threads
+        _shared_phase(stmts, threads, 32, "barrier:keep", omit)
+        _private_write(stmts, alloc, total)
+        _xblock_pair(stmts, alloc, blocks, threads)
+        category = "xblock"
+    else:
+        if bench == "HIST":
+            # global atomic histogram bins: RMWs serialize, race-free
+            bins = alloc.take(8)
+            stmts.append({"op": "g", "kind": "atomic", "base": bins,
+                          "stride": 1, "shift": 0, "span": 8,
+                          "scope": "grid"})
+        if bench == "KMEANS":
+            _private_write(stmts, alloc, total)
+        if bench == "REDUCE":
+            # tree reduction: barriers[0] = post-load, [1] = level 0
+            levels = 1
+            s = threads // 2
+            while s > 0:
+                levels += 1
+                s //= 2
+            barriers = [True] * levels
+            barriers[0] = "barrier:load" not in omit
+            barriers[1] = "barrier:tree0" not in omit
+            shared_words = threads
+            stmts.append({"op": "tree", "barriers": barriers})
+        for site, shift in _SHARED_SITES.get(bench, ()):
+            shared_words = threads
+            _shared_phase(stmts, threads, shift, site, omit)
+        if bench in _FENCE_BENCHES:
+            slot = alloc.take(1)
+            stmts.append(_locked_stmt(slot, "fence" not in omit))
+        if bench == "HASH":
+            slot = alloc.take(1)
+            stmts.append(_locked_stmt(slot, True))
+            num_locks = 2
+            if "critical:naked-write" in emit:
+                naked = alloc.take(1)
+                stmts.append(_locked_stmt(naked, True, mod=32,
+                                          skip_tid=0))
+                category = "critical"
+            if "critical:wrong-lock" in emit:
+                slot2 = alloc.take(1)
+                stmts.append(_locked_stmt(slot2, True, wrong_lock_tid=0,
+                                          wrong_lock=1))
+                category = "critical"
+        if any(s.startswith("barrier:") for s in omit):
+            category = "barrier"
+        elif "fence" in omit:
+            category = "fence"
+
+    expected = MODEL_EXPECTED.get(category, ())
+    tag = ",".join(sorted(omit) + sorted(emit)) or "safe"
+    return FuzzProgram(
+        blocks=blocks, threads=threads,
+        global_words=max(alloc.next, total) + 4,
+        shared_words=shared_words, byte_bytes=0, num_locks=num_locks,
+        stmts=tuple(stmts), expected=expected,
+        note=f"bench:{bench}:{tag}")
+
+
+def model_for(spec: InjectionSpec) -> FuzzProgram:
+    """The model variant of one injection-catalog spec."""
+    return build_model(spec.bench, omit=spec.omit, emit=spec.emit)
+
+
+def safe_model(bench: str) -> FuzzProgram:
+    """The race-free baseline model of one benchmark."""
+    return build_model(bench)
+
+
+def catalog_models() -> List[Tuple[InjectionSpec, FuzzProgram]]:
+    """Every catalog spec with its model (seed variants share models)."""
+    return [(spec, model_for(spec)) for spec in INJECTION_CATALOG]

@@ -1,0 +1,159 @@
+"""Symbolic index sets for the fuzz-program access vocabulary.
+
+Every data-access statement in :mod:`repro.fuzz.program` indexes an
+array with an affine-modular map ``base + (idx*stride + shift) % span``
+where ``idx`` ranges over a thread population (grid-wide or per-block).
+This module reasons about those maps symbolically:
+
+- the **interval hull** of a map (which bytes it can touch at all);
+- its **residue class**: every reachable offset is congruent to
+  ``shift (mod gcd(stride, span))``, so two maps over the same window
+  are disjoint when their residues differ modulo the gcd of their
+  periods — the classic gcd test for affine array accesses;
+- the **self-collision period**: two distinct ``idx`` values alias iff
+  they differ by ``span // gcd(stride, span)``, which proves
+  thread-privacy when the population diameter stays below the period.
+
+The analyzer uses these facts to *explain* RACE-FREE verdicts (proof
+sketches). Ground truth for the verdict itself comes from exhaustive
+enumeration of the (small, bounded) thread population in
+:mod:`repro.analyze.lower` — symbolic reasoning here never overrules it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """``elem = base + (idx*stride + shift) % span`` over ``idx`` values.
+
+    ``span == 0`` encodes the un-wrapped map ``base + idx`` (the ``div``
+    statement's direct indexing). ``idx_lo``/``idx_hi`` bound the thread
+    population (inclusive). Element units, not bytes; multiply by the
+    array's itemsize to talk about bytes.
+    """
+
+    base: int
+    stride: int
+    shift: int
+    span: int
+    idx_lo: int
+    idx_hi: int
+    itemsize: int = 4
+
+    def value(self, idx: int) -> int:
+        if self.span <= 0:
+            return self.base + idx
+        return self.base + (idx * self.stride + self.shift) % self.span
+
+    def hull(self) -> Tuple[int, int]:
+        """Half-open byte interval covering every reachable element."""
+        if self.span <= 0:
+            lo, hi = self.base + self.idx_lo, self.base + self.idx_hi + 1
+        else:
+            lo, hi = self.base, self.base + self.span
+        return lo * self.itemsize, hi * self.itemsize
+
+    def residue(self) -> Optional[Tuple[int, int]]:
+        """``(g, r)`` with every reachable element ``≡ base + r (mod g)``.
+
+        ``g = gcd(stride, span)`` divides ``span``, and
+        ``(idx*stride + shift) % span ≡ shift (mod g)`` for every idx.
+        Unavailable for un-wrapped maps (they are injective instead).
+        """
+        if self.span <= 0:
+            return None
+        g = gcd(self.stride % self.span if self.stride else 0, self.span)
+        if g <= 1:
+            return None
+        return g, self.shift % g
+
+    def collision_period(self) -> Optional[int]:
+        """Smallest ``d > 0`` with ``value(i) == value(i+d)`` for all i.
+
+        ``None`` means no two distinct indices can alias (injective map
+        over the population).
+        """
+        if self.span <= 0:
+            return None  # base + idx is injective
+        if self.stride % self.span == 0:
+            return 1     # constant map: everyone aliases
+        period = self.span // gcd(self.stride, self.span)
+        if period > self.idx_hi - self.idx_lo:
+            return None  # population too narrow to wrap around
+        return period
+
+    def is_injective(self) -> bool:
+        return self.collision_period() is None
+
+
+def disjoint_proof(a: AffineMap, b: AffineMap) -> Optional[str]:
+    """A human-readable proof that two maps touch disjoint bytes.
+
+    Returns ``None`` when disjointness cannot be established
+    symbolically (the enumeration-based analysis decides then).
+    """
+    a_lo, a_hi = a.hull()
+    b_lo, b_hi = b.hull()
+    if a_hi <= b_lo or b_hi <= a_lo:
+        return (f"disjoint intervals [{a_lo},{a_hi}) and [{b_lo},{b_hi})")
+    ra, rb = a.residue(), b.residue()
+    if ra is not None and rb is not None and a.base == b.base \
+            and a.itemsize == b.itemsize:
+        (ga, xa), (gb, xb) = ra, rb
+        d = gcd(ga, gb)
+        if d > 1 and (xa - xb) % d != 0:
+            return (f"residues {xa} (mod {ga}) and {xb} (mod {gb}) "
+                    f"never meet (gcd {d})")
+    return None
+
+
+def privacy_proof(m: AffineMap) -> Optional[str]:
+    """Proof that no two indices of the population share an element."""
+    if m.span <= 0:
+        return "direct indexing base+idx is injective"
+    period = m.collision_period()
+    if period is None:
+        g = gcd(m.stride % m.span if m.stride else 0, m.span) or m.span
+        return (f"stride {m.stride} over span {m.span} wraps only every "
+                f"{m.span // g} indices > population width "
+                f"{m.idx_hi - m.idx_lo}")
+    return None
+
+
+def map_of_stmt(st: dict, blocks: int, threads: int) -> Optional[AffineMap]:
+    """The affine map of one data-access statement (``None``: no map).
+
+    ``scope="block"`` global streams get one map per block; this returns
+    the block-0 map (every block's map is a translate, so privacy and
+    residue facts transfer).
+    """
+    total = blocks * threads
+    op = st.get("op")
+    if op == "g":
+        span = max(1, st.get("span", 1))
+        if st.get("scope", "grid") == "block":
+            return AffineMap(base=st["base"], stride=st.get("stride", 1),
+                             shift=st.get("shift", 0), span=span,
+                             idx_lo=0, idx_hi=threads - 1)
+        return AffineMap(base=st["base"], stride=st.get("stride", 1),
+                         shift=st.get("shift", 0), span=span,
+                         idx_lo=0, idx_hi=total - 1)
+    if op == "s":
+        span = max(1, st.get("span", 1))
+        return AffineMap(base=st["base"], stride=st.get("stride", 1),
+                         shift=st.get("shift", 0), span=span,
+                         idx_lo=0, idx_hi=threads - 1)
+    if op == "byte":
+        span = max(1, st.get("span", 1))
+        return AffineMap(base=st["base"], stride=1,
+                         shift=st.get("shift", 0), span=span,
+                         idx_lo=0, idx_hi=total - 1, itemsize=1)
+    if op == "div":
+        return AffineMap(base=st["base"], stride=1, shift=0, span=0,
+                         idx_lo=0, idx_hi=total - 1)
+    return None

@@ -1,0 +1,394 @@
+"""Static race classification over lowered warp streams.
+
+The analyzer's soundness contract: its verdicts must hold for **every**
+legal interleaving, while the ground-truth oracle it is graded against
+observes exactly **one** deterministic schedule. So each potentially
+conflicting pair of endpoints is evaluated *twice* — once with each
+endpoint as the earlier access — through a mirror of the oracle's
+pairwise dispatch (:meth:`repro.core.groundtruth.GroundTruthOracle._pair`):
+
+- both orders race        -> the byte is RACY (witness pair attached);
+- both orders are ordered -> SAFE, with the proof that ordered them;
+- mixed / fence-dependent -> UNKNOWN (never claimed either way).
+
+Fences are the main source of UNKNOWN: ``__threadfence`` suppresses a
+RAW pair only when it lands between the write and the read *in the
+observed schedule*, which a static pass cannot pin down — except in two
+robust cases. A producer that provably never fences after its write
+races in both orders; and a critical-section store fenced before its
+unlock is ordered ahead of any reader that must acquire the same lock
+(the paper's Fig. 2(b) protocol, and the oracle's common-lock rule).
+The stale-L1 check can only *add* races to unordered pairs, so it never
+invalidates a SAFE claim — those rest on warp lockstep, barrier-interval
+separation, or lockset rules, all of which the oracle applies before
+its stale check.
+
+Two extra passes close the gaps pairwise reasoning leaves:
+
+- **intra-warp WAW**: overlapping lane footprints inside one emulated
+  instruction group (the pre-issue associative check; global atomics
+  exempt, shared atomics not);
+- **lockset coupling**: pairwise RAW under a common lock is
+  asymmetric (the WAR order is lock-ordered), but when two warps each
+  run an *unfenced* read-modify-write section under the same lock,
+  whichever runs second reads the other's unfenced store — a guaranteed
+  RAW race in every schedule (the ``missing_fence`` bug class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.lower import A_SHARED, WarpStream
+
+#: verdict levels, in aggregation priority order
+RACY, UNKNOWN, SAFE = "racy", "unknown", "race-free"
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One deduplicated byte-level access endpoint (static mirror of the
+    oracle's ``_Endpoint``)."""
+
+    tid: int
+    warp: int
+    block: int
+    epoch: int
+    locks: FrozenSet[int]
+    atomic: bool
+    is_write: bool
+    pos: int                  # warp-stream position (fence queries)
+    stmt: int
+    tag: str
+    fenced: bool              # fenced inside its critical section
+
+
+@dataclass
+class ByteFinding:
+    """Classification of one (array, byte) cell."""
+
+    array: str
+    byte: int
+    status: str               # RACY | UNKNOWN | SAFE
+    kinds: Tuple[str, ...] = ()
+    categories: Tuple[str, ...] = ()
+    proofs: Tuple[str, ...] = ()
+    reasons: Tuple[str, ...] = ()
+    witness: Optional[Tuple[Endpoint, Endpoint]] = None
+
+
+@dataclass
+class _ByteAccesses:
+    writers: List[Endpoint] = field(default_factory=list)
+    readers: List[Endpoint] = field(default_factory=list)
+
+
+class AnalysisContext:
+    """Per-program facts the pair rules query."""
+
+    def __init__(self, streams: Sequence[WarpStream]) -> None:
+        self._streams = {s.warp: s for s in streams}
+        #: (warp, array, byte) present when that warp atomics that byte
+        self.warp_atomic_bytes: Set[Tuple[int, str, int]] = set()
+        for s in streams:
+            for ins in s.instrs:
+                if ins.kind != "atomic":
+                    continue
+                for la in ins.lanes:
+                    for b in range(la.addr, la.addr + la.size):
+                        self.warp_atomic_bytes.add((s.warp, la.array, b))
+
+    def may_fence_after(self, ep: Endpoint) -> bool:
+        return self._streams[ep.warp].may_fence_after(ep.pos)
+
+
+def collect_endpoints(streams: Sequence[WarpStream]
+                      ) -> Dict[Tuple[str, int, int], _ByteAccesses]:
+    """Per-byte endpoints, deduplicated exactly like the oracle's shadow.
+
+    Keys are ``(array, block, byte)`` for shared memory (each block has
+    its own shared array and oracle shadow) and ``(array, -1, byte)``
+    for global arrays. Within a byte, writers dedup on
+    ``(warp, epoch, locks, atomic)`` and readers on
+    ``(warp, epoch, locks)``, keeping the latest stream position — the
+    oracle's "latest same-key endpoint dominates" rule.
+    """
+    bytes_map: Dict[Tuple[str, int, int], _ByteAccesses] = {}
+    w_keys: Dict[Tuple[str, int, int], Dict[tuple, int]] = {}
+    r_keys: Dict[Tuple[str, int, int], Dict[tuple, int]] = {}
+    for s in streams:
+        for ins in s.instrs:
+            for la in ins.lanes:
+                ep = Endpoint(
+                    tid=la.tid, warp=s.warp, block=s.block,
+                    epoch=ins.epoch, locks=la.locks,
+                    atomic=ins.kind == "atomic",
+                    is_write=ins.kind != "read", pos=ins.pos,
+                    stmt=la.stmt, tag=la.tag, fenced=la.fenced)
+                blk = s.block if la.array == A_SHARED else -1
+                for b in range(la.addr, la.addr + la.size):
+                    cell_key = (la.array, blk, b)
+                    cell = bytes_map.setdefault(cell_key, _ByteAccesses())
+                    if ep.is_write:
+                        dedup = (ep.warp, ep.epoch, ep.locks, ep.atomic)
+                        slots, lst = w_keys, cell.writers
+                    else:
+                        dedup = (ep.warp, ep.epoch, ep.locks)
+                        slots, lst = r_keys, cell.readers
+                    seen = slots.setdefault(cell_key, {})
+                    if dedup in seen:
+                        lst[seen[dedup]] = ep   # latest pos dominates
+                    else:
+                        seen[dedup] = len(lst)
+                        lst.append(ep)
+    return bytes_map
+
+
+# ---------------------------------------------------------------------------
+# pairwise dispatch (two-order mirror of the oracle's _pair)
+# ---------------------------------------------------------------------------
+
+_RACE, _NONE, _DEPENDS = "race", "none", "depends"
+
+
+def _kind_of(prev: Endpoint, cur: Endpoint) -> str:
+    if prev.is_write and not cur.is_write:
+        return "RAW"
+    if not prev.is_write:
+        return "WAR"
+    return "WAW"
+
+
+def _order_outcome(prev: Endpoint, cur: Endpoint, array: str,
+                   byte: int, ctx: AnalysisContext) -> Tuple[str, str, str]:
+    """Oracle outcome for one fixed order, robust across schedules.
+
+    Returns ``(verdict, detail, category)`` with verdict one of
+    ``race`` / ``none`` / ``depends``; detail is a kind for races and a
+    proof/reason otherwise.
+    """
+    kind = _kind_of(prev, cur)
+    if array == A_SHARED:
+        # shared shadow: pure happens-before per barrier interval,
+        # cross-warp conflicts race unconditionally (no fences, no
+        # atomic exemption)
+        return _RACE, kind, "SHARED_BARRIER"
+
+    raw = kind == "RAW"
+    if prev.locks or cur.locks:
+        if prev.locks and cur.locks:
+            if prev.locks & cur.locks:
+                if not raw:
+                    return _NONE, "consistent lockset", ""
+                if prev.fenced:
+                    return (_NONE, "consistent lockset; producer fences "
+                                   "before unlock", "")
+                if not ctx.may_fence_after(prev):
+                    return _RACE, "RAW", "GLOBAL_FENCE"
+                return (_DEPENDS, "common-lock RAW depends on a later "
+                                  "fence landing in time", "")
+            return _RACE, kind, "GLOBAL_LOCKSET"
+        return _RACE, kind, "GLOBAL_LOCKSET"
+
+    if prev.atomic and cur.atomic:
+        return _NONE, "atomic RMWs serialize in the memory partition", ""
+    if prev.atomic and (cur.warp, array, byte) in ctx.warp_atomic_bytes:
+        # the consumer's warp also atomics this byte: the RMW chain may
+        # order the pair, depending on the serialization order
+        return (_DEPENDS, "atomic-chain ordering is "
+                          "schedule-dependent", "")
+    if raw:
+        if not ctx.may_fence_after(prev):
+            category = ("GLOBAL_BARRIER" if prev.block == cur.block
+                        else "GLOBAL_FENCE")
+            return _RACE, "RAW", category
+        return (_DEPENDS, "RAW outcome depends on fence timing", "")
+    return _RACE, kind, "GLOBAL_BARRIER"
+
+
+def classify_pair(a: Endpoint, b: Endpoint, array: str, byte: int,
+                  ctx: AnalysisContext) -> Tuple[str, Tuple[str, ...],
+                                                 Tuple[str, ...]]:
+    """Both-order classification of one conflicting endpoint pair.
+
+    Returns ``(status, kinds_or_proofs, categories)``.
+    """
+    if a.warp == b.warp:
+        return SAFE, ("warp-lockstep ordering",), ()
+    if a.block == b.block and a.epoch != b.epoch:
+        return SAFE, ("barrier-interval separation",), ()
+    o1 = _order_outcome(a, b, array, byte, ctx)
+    o2 = _order_outcome(b, a, array, byte, ctx)
+    verdicts = {o1[0], o2[0]}
+    if verdicts == {_RACE}:
+        kinds = tuple(sorted({o1[1], o2[1]}))
+        cats = tuple(sorted({c for c in (o1[2], o2[2]) if c}))
+        return RACY, kinds, cats
+    if verdicts == {_NONE}:
+        return SAFE, tuple(sorted({o1[1], o2[1]})), ()
+    reasons = tuple(sorted({o[1] for o in (o1, o2)
+                            if o[0] == _DEPENDS}))
+    return UNKNOWN, reasons or ("order-dependent outcome",), ()
+
+
+# ---------------------------------------------------------------------------
+# whole-byte classification
+# ---------------------------------------------------------------------------
+
+def _lockset_coupling(cell: _ByteAccesses, ctx: AnalysisContext
+                      ) -> Optional[Tuple[Endpoint, Endpoint]]:
+    """Cross-warp unfenced RMW sections under one common lock.
+
+    Each qualifying warp both writes (unfenced, and provably never
+    fences later) and reads the byte while holding lock L. With two or
+    more such warps, the section that runs second reads the first's
+    unfenced store in *every* schedule: a robust RAW race the pairwise
+    two-order rule cannot see (its WAR order is lock-ordered).
+    """
+    writers_by_lock: Dict[int, Dict[int, Endpoint]] = {}
+    readers_by_lock: Dict[int, Dict[int, Endpoint]] = {}
+    for w in cell.writers:
+        if w.locks and not w.fenced and not ctx.may_fence_after(w):
+            for lk in w.locks:
+                writers_by_lock.setdefault(lk, {}).setdefault(w.warp, w)
+    for r in cell.readers:
+        if r.locks:
+            for lk in r.locks:
+                readers_by_lock.setdefault(lk, {}).setdefault(r.warp, r)
+    for lk, writers in sorted(writers_by_lock.items()):
+        readers = readers_by_lock.get(lk, {})
+        warps = sorted(set(writers) & set(readers))
+        if len(warps) >= 2:
+            return writers[warps[0]], readers[warps[1]]
+    return None
+
+
+def classify_byte(array: str, byte: int, cell: _ByteAccesses,
+                  ctx: AnalysisContext) -> ByteFinding:
+    """Fold every conflicting pair of one byte into a finding."""
+    kinds: Set[str] = set()
+    categories: Set[str] = set()
+    proofs: Set[str] = set()
+    reasons: Set[str] = set()
+    witness: Optional[Tuple[Endpoint, Endpoint]] = None
+    status = SAFE
+
+    def _sort_key(ep: Endpoint) -> tuple:
+        return (ep.stmt, ep.tid, ep.pos)
+
+    def _merge(st: str, info: Tuple[str, ...], cats: Tuple[str, ...],
+               pair: Tuple[Endpoint, Endpoint]) -> None:
+        nonlocal status, witness
+        if st == RACY:
+            kinds.update(info)
+            categories.update(cats)
+            cand = tuple(sorted(pair, key=_sort_key))
+            if status != RACY or witness is None \
+                    or tuple(map(_sort_key, cand)) < \
+                    tuple(map(_sort_key, witness)):
+                witness = cand  # deterministic: smallest witness wins
+            status = RACY
+        elif st == UNKNOWN:
+            reasons.update(info)
+            if status == SAFE:
+                status = UNKNOWN
+        else:
+            proofs.update(info)
+
+    pairs = [(w, o) for i, w in enumerate(cell.writers)
+             for o in cell.writers[i + 1:]]
+    pairs += [(w, r) for w in cell.writers for r in cell.readers]
+    for a, b in pairs:
+        st, info, cats = classify_pair(a, b, array, byte, ctx)
+        _merge(st, info, cats, (a, b))
+
+    coupled = _lockset_coupling(cell, ctx)
+    if coupled is not None:
+        _merge(RACY, ("RAW",), ("GLOBAL_FENCE",), coupled)
+
+    if not pairs and coupled is None:
+        if not cell.writers:
+            proofs.add("read-only bytes cannot race")
+        else:
+            proofs.add("thread-private indexing")
+
+    return ByteFinding(
+        array=array, byte=byte, status=status,
+        kinds=tuple(sorted(kinds)),
+        categories=tuple(sorted(categories)),
+        proofs=tuple(sorted(proofs)),
+        reasons=tuple(sorted(reasons)),
+        witness=witness)
+
+
+def intra_warp_findings(streams: Sequence[WarpStream]
+                        ) -> List[ByteFinding]:
+    """Same-instruction overlapping writes of one warp (pre-issue check).
+
+    Emulated groups are deterministic per warp, so these races are
+    robust. Global atomics serialize and are exempt; shared atomics are
+    not (the shared RDU has no atomic exemption).
+    """
+    found: Dict[Tuple[str, int], ByteFinding] = {}
+    for s in streams:
+        for ins in s.instrs:
+            if ins.kind == "read":
+                continue
+            if ins.kind == "atomic" and ins.space == "G":
+                continue
+            first: Dict[Tuple[str, int], object] = {}
+            for la in ins.lanes:
+                for b in range(la.addr, la.addr + la.size):
+                    key = (la.array, b)
+                    prev = first.setdefault(key, la)
+                    if prev is la or key in found:
+                        continue
+                    category = ("SHARED_BARRIER" if ins.space == "S"
+                                else "GLOBAL_BARRIER")
+                    found[key] = ByteFinding(
+                        array=la.array, byte=b, status=RACY,
+                        kinds=("WAW",), categories=(category,),
+                        witness=(_lane_endpoint(s, ins, prev),
+                                 _lane_endpoint(s, ins, la)))
+    return [found[k] for k in sorted(found)]
+
+
+def _lane_endpoint(stream: WarpStream, ins, acc) -> Endpoint:
+    return Endpoint(
+        tid=acc.tid, warp=stream.warp, block=stream.block,
+        epoch=ins.epoch, locks=acc.locks, atomic=ins.kind == "atomic",
+        is_write=True, pos=ins.pos, stmt=acc.stmt, tag=acc.tag,
+        fenced=acc.fenced)
+
+
+def classify_program(streams: Sequence[WarpStream]
+                     ) -> Dict[Tuple[str, int], ByteFinding]:
+    """All byte findings of a lowered program, keyed ``(array, byte)``.
+
+    Shared findings collapse the per-block dimension (every block runs
+    the same code on its own copy; a racy byte in any block is racy for
+    the array region).
+    """
+    ctx = AnalysisContext(streams)
+    cells = collect_endpoints(streams)
+    findings: Dict[Tuple[str, int], ByteFinding] = {}
+    rank = {RACY: 2, UNKNOWN: 1, SAFE: 0}
+    for (array, _blk, byte), cell in sorted(cells.items()):
+        f = classify_byte(array, byte, cell, ctx)
+        old = findings.get((array, byte))
+        if old is None or rank[f.status] > rank[old.status]:
+            findings[(array, byte)] = f
+    for f in intra_warp_findings(streams):
+        old = findings.get((f.array, f.byte))
+        if old is None or rank[old.status] < 2:
+            findings[(f.array, f.byte)] = f
+        elif old.status == RACY and old.witness is not None:
+            findings[(f.array, f.byte)] = ByteFinding(
+                array=f.array, byte=f.byte, status=RACY,
+                kinds=tuple(sorted(set(old.kinds) | set(f.kinds))),
+                categories=tuple(sorted(set(old.categories)
+                                        | set(f.categories))),
+                proofs=old.proofs, reasons=old.reasons,
+                witness=old.witness)
+    return findings

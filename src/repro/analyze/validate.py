@@ -1,0 +1,114 @@
+"""Differential validation of static verdicts against the HB oracle.
+
+The contract graded here (and enforced by the three-way stage in
+:mod:`repro.fuzz.harness`):
+
+- a **racy** region must carry a witness byte the oracle actually
+  reports as racing (matching memory space and byte address);
+- a **race-free** region must be oracle-clean across its whole device
+  byte range;
+- **unknown** regions are never contradictions — they are the analyzer
+  declining to claim.
+
+Oracle SHARED race bytes are in-block shared offsets; the fuzz kernels
+declare a single shared array at offset 0, so they compare directly
+against array-local shared bytes. GLOBAL race bytes are absolute device
+addresses and compare against ``device_lo``/``device_hi`` from the
+report's bump-allocator layout mirror.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+RESULT_SCHEMA = 1
+
+
+def _oracle_bytes(races: Iterable) -> Set[Tuple[str, int]]:
+    return {(r.space.name, r.byte) for r in races}
+
+
+def cross_check(report: Dict[str, Any],
+                races: Iterable) -> Dict[str, Any]:
+    """Grade one analysis report against the oracle's races.
+
+    Returns a JSON-safe result with per-region outcomes and the list of
+    contradictions (empty = the analyzer kept its contract).
+    """
+    oracle = _oracle_bytes(races)
+    confirmed = clean = unknown = 0
+    contradictions: List[Dict[str, Any]] = []
+    for region in report["regions"]:
+        status = region["status"]
+        if status == "racy":
+            witness = region.get("witness")
+            if witness is None:
+                contradictions.append({
+                    "type": "missing-witness",
+                    "array": region["array"],
+                    "lo": region["lo"],
+                    "hi": region["hi"],
+                })
+                continue
+            key = (witness["space"], witness["byte"])
+            if key in oracle:
+                confirmed += 1
+            else:
+                contradictions.append({
+                    "type": "unconfirmed-witness",
+                    "array": region["array"],
+                    "space": witness["space"],
+                    "byte": witness["byte"],
+                    "kinds": witness.get("kinds", []),
+                })
+        elif status == "race-free":
+            space = region["space"]
+            hits = sorted(
+                b for (sp, b) in oracle
+                if sp == space
+                and region["device_lo"] <= b < region["device_hi"])
+            if hits:
+                contradictions.append({
+                    "type": "oracle-race-in-safe-region",
+                    "array": region["array"],
+                    "space": space,
+                    "bytes": hits[:8],
+                })
+            else:
+                clean += 1
+        else:
+            unknown += 1
+    return {
+        "schema": RESULT_SCHEMA,
+        "program": report["program"],
+        "note": report.get("note", ""),
+        "racy_confirmed": confirmed,
+        "race_free_clean": clean,
+        "unknown": unknown,
+        "contradictions": contradictions,
+        "ok": not contradictions,
+    }
+
+
+def validation_table(results: Sequence[Dict[str, Any]]
+                     ) -> Dict[str, Any]:
+    """Aggregate cross-check results into the EXPERIMENTS.md table row set.
+
+    Static false positives are racy verdicts the oracle refutes, false
+    negatives are race-free verdicts the oracle refutes; both count as
+    contradictions. UNKNOWN is the analyzer's explicit out.
+    """
+    total = {"programs": len(results), "racy_confirmed": 0,
+             "race_free_clean": 0, "unknown": 0,
+             "static_fp": 0, "static_fn": 0, "contradictions": 0}
+    for res in results:
+        total["racy_confirmed"] += res["racy_confirmed"]
+        total["race_free_clean"] += res["race_free_clean"]
+        total["unknown"] += res["unknown"]
+        for c in res["contradictions"]:
+            total["contradictions"] += 1
+            if c["type"] in ("unconfirmed-witness", "missing-witness"):
+                total["static_fp"] += 1
+            else:
+                total["static_fn"] += 1
+    return total

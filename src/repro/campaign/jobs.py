@@ -222,6 +222,7 @@ def execute_bench_record(record: Dict[str, Any]) -> Dict[str, Any]:
 JOB_EXECUTORS: Dict[str, str] = {
     "bench": "repro.campaign.jobs:execute_bench_record",
     "fuzz": "repro.fuzz.worker:execute_fuzz_record",
+    "analyze": "repro.analyze.worker:execute_analyze_record",
 }
 
 

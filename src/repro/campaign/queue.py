@@ -63,7 +63,7 @@ class CampaignState:
         path = Path(path)
         state = cls(campaign=campaign, path=path)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 data = json.load(fh)
             if data.get("schema") != STATE_SCHEMA:
                 raise ValueError("unknown state schema")

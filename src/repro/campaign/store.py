@@ -53,7 +53,7 @@ class ResultStore:
         key = job.key()
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
             if entry["key"] != key or entry["schema"] != STORE_SCHEMA \
                     or entry["job"]["schema"] != JOB_SCHEMA:

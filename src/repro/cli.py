@@ -345,14 +345,17 @@ def _cmd_fuzz(args) -> int:
         seed=args.seed, iterations=args.iterations, workers=args.workers,
         params=params, modes=tuple(args.mode or ()),
         cache_dir=args.cache, corpus_dir=args.corpus,
-        minimize=args.minimize, timeout=args.timeout)
+        minimize=args.minimize,
+        static_prefilter=args.static_prefilter, timeout=args.timeout)
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(f"fuzz: {summary['iterations']} iterations "
-              f"({summary['cache_hits']} cached, {summary['errors']} "
-              f"errors), corpus digest {summary['digest'][:16]}")
+              f"({summary['cache_hits']} cached, "
+              f"{summary['prefiltered']} prefiltered, "
+              f"{summary['errors']} errors), "
+              f"corpus digest {summary['digest'][:16]}")
         print(f"  programs: " + ", ".join(
             f"{k}={v}" for k, v in sorted(summary["programs_by_note"].items())))
         for name, res in sorted(summary["modes"].items()):
@@ -364,6 +367,48 @@ def _cmd_fuzz(args) -> int:
               + (f" {summary['real_bug_hashes']}"
                  if summary['real_bug_hashes'] else ""))
     return 1 if summary["real_bugs"] else 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analyze import run_analyze_campaign
+
+    bench = args.bench
+    result = run_analyze_campaign(
+        seed=args.seed, iterations=args.iterations, workers=args.workers,
+        benchmarks=bench is not None, injected=args.injected,
+        validate=args.validate, cache_dir=args.cache,
+        timeout=args.timeout)
+    if bench not in (None, "all"):
+        result.results = [r for r in result.results
+                          if r.get("source") != "bench"
+                          or f"bench:{bench}:" in r.get("note", "")]
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        v = summary["verdicts"]
+        print(f"analyze: {summary['programs']} programs "
+              f"({summary['cache_hits']} cached, {summary['errors']} "
+              f"errors): {v['racy']} racy, {v['unknown']} unknown, "
+              f"{v['race_free']} race-free regions")
+        for rec in result.results:
+            rv = rec.get("verdicts", {})
+            line = (f"  {rec.get('note') or rec['hash']}: "
+                    f"racy={rv.get('racy', 0)} "
+                    f"unknown={rv.get('unknown', 0)} "
+                    f"race-free={rv.get('race_free', 0)}")
+            val = rec.get("validation")
+            if val is not None:
+                line += (" [oracle ok]" if val["ok"]
+                         else f" [CONTRADICTED: {val['contradictions']}]")
+            print(line)
+        if args.validate:
+            t = summary["validation"]
+            print(f"  oracle cross-check: {t['racy_confirmed']} witnesses "
+                  f"confirmed, {t['race_free_clean']} regions clean, "
+                  f"{t['unknown']} unknown, "
+                  f"{summary['contradictions']} contradictions")
+    return 1 if summary["contradictions"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -526,9 +571,38 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--timeout", type=float, default=None,
                         help="per-iteration timeout (seconds, parallel "
                              "runs only)")
+    fuzz_p.add_argument("--static-prefilter", action="store_true",
+                        help="skip the simulator for programs the static "
+                             "analyzer proves race-free (see "
+                             "docs/ANALYSIS.md)")
     fuzz_p.add_argument("--json", action="store_true",
                         help="print the full summary as JSON")
     fuzz_p.set_defaults(fn=_cmd_fuzz)
+
+    an_p = sub.add_parser(
+        "analyze", help="static race analysis, differentially validated "
+                        "against the oracle (see docs/ANALYSIS.md)")
+    an_p.add_argument("--seed", type=int, default=0)
+    an_p.add_argument("--iterations", type=int, default=0,
+                      help="number of fuzz-generated programs to analyze")
+    an_p.add_argument("--workers", type=int, default=1)
+    an_p.add_argument("--bench", default=None, metavar="NAME",
+                      help="also analyze benchmark models ('all' or one "
+                           "benchmark name)")
+    an_p.add_argument("--injected", action="store_true",
+                      help="include every injected variant of the "
+                           "41-race catalog")
+    an_p.add_argument("--no-validate", dest="validate",
+                      action="store_false",
+                      help="skip the oracle cross-check (no simulation)")
+    an_p.add_argument("--cache", default=None, metavar="DIR",
+                      help="campaign result store for resumable runs")
+    an_p.add_argument("--timeout", type=float, default=None,
+                      help="per-program timeout (seconds, parallel runs "
+                           "only)")
+    an_p.add_argument("--json", action="store_true",
+                      help="print the full summary as JSON")
+    an_p.set_defaults(fn=_cmd_analyze)
     return p
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Any, Dict
 
 from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
@@ -141,7 +141,7 @@ class GPUConfig:
         }
 
 
-def scaled_gpu_config(**overrides) -> GPUConfig:
+def scaled_gpu_config(**overrides: Any) -> GPUConfig:
     """Table I configuration with caches scaled to the scaled benchmarks.
 
     The paper runs MB-scale inputs against a 48 KB L1 / 512 KB L2; our

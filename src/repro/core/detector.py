@@ -26,7 +26,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.common.config import HAccRGConfig
 from repro.common.types import MemSpace, Transaction, WarpAccess
@@ -41,7 +41,7 @@ from repro.gpu.hooks import NO_EFFECT, DetectorHooks, TimingEffect
 class HAccRGDetector(DetectorHooks):
     """The hardware-accelerated race detector of the paper."""
 
-    def __init__(self, config: HAccRGConfig, sim) -> None:
+    def __init__(self, config: HAccRGConfig, sim: Any) -> None:
         self.config = config
         self.sim = sim
         self.log = RaceLog()
@@ -76,7 +76,7 @@ class HAccRGDetector(DetectorHooks):
     # ------------------------------------------------------------------
     # kernel / block lifecycle
 
-    def on_kernel_start(self, launch, device_mem) -> None:
+    def on_kernel_start(self, launch: Any, device_mem: Any) -> None:
         self._active = True
         if self.config.mode.global_enabled:
             if self._global_shadow_region is None:
@@ -100,7 +100,7 @@ class HAccRGDetector(DetectorHooks):
         if self.config.mode.global_enabled:
             self.global_rdu.kernel_ended()
 
-    def on_block_start(self, block) -> None:
+    def on_block_start(self, block: Any) -> None:
         if not self.config.mode.shared_enabled:
             return
         shadow_base: Optional[int] = None
@@ -117,7 +117,7 @@ class HAccRGDetector(DetectorHooks):
                 )
         self._shared_rdu(block.sm_id).block_started(block, shadow_base)
 
-    def on_block_end(self, block) -> None:
+    def on_block_end(self, block: Any) -> None:
         if self.config.mode.shared_enabled and block.sm_id is not None:
             self._shared_rdu(block.sm_id).block_ended(block)
 
@@ -171,7 +171,7 @@ class HAccRGDetector(DetectorHooks):
     # ------------------------------------------------------------------
     # synchronization hooks
 
-    def on_barrier(self, block, now: int) -> TimingEffect:
+    def on_barrier(self, block: Any, now: int) -> TimingEffect:
         stall = 0
         if self.config.mode.shared_enabled and block.sm_id is not None:
             rdu = self._shared_rdu(block.sm_id)
@@ -207,7 +207,7 @@ class HAccRGDetector(DetectorHooks):
             )
         return TimingEffect(stall_cycles=stall)
 
-    def on_fence(self, warp, now: int) -> TimingEffect:
+    def on_fence(self, warp: Any, now: int) -> TimingEffect:
         if self.config.mode.global_enabled:
             self.rrf.on_fence(warp.warp_id, warp.fence_id)
         return NO_EFFECT
@@ -215,10 +215,10 @@ class HAccRGDetector(DetectorHooks):
     # ------------------------------------------------------------------
     # lock markers -> atomic-ID signatures
 
-    def on_lock_acquire(self, thread, addr: int) -> int:
+    def on_lock_acquire(self, thread: Any, addr: int) -> int:
         return self.bloom.insert(thread.lock_sig, addr)
 
-    def on_lock_release(self, thread, addr: int) -> int:
+    def on_lock_release(self, thread: Any, addr: int) -> int:
         # clear-on-empty (§III-B): signature survives until all locks drop
         if not thread.held_locks:
             return 0

@@ -9,7 +9,7 @@ the Table III experiment.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Iterable, List, Tuple
 
 from repro.common.bitops import ceil_div, is_power_of_two, log2_exact
 from repro.common.errors import ConfigError
@@ -42,7 +42,7 @@ class GranularityMap:
         """First byte address covered by ``entry``."""
         return entry << self._shift
 
-    def lanes_to_entries(self, lanes) -> List[Tuple[int, object]]:
+    def lanes_to_entries(self, lanes: Iterable[Any]) -> List[Tuple[int, object]]:
         """Flatten lane accesses to (entry, lane) pairs, in lane order.
 
         A lane whose footprint spans multiple entries contributes one pair

@@ -50,7 +50,7 @@ epoch wraparound — diffs against it are the fuzzer's measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.common.types import AccessKind, MemSpace, RaceCategory, RaceKind
 
@@ -202,7 +202,7 @@ class GroundTruthOracle:
     # ------------------------------------------------------------------
     # access processing
 
-    def _on_access(self, ev) -> None:
+    def _on_access(self, ev: Any) -> None:
         space = MemSpace(ev.space)
         if space == MemSpace.SHARED:
             shadow = self._shared.get(ev.block_id)
@@ -238,7 +238,7 @@ class GroundTruthOracle:
                 for byte in range(addr, addr + size):
                     self._check_global(byte, ep, l1_hit)
 
-    def _intra_warp_waw(self, ev, space: MemSpace) -> None:
+    def _intra_warp_waw(self, ev: Any, space: MemSpace) -> None:
         """Same-instruction overlapping writes of one warp (pre-issue)."""
         if ev.access_kind == _READ:
             return
@@ -417,7 +417,7 @@ def oracle_entries(races: Iterable[OracleRace],
     return out
 
 
-def detector_entries(log, shared_enabled: bool = True,
+def detector_entries(log: Any, shared_enabled: bool = True,
                      global_enabled: bool = True
                      ) -> "set[Tuple[str, int]]":
     """The same ``(space_name, entry)`` keys from a detector RaceLog."""

@@ -17,7 +17,7 @@ lines per access — the OFFT pathology.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.bitops import ceil_div
 from repro.common.config import GPUConfig, HAccRGConfig
@@ -42,7 +42,8 @@ class SharedRDU:
 
     # ------------------------------------------------------------------
 
-    def block_started(self, block, shadow_base: Optional[int] = None) -> None:
+    def block_started(self, block: Any,
+                      shadow_base: Optional[int] = None) -> None:
         region = block.launch.kernel.shared_bytes()
         if region <= 0:
             return
@@ -53,7 +54,7 @@ class SharedRDU:
         if shadow_base is not None:
             self._shadow_base[block.block_id] = shadow_base
 
-    def block_ended(self, block) -> None:
+    def block_ended(self, block: Any) -> None:
         self._tables.pop(block.block_id, None)
         self._shadow_base.pop(block.block_id, None)
 
@@ -88,7 +89,7 @@ class SharedRDU:
 
     # ------------------------------------------------------------------
 
-    def barrier_invalidate(self, block) -> int:
+    def barrier_invalidate(self, block: Any) -> int:
         """Reset the block's shadow entries; returns the stall cycles.
 
         The shadow bits extend the shared-memory rows (Fig. 5), so the RDU

@@ -21,7 +21,7 @@ happens-before detector.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -36,7 +36,8 @@ from repro.core.granularity import GranularityMap
 from repro.core.races import RaceLog, RaceReport
 
 
-def _overlapping_write(seen: dict, entry: int, la) -> Optional[object]:
+def _overlapping_write(seen: dict, entry: int,
+                       la: Any) -> Optional[object]:
     """Register write lane ``la`` under ``entry``; return a previously
     registered lane whose byte footprint overlaps it (None otherwise)."""
     lo, hi = la.footprint()

@@ -27,7 +27,7 @@ L1-hit stale-read check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -198,7 +198,7 @@ class GlobalShadowMemory:
             return self.tid[entry] == tid
         return self.wid[entry] == wid
 
-    def _init_entry(self, entry: int, la, access: WarpAccess,
+    def _init_entry(self, entry: int, la: Any, access: WarpAccess,
                     is_write: bool) -> None:
         """Set an entry from a first (or epoch-refreshing) access."""
         self._dirtied = True
@@ -213,7 +213,8 @@ class GlobalShadowMemory:
         self.sig[entry] = la.sig if la.critical else 0
         self.atomic[entry] = la.kind == AccessKind.ATOMIC
 
-    def _report(self, entry: int, la, access: WarpAccess, kind: RaceKind,
+    def _report(self, entry: int, la: Any, access: WarpAccess,
+                kind: RaceKind,
                 category: RaceCategory, stale_l1: bool = False) -> None:
         self.log.report(RaceReport(
             category=category,
@@ -231,7 +232,7 @@ class GlobalShadowMemory:
         if stale_l1:
             self.stats.stale_l1_reports += 1
 
-    def _check_one(self, entry: int, la, access: WarpAccess,
+    def _check_one(self, entry: int, la: Any, access: WarpAccess,
                    l1_hit: bool) -> None:
         self.stats.checks += 1
         cfg = self.config
@@ -328,7 +329,7 @@ class GlobalShadowMemory:
 
     # ------------------------------------------------------------------
 
-    def _lockset_check(self, entry: int, la, access: WarpAccess,
+    def _lockset_check(self, entry: int, la: Any, access: WarpAccess,
                        tid: int, wid: int, is_write: bool,
                        entry_sig: int) -> None:
         """§III-B: different-lock and protected/unprotected mixing rules."""

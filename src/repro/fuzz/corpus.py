@@ -36,7 +36,14 @@ def _labels_of(record: Dict[str, Any]) -> List[str]:
             labels.append(f"{name}:parity")
     if not record.get("expected_ok", True):
         labels.append("oracle:expected-mismatch")
-    return labels
+    static = record.get("static", {})
+    if static.get("error"):
+        labels.append("static:error")
+    for c in static.get("contradictions", ()):
+        labels.append(f"static:{c.get('type', 'contradiction')}")
+    if record.get("prefiltered"):
+        labels.append("static:prefiltered")
+    return sorted(labels)
 
 
 def corpus_digest(records: Iterable[Dict[str, Any]]) -> str:

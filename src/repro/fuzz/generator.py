@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.fuzz.program import FuzzProgram
 
@@ -236,9 +236,11 @@ def _injection(rng: random.Random, prog: Dict[str, Any],
          "span": total}]
 
 
-def generate_program(seed: int, params: GeneratorParams = GeneratorParams()
+def generate_program(seed: int,
+                     params: Optional[GeneratorParams] = None
                      ) -> FuzzProgram:
     """Deterministically generate one program from a seed."""
+    params = params or GeneratorParams()
     rng = random.Random(seed)
     blocks = rng.choice([b for b in (1, 2, 4) if b <= params.max_blocks])
     threads = rng.choice([_WARP, 2 * _WARP])

@@ -27,7 +27,7 @@ from repro.core.groundtruth import (detector_entries, oracle_entries,
 from repro.fuzz.program import FuzzProgram, record_program, run_program
 from repro.harness.trace import TraceRecorder, replay
 
-ITERATION_SCHEMA = 1
+ITERATION_SCHEMA = 2
 
 #: triage labels — the paper's expected-by-design artifact classes
 LABEL_GRANULARITY = "granularity"   # >1B entries alias distinct bytes
@@ -210,6 +210,34 @@ def expected_ok(program: FuzzProgram, races) -> bool:
     return not cats
 
 
+def static_stage(program: FuzzProgram, races) -> Dict[str, Any]:
+    """Third leg of the differential: the static analyzer vs the oracle.
+
+    A static RACY region must carry a witness the oracle confirms; a
+    static RACE-FREE region must be oracle-clean. Either contradiction
+    is a real bug — in the analyzer, the oracle, or the simulator — so
+    it fails the iteration just like an unexplained detector mismatch.
+    An analyzer crash counts the same way (the differential exists to
+    catch all three legs breaking).
+    """
+    from repro.analyze import analyze_program, cross_check
+
+    try:
+        report = analyze_program(program)
+        res = cross_check(report, races)
+    except Exception as exc:  # noqa: BLE001 - bug evidence, not control flow
+        return {"error": f"{type(exc).__name__}: {exc}",
+                "contradictions": [], "real_bugs": 1}
+    return {
+        "verdicts": report["verdicts"],
+        "racy_confirmed": res["racy_confirmed"],
+        "race_free_clean": res["race_free_clean"],
+        "unknown": res["unknown"],
+        "contradictions": res["contradictions"],
+        "real_bugs": len(res["contradictions"]),
+    }
+
+
 def run_iteration(program: FuzzProgram,
                   modes: Optional[Sequence[FuzzMode]] = None
                   ) -> Dict[str, Any]:
@@ -221,7 +249,9 @@ def run_iteration(program: FuzzProgram,
     ok = expected_ok(program, races)
     mode_results = {m.name: _evaluate_mode(m, program, events, races)
                     for m in modes}
+    static = static_stage(program, races)
     real_bugs = sum(r["real_bugs"] for r in mode_results.values())
+    real_bugs += static["real_bugs"]
     if not ok:
         real_bugs += 1
 
@@ -233,6 +263,7 @@ def run_iteration(program: FuzzProgram,
         "oracle_races": len(races),
         "oracle_categories": sorted({r.category.name for r in races}),
         "expected_ok": ok,
+        "static": static,
         "modes": mode_results,
         "real_bugs": real_bugs,
     }
@@ -254,6 +285,7 @@ __all__ = [
     "iteration_has_real_bug",
     "mode_by_name",
     "run_iteration",
+    "static_stage",
     "triage_fn",
     "triage_fp",
 ]

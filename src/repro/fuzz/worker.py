@@ -27,7 +27,7 @@ from repro.fuzz.generator import GeneratorParams, generate_program
 from repro.fuzz.harness import ITERATION_SCHEMA, mode_by_name, run_iteration
 
 #: results with a different fuzz schema are never served from cache
-FUZZ_SCHEMA = 1
+FUZZ_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,9 @@ class FuzzJob:
     index: int
     params: GeneratorParams = GeneratorParams()
     modes: Tuple[str, ...] = ()   # empty = all default modes
+    #: skip the simulator when the static analyzer proves the whole
+    #: program race-free (and the generator expected no race/artifact)
+    static_prefilter: bool = False
 
     @property
     def iteration_seed(self) -> int:
@@ -52,6 +55,7 @@ class FuzzJob:
             "index": self.index,
             "params": self.params.record(),
             "modes": list(self.modes),
+            "static_prefilter": self.static_prefilter,
         }
 
     def key(self) -> str:
@@ -69,16 +73,51 @@ class FuzzJob:
             index=int(record["index"]),
             params=GeneratorParams.from_record(record["params"]),
             modes=tuple(record["modes"]),
+            static_prefilter=bool(record.get("static_prefilter", False)),
         )
 
     def describe(self) -> str:
         return f"fuzz[{self.index}] seed={self.iteration_seed}"
 
 
+def _prefilter_record(program, report) -> Dict[str, Any]:
+    """Slim iteration record for a statically-proved-safe program.
+
+    Shape-compatible with :func:`repro.fuzz.harness.run_iteration` so
+    corpus digests, label extraction, and summaries treat prefiltered
+    iterations uniformly; ``modes`` is empty because no simulation ran.
+    """
+    return {
+        "schema": ITERATION_SCHEMA,
+        "hash": program.digest(),
+        "note": program.note,
+        "program": program.record(),
+        "oracle_races": 0,
+        "oracle_categories": [],
+        "expected_ok": True,
+        "prefiltered": True,
+        "static": {"verdicts": report["verdicts"], "contradictions": [],
+                   "real_bugs": 0, "prefiltered": True},
+        "modes": {},
+        "real_bugs": 0,
+    }
+
+
 def execute_fuzz_record(record: Dict[str, Any]) -> Dict[str, Any]:
     """Worker-side entry point (see ``JOB_EXECUTORS['fuzz']``)."""
     job = FuzzJob.from_record(record)
     program = generate_program(job.iteration_seed, job.params)
+    if job.static_prefilter and not program.expected \
+            and not program.expected_fp_labels:
+        from repro.analyze import analyze_program
+
+        report = analyze_program(program)
+        verdicts = report["verdicts"]
+        if not verdicts["racy"] and not verdicts["unknown"]:
+            result = _prefilter_record(program, report)
+            result["index"] = job.index
+            result["iteration_seed"] = job.iteration_seed
+            return result
     modes = ([mode_by_name(n) for n in job.modes] if job.modes
              else None)
     result = run_iteration(program, modes)
@@ -131,6 +170,11 @@ class FuzzCampaignResult:
             "errors": len(self.failures),
             "digest": self.digest,
             "cache_hits": self.cache_hits,
+            "prefiltered": sum(1 for r in self.iterations
+                               if r.get("prefiltered")),
+            "static_contradictions": sum(
+                len(r.get("static", {}).get("contradictions", ()))
+                for r in self.iterations),
             "real_bugs": self.real_bugs,
             "real_bug_hashes": sorted(self.real_bug_hashes),
             "minimized": self.minimized,
@@ -143,11 +187,12 @@ class FuzzCampaignResult:
 
 def run_fuzz_campaign(seed: int, iterations: int,
                       workers: int = 1,
-                      params: GeneratorParams = GeneratorParams(),
+                      params: Optional[GeneratorParams] = None,
                       modes: Sequence[str] = (),
                       cache_dir: Optional[str] = None,
                       corpus_dir: Optional[str] = None,
                       minimize: bool = False,
+                      static_prefilter: bool = False,
                       timeout: Optional[float] = None,
                       progress=None) -> FuzzCampaignResult:
     """Run a budgeted differential-fuzzing campaign.
@@ -156,12 +201,16 @@ def run_fuzz_campaign(seed: int, iterations: int,
     result store makes re-runs and interrupted runs resume from cache;
     the corpus store persists interesting programs, real-bug reproducer
     traces (binary format), and the aggregate summary.
+    ``static_prefilter`` skips the simulator for programs the static
+    analyzer proves race-free (the flag participates in job keys, so
+    prefiltered and full campaigns never share cache entries).
     """
     from repro.campaign.pool import WorkerPool
     from repro.campaign.store import ResultStore
 
+    params = params or GeneratorParams()
     jobs = {job.key(): job for job in
-            (FuzzJob(seed, i, params, tuple(modes))
+            (FuzzJob(seed, i, params, tuple(modes), static_prefilter)
              for i in range(iterations))}
     store = ResultStore(cache_dir) if cache_dir else None
 

@@ -1,0 +1,93 @@
+"""Benchmark models vs the 41-spec injection catalog and the oracle."""
+
+import pytest
+
+from repro.analyze import (
+    analyze_program,
+    catalog_models,
+    cross_check,
+    model_for,
+    safe_model,
+)
+from repro.analyze.benchmodels import BENCHES
+from repro.bench.injection import INJECTION_CATALOG
+from repro.core.groundtruth import oracle_races
+from repro.fuzz.program import record_program
+
+
+def _validated(program):
+    report = analyze_program(program)
+    races = oracle_races(record_program(program))
+    return report, cross_check(report, races)
+
+
+class TestCatalogCoverage:
+    def test_every_spec_has_a_model(self):
+        assert len(INJECTION_CATALOG) == 41
+        for spec in INJECTION_CATALOG:
+            program = model_for(spec)
+            assert program.total_threads % 32 == 0
+            assert program.expected, spec
+
+    def test_every_injected_model_statically_racy(self):
+        # pure static pass over all 41 variants: no simulation needed
+        for spec, program in catalog_models():
+            report = analyze_program(program)
+            assert report["verdicts"]["racy"] >= 1, program.note
+            racy = [r for r in report["regions"]
+                    if r["status"] == "racy"]
+            assert all(r.get("witness") for r in racy), program.note
+
+    def test_xblock_models_cross_blocks(self):
+        for spec in INJECTION_CATALOG:
+            if spec.category != "xblock":
+                continue
+            program = model_for(spec)
+            assert program.blocks >= 2, spec.bench
+
+    def test_seed_variants_collapse_to_one_model(self):
+        tree0 = [s for s in INJECTION_CATALOG
+                 if s.bench == "REDUCE" and "barrier:tree0" in s.omit]
+        assert len(tree0) == 2  # seed 0 and seed 1
+        assert model_for(tree0[0]).digest() == model_for(tree0[1]).digest()
+
+
+class TestSafeBaselines:
+    @pytest.mark.parametrize("bench", BENCHES)
+    def test_safe_model_race_free_and_oracle_clean(self, bench):
+        program = safe_model(bench)
+        report, result = _validated(program)
+        assert report["verdicts"]["racy"] == 0, bench
+        assert report["verdicts"]["unknown"] == 0, bench
+        assert result["ok"], result["contradictions"]
+
+
+class TestInjectedValidation:
+    # one representative per injection mechanism, oracle-validated
+    CASES = [
+        ("SCAN", ("barrier:step3",), ()),          # barrier removal
+        ("REDUCE", ("barrier:tree0",), ()),        # tree barrier removal
+        ("PSUM", (), ("xblock",)),                 # cross-block dummy
+        ("KMEANS", ("fence",), ()),                # fence removal
+        ("HASH", (), ("critical:naked-write",)),   # critical dummy
+        ("HASH", (), ("critical:wrong-lock",)),    # critical dummy
+    ]
+
+    @pytest.mark.parametrize("bench,omit,emit", CASES)
+    def test_witness_confirmed_by_oracle(self, bench, omit, emit):
+        from repro.analyze import build_model
+
+        program = build_model(bench, omit=omit, emit=emit)
+        report, result = _validated(program)
+        assert report["verdicts"]["racy"] >= 1
+        assert result["ok"], result["contradictions"]
+        assert result["racy_confirmed"] >= 1
+
+    def test_expected_matches_oracle_categories(self):
+        from repro.analyze import build_model
+
+        for bench, omit, emit in self.CASES:
+            program = build_model(bench, omit=omit, emit=emit)
+            races = oracle_races(record_program(program))
+            cats = {r.category.name for r in races}
+            assert cats <= set(program.expected), (program.note, cats)

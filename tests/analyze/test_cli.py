@@ -1,0 +1,61 @@
+"""`repro analyze` and `repro fuzz --static-prefilter` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_fuzz_seed_sweep_exits_clean(self, capsys):
+        rc = main(["analyze", "--seed", "0", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 contradictions" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["analyze", "--seed", "0", "--iterations", "2",
+                   "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["programs"] == 2
+        assert summary["contradictions"] == 0
+        assert summary["validation"]["static_fp"] == 0
+        assert summary["validation"]["static_fn"] == 0
+
+    def test_single_bench_filter(self, capsys):
+        rc = main(["analyze", "--bench", "REDUCE", "--no-validate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bench:REDUCE:safe" in out
+        assert "bench:SCAN" not in out
+
+    def test_no_validate_skips_oracle(self, capsys):
+        rc = main(["analyze", "--iterations", "2", "--no-validate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "oracle" not in out
+
+
+class TestFuzzPrefilterFlag:
+    def test_prefilter_smoke(self, capsys, tmp_path):
+        rc = main(["fuzz", "--seed", "0", "--iterations", "4",
+                   "--static-prefilter", "--json",
+                   "--cache", str(tmp_path / "cache")])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["prefiltered"] >= 1
+        assert summary["static_contradictions"] == 0
+        assert summary["real_bugs"] == 0
+
+    def test_prefilter_and_full_runs_share_no_cache(self, capsys,
+                                                    tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["fuzz", "--seed", "1", "--iterations", "2",
+                     "--static-prefilter", "--json",
+                     "--cache", cache]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["fuzz", "--seed", "1", "--iterations", "2",
+                     "--json", "--cache", cache]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["cache_hits"] == 0
+        assert second["cache_hits"] == 0  # different job keys

@@ -1,0 +1,117 @@
+"""Symbolic index-set reasoning: hulls, residues, privacy, disjointness."""
+
+from repro.analyze.indexset import (
+    AffineMap,
+    disjoint_proof,
+    map_of_stmt,
+    privacy_proof,
+)
+
+
+class TestAffineMap:
+    def test_value_matches_interpreter_formula(self):
+        m = AffineMap(base=10, stride=3, shift=2, span=8,
+                      idx_lo=0, idx_hi=63)
+        for idx in range(64):
+            assert m.value(idx) == 10 + (idx * 3 + 2) % 8
+
+    def test_hull_covers_every_reachable_byte(self):
+        m = AffineMap(base=4, stride=3, shift=1, span=16,
+                      idx_lo=0, idx_hi=127)
+        lo, hi = m.hull()
+        for idx in range(128):
+            byte = m.value(idx) * m.itemsize
+            assert lo <= byte < hi
+
+    def test_unwrapped_map_hull(self):
+        m = AffineMap(base=8, stride=1, shift=0, span=0,
+                      idx_lo=0, idx_hi=31)
+        assert m.hull() == (8 * 4, (8 + 32) * 4)
+
+    def test_residue_class_is_sound(self):
+        m = AffineMap(base=0, stride=4, shift=3, span=16,
+                      idx_lo=0, idx_hi=255)
+        g, r = m.residue()
+        assert g == 4 and r == 3
+        for idx in range(256):
+            assert (m.value(idx) - m.base) % g == r
+
+    def test_residue_unavailable_for_coprime_stride(self):
+        m = AffineMap(base=0, stride=3, shift=0, span=8,
+                      idx_lo=0, idx_hi=63)
+        assert m.residue() is None
+
+    def test_collision_period_exact(self):
+        m = AffineMap(base=0, stride=2, shift=0, span=8,
+                      idx_lo=0, idx_hi=63)
+        assert m.collision_period() == 4
+        assert m.value(0) == m.value(4)
+        assert not m.is_injective()
+
+    def test_injective_when_population_below_period(self):
+        # identity over span == population size: every thread private
+        m = AffineMap(base=0, stride=1, shift=0, span=128,
+                      idx_lo=0, idx_hi=127)
+        assert m.is_injective()
+        values = {m.value(i) for i in range(128)}
+        assert len(values) == 128
+
+
+class TestProofs:
+    def test_interval_disjointness(self):
+        a = AffineMap(base=0, stride=1, shift=0, span=32,
+                      idx_lo=0, idx_hi=31)
+        b = AffineMap(base=32, stride=1, shift=0, span=32,
+                      idx_lo=0, idx_hi=31)
+        assert "disjoint intervals" in disjoint_proof(a, b)
+        assert disjoint_proof(a, a) is None
+
+    def test_residue_disjointness(self):
+        a = AffineMap(base=0, stride=4, shift=0, span=16,
+                      idx_lo=0, idx_hi=255)
+        b = AffineMap(base=0, stride=4, shift=1, span=16,
+                      idx_lo=0, idx_hi=255)
+        proof = disjoint_proof(a, b)
+        assert proof is not None and "residues" in proof
+        touched_a = {a.value(i) for i in range(256)}
+        touched_b = {b.value(i) for i in range(256)}
+        assert not touched_a & touched_b
+
+    def test_privacy_proof_for_identity_stream(self):
+        m = AffineMap(base=0, stride=1, shift=0, span=64,
+                      idx_lo=0, idx_hi=63)
+        assert privacy_proof(m) is not None
+
+    def test_no_privacy_proof_when_aliasing(self):
+        m = AffineMap(base=0, stride=2, shift=0, span=8,
+                      idx_lo=0, idx_hi=63)
+        assert privacy_proof(m) is None
+
+
+class TestMapOfStmt:
+    def test_grid_scope_population(self):
+        st = {"op": "g", "kind": "write", "base": 5, "stride": 2,
+              "shift": 1, "span": 16, "scope": "grid"}
+        m = map_of_stmt(st, blocks=2, threads=64)
+        assert (m.idx_lo, m.idx_hi) == (0, 127)
+        assert m.base == 5 and m.itemsize == 4
+
+    def test_block_scope_population(self):
+        st = {"op": "g", "kind": "write", "base": 0, "span": 64,
+              "scope": "block"}
+        m = map_of_stmt(st, blocks=4, threads=64)
+        assert (m.idx_lo, m.idx_hi) == (0, 63)
+
+    def test_byte_stmt_has_itemsize_one(self):
+        st = {"op": "byte", "kind": "write", "base": 0, "span": 128}
+        m = map_of_stmt(st, blocks=2, threads=64)
+        assert m.itemsize == 1 and m.stride == 1
+
+    def test_div_is_unwrapped(self):
+        st = {"op": "div", "base": 7}
+        m = map_of_stmt(st, blocks=1, threads=64)
+        assert m.span == 0 and m.is_injective()
+
+    def test_non_access_stmts_have_no_map(self):
+        assert map_of_stmt({"op": "barrier"}, 1, 64) is None
+        assert map_of_stmt({"op": "locked", "slot": 0}, 1, 64) is None

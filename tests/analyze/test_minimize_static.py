@@ -1,0 +1,85 @@
+"""ddmin must keep *both* halves of multi-statement races.
+
+Uses the static analyzer as the (fast, simulation-free) reproduction
+predicate, and asserts not just the minimized size but that each kept
+statement is individually necessary — dropping either one breaks the
+reproducer, so over-minimization would be a predicate violation.
+"""
+
+from repro.analyze import analyze_program
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.program import FuzzProgram
+
+
+def _statically_racy(program):
+    return analyze_program(program)["verdicts"]["racy"] > 0
+
+
+def _xblock_program():
+    pad = [{"op": "g", "kind": "write", "base": 256 + i * 128,
+            "stride": 1, "shift": 0, "span": 128, "scope": "grid"}
+           for i in range(3)]
+    pair = [
+        {"op": "g", "kind": "write", "base": 0, "stride": 1, "shift": 0,
+         "span": 128, "scope": "grid"},
+        {"op": "g", "kind": "read", "base": 0, "stride": 1,
+         "shift": 64, "span": 128, "scope": "grid"},
+    ]
+    stmts = pad[:1] + pair[:1] + pad[1:2] + pair[1:] + pad[2:]
+    return FuzzProgram(blocks=2, threads=64, global_words=1024,
+                       shared_words=0, byte_bytes=0, num_locks=1,
+                       stmts=tuple(stmts), note="xblock-padded")
+
+
+def _shared_war_program():
+    pad = [{"op": "barrier"}, {"op": "fence"}]
+    core = [
+        {"op": "s", "kind": "write", "base": 0, "stride": 1, "shift": 0,
+         "span": 64},
+        {"op": "s", "kind": "read", "base": 0, "stride": 1, "shift": 32,
+         "span": 64},
+    ]
+    stmts = [pad[0], core[0], pad[1], core[1], pad[0]]
+    return FuzzProgram(blocks=1, threads=64, global_words=64,
+                       shared_words=64, byte_bytes=0, num_locks=1,
+                       stmts=tuple(stmts), note="shared-padded")
+
+
+class TestInteractingStatements:
+    def test_xblock_pair_is_not_over_minimized(self):
+        program = _xblock_program()
+        assert _statically_racy(program)
+        small = minimize_program(program, predicate=_statically_racy)
+        assert _statically_racy(small)
+        assert len(small.stmts) == 2
+        kinds = sorted(s["kind"] for s in small.stmts)
+        assert kinds == ["read", "write"]
+        # each survivor is individually necessary
+        for i in range(len(small.stmts)):
+            solo = small.with_stmts(
+                small.stmts[:i] + small.stmts[i + 1:])
+            assert not _statically_racy(solo)
+
+    def test_shared_war_pair_is_not_over_minimized(self):
+        program = _shared_war_program()
+        small = minimize_program(program, predicate=_statically_racy)
+        assert len(small.stmts) == 2
+        assert {s["op"] for s in small.stmts} == {"s"}
+        for i in range(len(small.stmts)):
+            solo = small.with_stmts(
+                small.stmts[:i] + small.stmts[i + 1:])
+            assert not _statically_racy(solo)
+
+    def test_barriers_between_halves_are_dropped(self):
+        # the barrier in the padding is *not* between the racing pair,
+        # so ddmin must recognise it as droppable noise
+        program = _shared_war_program()
+        small = minimize_program(program, predicate=_statically_racy)
+        assert all(s["op"] != "barrier" for s in small.stmts)
+
+    def test_minimizer_is_deterministic_under_static_predicate(self):
+        a = minimize_program(_xblock_program(),
+                             predicate=_statically_racy)
+        b = minimize_program(_xblock_program(),
+                             predicate=_statically_racy)
+        assert a.digest() == b.digest()

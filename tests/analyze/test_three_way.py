@@ -1,0 +1,106 @@
+"""Three-way differential (static / detector / oracle) and the prefilter."""
+
+import json
+
+from repro.fuzz.corpus import _labels_of, corpus_digest
+from repro.fuzz.generator import generate_program
+from repro.fuzz.harness import ITERATION_SCHEMA, static_stage
+from repro.fuzz.worker import FuzzJob, execute_fuzz_record
+from repro.core.groundtruth import oracle_races
+from repro.fuzz.program import record_program
+
+
+class TestStaticStage:
+    def test_iteration_carries_static_leg(self):
+        from repro.fuzz.harness import run_iteration
+
+        rec = run_iteration(generate_program(0))
+        assert rec["schema"] == ITERATION_SCHEMA
+        static = rec["static"]
+        assert static["real_bugs"] == 0
+        assert static["contradictions"] == []
+        assert static["racy_confirmed"] >= 1  # injected seed 0
+
+    def test_contradiction_counts_as_real_bug(self):
+        program = generate_program(1)  # safe
+        races = oracle_races(record_program(program))
+        clean = static_stage(program, races)
+        assert clean["real_bugs"] == 0
+
+        # forge an oracle disagreement: claim races the analyzer ruled out
+        class FakeRace:
+            def __init__(self):
+                from repro.core.groundtruth import MemSpace
+
+                self.space = MemSpace.GLOBAL
+                self.byte = 0
+
+        forged = static_stage(program, [FakeRace()])
+        assert forged["real_bugs"] >= 1
+        assert forged["contradictions"]
+
+    def test_analyzer_crash_is_a_real_bug(self, monkeypatch):
+        import repro.analyze
+
+        def boom(_program):
+            raise RuntimeError("analyzer exploded")
+
+        monkeypatch.setattr(repro.analyze, "analyze_program", boom)
+        out = static_stage(generate_program(1), [])
+        assert out["real_bugs"] == 1
+        assert "analyzer exploded" in out["error"]
+
+
+class TestStaticPrefilter:
+    def test_prefilter_skips_simulation_for_proved_safe(self):
+        job = FuzzJob(seed=1, index=0, static_prefilter=True)
+        rec = execute_fuzz_record(job.record())
+        assert rec["prefiltered"] is True
+        assert rec["modes"] == {}
+        assert rec["real_bugs"] == 0
+        assert rec["schema"] == ITERATION_SCHEMA
+
+    def test_prefilter_never_skips_injected_programs(self):
+        job = FuzzJob(seed=0, index=0, static_prefilter=True)
+        rec = execute_fuzz_record(job.record())
+        assert "prefiltered" not in rec
+        assert rec["modes"]  # full differential ran
+
+    def test_prefilter_participates_in_job_key(self):
+        plain = FuzzJob(seed=0, index=0)
+        pre = FuzzJob(seed=0, index=0, static_prefilter=True)
+        assert plain.key() != pre.key()
+        assert FuzzJob.from_record(pre.record()) == pre
+
+    def test_prefiltered_record_is_deterministic(self):
+        job = FuzzJob(seed=1, index=0, static_prefilter=True)
+        a = execute_fuzz_record(job.record())
+        b = execute_fuzz_record(job.record())
+        assert json.dumps(a, sort_keys=True) == \
+            json.dumps(b, sort_keys=True)
+
+
+class TestCorpusLabels:
+    def test_static_labels_surface_in_corpus(self):
+        rec = {"hash": "x", "note": "safe", "modes": {},
+               "static": {"contradictions": [
+                   {"type": "unconfirmed-witness"}]},
+               "expected_ok": True}
+        assert "static:unconfirmed-witness" in _labels_of(rec)
+
+    def test_prefiltered_label(self):
+        rec = {"hash": "x", "note": "safe", "modes": {},
+               "prefiltered": True, "expected_ok": True}
+        assert "static:prefiltered" in _labels_of(rec)
+
+    def test_static_error_label(self):
+        rec = {"hash": "x", "note": "safe", "modes": {},
+               "static": {"error": "RuntimeError: nope"},
+               "expected_ok": True}
+        assert "static:error" in _labels_of(rec)
+
+    def test_digest_distinguishes_prefiltered_runs(self):
+        base = {"hash": "x", "note": "safe", "modes": {},
+                "expected_ok": True}
+        pre = dict(base, prefiltered=True)
+        assert corpus_digest([base]) != corpus_digest([pre])

@@ -1,0 +1,85 @@
+"""Analyze campaign jobs: records, dispatch, caching, sweeps."""
+
+from repro.analyze.worker import (
+    ANALYZE_SCHEMA,
+    AnalyzeJob,
+    execute_analyze_record,
+    run_analyze_campaign,
+)
+from repro.campaign.jobs import JOB_EXECUTORS, execute_record
+
+
+class TestAnalyzeJob:
+    def test_record_round_trip(self):
+        job = AnalyzeJob(source="bench", bench="REDUCE",
+                         omit=("barrier:tree0",), validate=False)
+        again = AnalyzeJob.from_record(job.record())
+        assert again == job
+        assert again.key() == job.key()
+
+    def test_keys_are_content_addressed(self):
+        a = AnalyzeJob(seed=0, index=1)
+        b = AnalyzeJob(seed=0, index=2)
+        assert a.key() != b.key()
+        assert a.key() == AnalyzeJob(seed=0, index=1).key()
+
+    def test_validate_flag_participates_in_key(self):
+        fast = AnalyzeJob(seed=0, index=0, validate=False)
+        full = AnalyzeJob(seed=0, index=0, validate=True)
+        assert fast.key() != full.key()
+
+    def test_describe(self):
+        assert "REDUCE" in AnalyzeJob(source="bench",
+                                      bench="REDUCE").describe()
+        assert "seed=7" in AnalyzeJob(seed=3, index=4).describe()
+
+
+class TestDispatch:
+    def test_registered_in_job_executors(self):
+        assert JOB_EXECUTORS["analyze"] == \
+            "repro.analyze.worker:execute_analyze_record"
+
+    def test_execute_record_dispatches_analyze_kind(self):
+        job = AnalyzeJob(seed=1, index=0, validate=False)
+        rec = execute_record(job.record())
+        assert rec["schema"] == ANALYZE_SCHEMA
+        assert rec["verdicts"]["racy"] == 0
+        assert "validation" not in rec
+
+    def test_validated_execution_carries_cross_check(self):
+        job = AnalyzeJob(seed=0, index=0, validate=True)
+        rec = execute_analyze_record(job.record())
+        assert rec["validation"]["ok"], rec["validation"]
+
+
+class TestCampaign:
+    def test_sweep_with_cache_resume(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = run_analyze_campaign(seed=0, iterations=3,
+                                     validate=False, cache_dir=cache)
+        assert len(first.results) == 3
+        assert first.cache_hits == 0
+        assert first.contradictions == 0
+        again = run_analyze_campaign(seed=0, iterations=3,
+                                     validate=False, cache_dir=cache)
+        assert again.cache_hits == 3
+        assert [r["report_sha"] for r in first.results] == \
+            [r["report_sha"] for r in again.results]
+
+    def test_benchmark_sweep(self):
+        result = run_analyze_campaign(iterations=0, benchmarks=True,
+                                      validate=False)
+        assert len(result.results) == 10
+        summary = result.summary()
+        assert summary["verdicts"]["racy"] == 0
+        assert summary["contradictions"] == 0
+
+    def test_injected_sweep_statically_racy(self):
+        result = run_analyze_campaign(iterations=0, injected=True,
+                                      validate=False)
+        # 41 specs dedup to 37 distinct (bench, omit, emit) variants:
+        # REDUCE barrier:tree0 and the FWALSH/REDUCE/PSUM xblock entries
+        # appear twice with different seeds
+        assert len(result.results) == 37
+        for rec in result.results:
+            assert rec["verdicts"]["racy"] >= 1, rec["note"]

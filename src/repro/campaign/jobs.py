@@ -223,6 +223,8 @@ JOB_EXECUTORS: Dict[str, str] = {
     "bench": "repro.campaign.jobs:execute_bench_record",
     "fuzz": "repro.fuzz.worker:execute_fuzz_record",
     "analyze": "repro.analyze.worker:execute_analyze_record",
+    "replay": "repro.serve.worker:execute_replay_record",
+    "perf": "repro.harness.benchperf:execute_perf_record",
 }
 
 
@@ -232,6 +234,24 @@ def register_executor(kind: str, target: str) -> None:
         raise JobSpecError(f"executor target {target!r} is not "
                            f"'module:function'")
     JOB_EXECUTORS[kind] = target
+
+
+def _load_env_executors() -> None:
+    """Pick up out-of-tree job kinds from ``REPRO_JOB_EXECUTORS``.
+
+    Spawn workers import this module fresh, so in-process
+    :func:`register_executor` calls never reach them; the environment
+    does. Format: ``kind=module:function[,kind=module:function...]``.
+    """
+    import os
+
+    for part in os.environ.get("REPRO_JOB_EXECUTORS", "").split(","):
+        kind, _, target = part.strip().partition("=")
+        if kind and ":" in target:
+            JOB_EXECUTORS[kind] = target
+
+
+_load_env_executors()
 
 
 def execute_record(record: Dict[str, Any]) -> Dict[str, Any]:

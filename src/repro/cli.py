@@ -303,9 +303,30 @@ def _cmd_trace_record(args) -> int:
 
 
 def _cmd_trace_replay(args) -> int:
+    from repro.common.errors import TraceFormatError
     from repro.harness.trace import read_trace, replay
 
-    events = read_trace(args.trace)
+    try:
+        events = read_trace(args.trace)
+    except TraceFormatError as exc:
+        print(f"error: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.backend is not None:
+        # service-backend replay: emit the canonical verdict JSON, byte-
+        # identical to what the detection service serves for this trace
+        from repro.serve.backends import (
+            BackendError, canonical_json, get_backend, trace_digest,
+            verdict_record)
+        try:
+            backend = get_backend(args.backend)
+            record = verdict_record(trace_digest(events), backend, events)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(canonical_json(record) + "\n")
+        return 0
+
     mode = _MODES[args.mode]
     if mode == DetectionMode.OFF:
         print("error: replay needs a detection mode", file=sys.stderr)
@@ -367,6 +388,92 @@ def _cmd_fuzz(args) -> int:
               + (f" {summary['real_bug_hashes']}"
                  if summary['real_bug_hashes'] else ""))
     return 1 if summary["real_bugs"] else 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.app import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, store=args.store,
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        high_water=args.high_water, rate=args.rate, burst=args.burst)
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.backends import backend_names
+    from repro.serve.client import JobFailed, ServiceClient, ServiceError
+
+    if args.list_backends:
+        for name in backend_names():
+            print(name)
+        return 0
+    if args.trace is None or not args.backend:
+        print("error: submit needs a trace file and at least one "
+              "--backend (or --list-backends)", file=sys.stderr)
+        return 2
+    program = None
+    if args.program is not None:
+        program = json.loads(Path(args.program).read_text(encoding="utf-8"))
+
+    client = ServiceClient(args.server, client_id=args.client)
+    try:
+        receipt = client.upload(args.trace)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: upload failed: {exc}", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"uploaded {args.trace}: trace {receipt['digest'][:16]}... "
+              f"({receipt['events']} events, {receipt['bytes']} bytes)")
+    failures = 0
+    for backend in args.backend:
+        try:
+            state = client.submit(receipt["digest"], backend,
+                                  program=program)
+            if state["status"] not in ("done", "error", "timeout",
+                                       "crashed"):
+                state = client.wait(state["job"], timeout=args.timeout)
+            verdict_body = client.verdict_bytes(state["verdict"])
+            if args.json:
+                sys.stdout.write(verdict_body.decode("utf-8") + "\n")
+            else:
+                verdict = json.loads(verdict_body)
+                result = verdict["result"]
+                races = result.get("distinct", result.get("count"))
+                cached = " (cached)" if state.get("cached") else ""
+                print(f"{backend}: {races} distinct races, verdict "
+                      f"{state['verdict'][:16]}...{cached}")
+        except (ServiceError, JobFailed, TimeoutError) as exc:
+            failures += 1
+            print(f"error: {backend}: {exc}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_bench_perf(args) -> int:
+    from repro.harness.benchperf import (
+        bench_path,
+        render_summary,
+        run_bench_perf,
+        write_bench_file,
+    )
+
+    record = run_bench_perf(quick=args.quick, workers=args.workers)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(render_summary(record))
+    if not args.no_write:
+        path = write_bench_file(record, args.output)
+        print(f"wrote {path}")
+    else:
+        _ = bench_path(args.output)
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -547,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the exact happens-before oracle "
                              "and report the entry-level diff")
     trep_p.add_argument("--max-races", type=int, default=10)
+    trep_p.add_argument("--backend", default=None, metavar="NAME",
+                        help="replay through a named service backend and "
+                             "print the canonical verdict JSON (byte-"
+                             "identical to the detection service's "
+                             "response; see docs/SERVICE.md)")
     trep_p.set_defaults(fn=_cmd_trace_replay)
 
     fuzz_p = sub.add_parser(
@@ -603,6 +715,71 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("--json", action="store_true",
                       help="print the full summary as JSON")
     an_p.set_defaults(fn=_cmd_analyze)
+
+    srv_p = sub.add_parser(
+        "serve", help="run the async detection service over HART traces "
+                      "(see docs/SERVICE.md)")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8037,
+                       help="listen port (0 = pick a free port)")
+    srv_p.add_argument("--store", default=".serve-store", metavar="DIR",
+                       help="root for the trace store and verdict cache")
+    srv_p.add_argument("--workers", type=int, default=2,
+                       help="replay worker processes (0 = run replays "
+                            "inline in threads)")
+    srv_p.add_argument("--timeout", type=float, default=120.0,
+                       help="per-job replay timeout (seconds)")
+    srv_p.add_argument("--retries", type=int, default=1,
+                       help="retries for timed-out/crashed jobs")
+    srv_p.add_argument("--high-water", type=int, default=64,
+                       help="queue depth past which submissions get 429")
+    srv_p.add_argument("--rate", type=float, default=50.0,
+                       help="per-client job submissions per second")
+    srv_p.add_argument("--burst", type=float, default=100.0,
+                       help="per-client token-bucket burst size")
+    srv_p.set_defaults(fn=_cmd_serve)
+
+    sub_p = sub.add_parser(
+        "submit", help="upload a trace to a running detection service "
+                       "and fetch verdicts (see docs/SERVICE.md)")
+    sub_p.add_argument("trace", nargs="?", default=None,
+                       help="trace file (binary or JSON-lines)")
+    sub_p.add_argument("--server", default="http://127.0.0.1:8037",
+                       metavar="URL")
+    sub_p.add_argument("--backend", action="append", default=[],
+                       metavar="NAME",
+                       help="detector backend(s) to run (repeatable)")
+    sub_p.add_argument("--program", default=None, metavar="FILE",
+                       help="program-spec JSON (required by the 'static' "
+                            "backend)")
+    sub_p.add_argument("--client", default=None, metavar="ID",
+                       help="client id for rate limiting (X-Client)")
+    sub_p.add_argument("--timeout", type=float, default=300.0,
+                       help="seconds to wait for each verdict")
+    sub_p.add_argument("--json", action="store_true",
+                       help="print the raw canonical verdict JSON, one "
+                            "line per backend")
+    sub_p.add_argument("--list-backends", action="store_true",
+                       help="list registered backends and exit")
+    sub_p.set_defaults(fn=_cmd_submit)
+
+    bp_p = sub.add_parser(
+        "bench-perf", help="measure simulator, fuzz, detector, and "
+                           "service throughput; writes BENCH_6.json")
+    bp_p.add_argument("--quick", action="store_true",
+                      help="smaller workloads (CI smoke; marked in the "
+                           "output record)")
+    bp_p.add_argument("--workers", type=int, default=0,
+                      help="service worker processes for the throughput "
+                           "section (0 = inline)")
+    bp_p.add_argument("--output", default=None, metavar="FILE",
+                      help="where to write the canonical record "
+                           "(default: BENCH_6.json at the repo root)")
+    bp_p.add_argument("--no-write", action="store_true",
+                      help="print only; do not write the bench file")
+    bp_p.add_argument("--json", action="store_true",
+                      help="print the full record as JSON")
+    bp_p.set_defaults(fn=_cmd_bench_perf)
     return p
 
 

@@ -1,0 +1,433 @@
+"""Performance benchmarking: simulator, fuzz, detector, and service rates.
+
+``repro bench-perf`` measures four throughput surfaces on pinned
+workloads and writes the canonical record to ``BENCH_6.json`` at the
+repo root (CI uploads it as an artifact and fails on malformed output):
+
+- **simulate** — trace-recording throughput (events/second) over pinned
+  benchmark cells;
+- **fuzz** — full differential fuzz iterations/second (generate +
+  record + oracle + diff across default modes) over pinned seeds;
+- **replay** — per-detector-backend replay throughput over one pinned
+  trace, with each backend's overhead relative to the fastest;
+- **service** — end-to-end jobs/second through a live ``repro.serve``
+  endpoint (upload → submit → verdict), plus the cache-hit rate for
+  repeat submissions.
+
+Each measurement is a :class:`PerfJob` — a content-addressed job record
+(kind ``"perf"``) registered in the campaign executor table, so perf
+cells can also ride the campaign pool/cache like any other job kind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ConfigError
+
+#: bump whenever the perf record shape changes
+PERF_SCHEMA = 1
+
+#: the canonical output name for this PR's bench file
+BENCH_FILENAME = "BENCH_6.json"
+
+#: pinned simulator cells: (benchmark, scale)
+_SIM_CELLS = (("HIST", 0.25), ("SCAN", 0.25))
+_SIM_CELLS_QUICK = (("SCAN", 0.1),)
+
+#: pinned fuzz seeds
+_FUZZ_SEEDS = tuple(range(8))
+_FUZZ_SEEDS_QUICK = (0, 1)
+
+#: the pinned trace every replay backend is timed on
+_REPLAY_CELL = ("HIST", 0.25)
+_REPLAY_CELL_QUICK = ("SCAN", 0.1)
+
+#: service-throughput shape: (distinct traces, jobs per trace)
+_SERVICE_LOAD = (4, 2)
+_SERVICE_LOAD_QUICK = (2, 2)
+
+
+class PerfSpecError(ConfigError):
+    """A perf job record is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# the "perf" job kind
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PerfJob:
+    """One content-addressed perf measurement cell.
+
+    ``metric`` selects the measurement:
+
+    - ``"simulate"`` — record ``bench`` at ``scale``; value = events/s;
+    - ``"fuzz"`` — run one differential fuzz iteration for ``seed``;
+      value = iterations/s;
+    - ``"replay"`` — replay ``bench``/``scale`` through ``backend``;
+      value = events/s through that backend.
+    """
+
+    metric: str
+    bench: str = ""
+    scale: float = 1.0
+    seed: int = 0
+    backend: str = ""
+    repeats: int = 1
+
+    _METRICS = ("simulate", "fuzz", "replay")
+
+    def __post_init__(self) -> None:
+        if self.metric not in self._METRICS:
+            raise PerfSpecError(
+                f"unknown perf metric {self.metric!r} "
+                f"(known: {', '.join(self._METRICS)})")
+        if self.repeats < 1:
+            raise PerfSpecError("repeats must be >= 1")
+
+    def record(self) -> Dict[str, Any]:
+        return {
+            "schema": PERF_SCHEMA,
+            "kind": "perf",
+            "metric": self.metric,
+            "bench": self.bench,
+            "scale": float(self.scale),
+            "seed": int(self.seed),
+            "backend": self.backend,
+            "repeats": int(self.repeats),
+        }
+
+    def key(self) -> str:
+        payload = json.dumps(self.record(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "PerfJob":
+        if record.get("schema") != PERF_SCHEMA:
+            raise PerfSpecError(
+                f"perf schema {record.get('schema')!r} != {PERF_SCHEMA}")
+        return cls(metric=record["metric"], bench=record.get("bench", ""),
+                   scale=float(record.get("scale", 1.0)),
+                   seed=int(record.get("seed", 0)),
+                   backend=record.get("backend", ""),
+                   repeats=int(record.get("repeats", 1)))
+
+    def describe(self) -> str:
+        if self.metric == "simulate":
+            return f"simulate {self.bench}@{self.scale}"
+        if self.metric == "fuzz":
+            return f"fuzz seed={self.seed}"
+        return f"replay {self.bench}@{self.scale} via {self.backend}"
+
+
+def execute_perf_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point for the ``"perf"`` job kind."""
+    job = PerfJob.from_record(record)
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(job.repeats):
+        out = _measure_once(job)
+        if best is None or out["elapsed"] < best["elapsed"]:
+            best = out
+    assert best is not None
+    best["job"] = job.record()
+    return best
+
+
+def _measure_once(job: PerfJob) -> Dict[str, Any]:
+    if job.metric == "simulate":
+        from repro.harness.trace import record as record_trace
+        start = time.perf_counter()
+        events = record_trace(job.bench, scale=job.scale)
+        elapsed = time.perf_counter() - start
+        return {"metric": "simulate", "events": len(events),
+                "elapsed": elapsed,
+                "rate": len(events) / elapsed if elapsed else 0.0,
+                "unit": "events/s"}
+    if job.metric == "fuzz":
+        from repro.fuzz.generator import generate_program
+        from repro.fuzz.harness import run_iteration
+        start = time.perf_counter()
+        program = generate_program(job.seed)
+        result = run_iteration(program)
+        elapsed = time.perf_counter() - start
+        return {"metric": "fuzz", "seed": job.seed,
+                "oracle_races": result.get("oracle_races", 0),
+                "real_bugs": result.get("real_bugs", 0),
+                "elapsed": elapsed,
+                "rate": 1.0 / elapsed if elapsed else 0.0,
+                "unit": "iterations/s"}
+    # replay: record once (untimed), time only the backend replay
+    from repro.harness.trace import record as record_trace
+    from repro.serve.backends import get_backend, run_backend
+    backend = get_backend(job.backend)
+    events = record_trace(job.bench, scale=job.scale)
+    start = time.perf_counter()
+    run_backend(backend, events)
+    elapsed = time.perf_counter() - start
+    return {"metric": "replay", "backend": backend.name,
+            "events": len(events), "elapsed": elapsed,
+            "rate": len(events) / elapsed if elapsed else 0.0,
+            "unit": "events/s"}
+
+
+# ---------------------------------------------------------------------------
+# the full bench-perf run
+# ---------------------------------------------------------------------------
+
+#: replay backends timed by bench-perf (static needs a program spec and
+#: is exercised by the serve test suite instead)
+_TIMED_BACKENDS = ("haccrg-bloom", "haccrg-full", "haccrg-word",
+                   "swdetect", "oracle")
+
+
+def run_bench_perf(quick: bool = False, workers: int = 0) -> Dict[str, Any]:
+    """Run every section and return the canonical BENCH_6 record."""
+    sections = {
+        "simulate": _section_simulate(quick),
+        "fuzz": _section_fuzz(quick),
+        "replay": _section_replay(quick),
+        "service": _section_service(quick, workers),
+    }
+    return {
+        "schema": PERF_SCHEMA,
+        "bench": "BENCH_6",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sections": sections,
+    }
+
+
+def _section_simulate(quick: bool) -> Dict[str, Any]:
+    cells = _SIM_CELLS_QUICK if quick else _SIM_CELLS
+    runs = []
+    total_events = 0
+    total_elapsed = 0.0
+    for bench, scale in cells:
+        out = execute_perf_record(
+            PerfJob("simulate", bench=bench, scale=scale,
+                    repeats=1 if quick else 2).record())
+        runs.append({"bench": bench, "scale": scale,
+                     "events": out["events"],
+                     "elapsed": round(out["elapsed"], 6),
+                     "events_per_sec": round(out["rate"], 1)})
+        total_events += out["events"]
+        total_elapsed += out["elapsed"]
+    return {
+        "unit": "events/s",
+        "runs": runs,
+        "events_per_sec": round(total_events / total_elapsed, 1)
+        if total_elapsed else 0.0,
+    }
+
+
+def _section_fuzz(quick: bool) -> Dict[str, Any]:
+    seeds = _FUZZ_SEEDS_QUICK if quick else _FUZZ_SEEDS
+    elapsed = 0.0
+    real_bugs = 0
+    for seed in seeds:
+        out = execute_perf_record(PerfJob("fuzz", seed=seed).record())
+        elapsed += out["elapsed"]
+        real_bugs += out["real_bugs"]
+    return {
+        "unit": "iterations/s",
+        "iterations": len(seeds),
+        "seeds": list(seeds),
+        "elapsed": round(elapsed, 6),
+        "iterations_per_sec": round(len(seeds) / elapsed, 2)
+        if elapsed else 0.0,
+        "real_bugs": real_bugs,
+    }
+
+
+def _section_replay(quick: bool) -> Dict[str, Any]:
+    bench, scale = _REPLAY_CELL_QUICK if quick else _REPLAY_CELL
+    backends: Dict[str, Dict[str, Any]] = {}
+    events = 0
+    for name in _TIMED_BACKENDS:
+        out = execute_perf_record(
+            PerfJob("replay", bench=bench, scale=scale, backend=name,
+                    repeats=1 if quick else 2).record())
+        events = out["events"]
+        backends[name] = {"elapsed": round(out["elapsed"], 6),
+                          "events_per_sec": round(out["rate"], 1)}
+    fastest = max(b["events_per_sec"] for b in backends.values()) or 1.0
+    for entry in backends.values():
+        entry["overhead_vs_fastest"] = round(
+            fastest / entry["events_per_sec"], 3) \
+            if entry["events_per_sec"] else None
+    return {"unit": "events/s", "bench": bench, "scale": scale,
+            "events": events, "backends": backends}
+
+
+def _section_service(quick: bool, workers: int) -> Dict[str, Any]:
+    """End-to-end throughput through a live in-process service."""
+    from repro.harness.trace import dump_binary
+    from repro.harness.trace import record as record_trace
+    from repro.serve.app import ServerThread, ServiceConfig
+    from repro.serve.client import ServiceClient
+
+    n_traces, per_trace = _SERVICE_LOAD_QUICK if quick else _SERVICE_LOAD
+    backends = ("haccrg-word", "oracle")[:per_trace]
+    blobs = []
+    for i in range(n_traces):
+        scale = 0.1 + 0.02 * i
+        blobs.append(dump_binary(record_trace("SCAN", scale=scale)))
+
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="benchperf-") as tmp:
+        config = ServiceConfig(port=0, store=tmp, workers=workers,
+                               high_water=256, rate=10_000.0,
+                               burst=10_000.0)
+        with ServerThread(config) as server:
+            client = ServiceClient(server.url, client_id="bench-perf")
+            start = time.perf_counter()
+            digests = [client.upload(blob)["digest"] for blob in blobs]
+            states = []
+            for digest in digests:
+                for backend in backends:
+                    states.append(client.submit(digest, backend))
+            for state in states:
+                if state["status"] not in ("done",):
+                    client.wait(state["job"], timeout=300.0)
+            elapsed = time.perf_counter() - start
+
+            # repeat submissions: every one must be a verdict-cache hit
+            start_hit = time.perf_counter()
+            hits = 0
+            for digest in digests:
+                for backend in backends:
+                    state = client.submit(digest, backend)
+                    hits += 1 if state.get("cached") else 0
+            hit_elapsed = time.perf_counter() - start_hit
+            metrics = client.metrics()
+
+    jobs = len(digests) * len(backends)
+    return {
+        "unit": "jobs/s",
+        "workers": workers,
+        "traces": len(digests),
+        "jobs": jobs,
+        "elapsed": round(elapsed, 6),
+        "jobs_per_sec": round(jobs / elapsed, 2) if elapsed else 0.0,
+        "cache_hits": hits,
+        "cache_hit_elapsed": round(hit_elapsed, 6),
+        "cache_hits_per_sec": round(jobs / hit_elapsed, 1)
+        if hit_elapsed else 0.0,
+        "server_replays": int(metrics.get("jobs_replays", -1)),
+        "server_cache_hits": int(metrics.get("jobs_cache_hits", -1)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# output file + validation
+# ---------------------------------------------------------------------------
+
+def repo_root() -> Path:
+    """The repository root (three levels above this file's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def bench_path(output: Optional[str] = None) -> Path:
+    return Path(output) if output else repo_root() / BENCH_FILENAME
+
+
+def write_bench_file(record: Dict[str, Any],
+                     output: Optional[str] = None) -> Path:
+    """Validate and write the canonical bench record; returns the path."""
+    validate_bench_record(record)
+    path = bench_path(output)
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
+def validate_bench_record(record: Dict[str, Any]) -> None:
+    """Raise ``PerfSpecError`` unless the record is a well-formed BENCH_6."""
+    if not isinstance(record, dict):
+        raise PerfSpecError("bench record is not an object")
+    if record.get("schema") != PERF_SCHEMA:
+        raise PerfSpecError(
+            f"bench schema {record.get('schema')!r} != {PERF_SCHEMA}")
+    if record.get("bench") != "BENCH_6":
+        raise PerfSpecError(f"bench name {record.get('bench')!r} "
+                            f"!= 'BENCH_6'")
+    sections = record.get("sections")
+    if not isinstance(sections, dict):
+        raise PerfSpecError("bench record has no 'sections' object")
+    required = {
+        "simulate": "events_per_sec",
+        "fuzz": "iterations_per_sec",
+        "replay": "backends",
+        "service": "jobs_per_sec",
+    }
+    for name, field in required.items():
+        section = sections.get(name)
+        if not isinstance(section, dict):
+            raise PerfSpecError(f"missing bench section {name!r}")
+        if field not in section:
+            raise PerfSpecError(
+                f"bench section {name!r} is missing {field!r}")
+    for name in ("simulate", "fuzz", "service"):
+        rate = sections[name][required[name]]
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            raise PerfSpecError(
+                f"bench section {name!r} reports non-positive rate "
+                f"{rate!r}")
+    backends = sections["replay"]["backends"]
+    if not isinstance(backends, dict) or not backends:
+        raise PerfSpecError("bench section 'replay' measured no backends")
+    for backend, entry in backends.items():
+        rate = entry.get("events_per_sec")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            raise PerfSpecError(
+                f"replay backend {backend!r} reports non-positive rate "
+                f"{rate!r}")
+
+
+def validate_bench_file(path: Optional[str] = None) -> Dict[str, Any]:
+    """Load + validate a bench file (the CI gate); returns the record."""
+    target = bench_path(path)
+    try:
+        record = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise PerfSpecError(f"bench file {target} does not exist") \
+            from None
+    except ValueError as exc:
+        raise PerfSpecError(f"bench file {target} is not valid JSON: "
+                            f"{exc}") from None
+    validate_bench_record(record)
+    return record
+
+
+def render_summary(record: Dict[str, Any]) -> str:
+    """Human-readable digest of a bench record."""
+    s = record["sections"]
+    lines = [
+        f"bench-perf ({'quick' if record.get('quick') else 'full'}, "
+        f"python {record.get('python')})",
+        f"  simulate  {s['simulate']['events_per_sec']:>10.1f} events/s "
+        f"({len(s['simulate']['runs'])} cells)",
+        f"  fuzz      {s['fuzz']['iterations_per_sec']:>10.2f} iters/s "
+        f"({s['fuzz']['iterations']} iterations)",
+    ]
+    for name in sorted(s["replay"]["backends"]):
+        entry = s["replay"]["backends"][name]
+        lines.append(f"  replay    {entry['events_per_sec']:>10.1f} "
+                     f"events/s  {name} "
+                     f"(x{entry['overhead_vs_fastest']} vs fastest)")
+    svc = s["service"]
+    lines.append(f"  service   {svc['jobs_per_sec']:>10.2f} jobs/s "
+                 f"({svc['jobs']} jobs, {svc['workers']} workers); "
+                 f"cache hits {svc['cache_hits_per_sec']:.1f}/s")
+    return "\n".join(lines)

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import DetectionMode, HAccRGConfig
+from repro.common.errors import TraceFormatError
 from repro.common.types import AccessKind, LaneAccess, MemSpace, WarpAccess
 from repro.core.clocks import RaceRegisterFile
 from repro.core.races import RaceLog
@@ -94,9 +95,28 @@ class TraceEvent:
 
     @staticmethod
     def from_json(line: str) -> "TraceEvent":
-        d = json.loads(line)
-        d["lanes"] = [tuple(l) for l in d.get("lanes", [])]
-        return TraceEvent(**d)
+        try:
+            d = json.loads(line)
+            if not isinstance(d, dict):
+                raise TraceFormatError("trace line is not a JSON object")
+            lanes = d.get("lanes", [])
+            if not isinstance(lanes, list) or any(
+                    not isinstance(l, (list, tuple)) or len(l) != 5
+                    for l in lanes):
+                raise TraceFormatError("malformed lane list in trace line")
+            d["lanes"] = [tuple(l) for l in lanes]
+            ev = TraceEvent(**d)
+            if ev.kind not in _BIN_KIND_CODES:
+                raise TraceFormatError(
+                    f"unknown trace record kind {ev.kind!r}")
+            return ev
+        except TraceFormatError:
+            raise
+        except (ValueError, TypeError) as exc:
+            # json decode errors are ValueErrors; unknown/missing fields
+            # surface as TypeErrors from the dataclass constructor
+            raise TraceFormatError(
+                f"corrupt JSON trace line: {exc}") from exc
 
     def to_warp_access(self, sig_for: Optional[Callable[[int], int]] = None
                        ) -> WarpAccess:
@@ -280,58 +300,80 @@ def dump_binary(events: Sequence[TraceEvent]) -> bytes:
 
 
 def load_binary(data: bytes) -> List[TraceEvent]:
-    """Parse a binary trace produced by :func:`dump_binary`."""
+    """Parse a binary trace produced by :func:`dump_binary`.
+
+    Raises :class:`~repro.common.errors.TraceFormatError` on anything
+    malformed — bad magic, unsupported version, unknown record kind, or a
+    record truncated mid-field — never a bare ``struct.error``.
+    """
+    if len(data) < _S_HEADER.size:
+        raise TraceFormatError("truncated trace (incomplete HART header)")
     magic, version = _S_HEADER.unpack_from(data, 0)
     if magic != _BIN_MAGIC:
-        raise ValueError("not a binary trace (bad magic)")
+        raise TraceFormatError("not a binary trace (bad magic)")
     if version != _BIN_VERSION:
-        raise ValueError(f"binary trace version {version} unsupported "
-                         f"(expected {_BIN_VERSION})")
+        raise TraceFormatError(f"binary trace version {version} unsupported "
+                               f"(expected {_BIN_VERSION})")
     pos = _S_HEADER.size
     events: List[TraceEvent] = []
-    while pos < len(data):
-        (code,) = _S_KIND.unpack_from(data, pos)
-        pos += _S_KIND.size
-        kind = _BIN_KIND_NAMES[code]
-        if kind == _KERNEL:
-            (region,) = _S_KERNEL.unpack_from(data, pos)
-            pos += _S_KERNEL.size
-            events.append(TraceEvent(kind=kind, region_bytes=region))
-        elif kind == _BLOCK_START:
-            bid, sm, shared = _S_BLOCK_START.unpack_from(data, pos)
-            pos += _S_BLOCK_START.size
-            events.append(TraceEvent(kind=kind, block_id=bid, sm_id=sm,
-                                     shared_bytes=shared))
-        elif kind in (_BLOCK_END, _BARRIER):
-            (bid,) = _S_BLOCK.unpack_from(data, pos)
-            pos += _S_BLOCK.size
-            events.append(TraceEvent(kind=kind, block_id=bid))
-        elif kind == _FENCE:
-            wid, fid = _S_FENCE.unpack_from(data, pos)
-            pos += _S_FENCE.size
-            events.append(TraceEvent(kind=kind, warp_id=wid, fence_id=fid))
-        elif kind in (_LOCK, _UNLOCK):
-            thread, addr = _S_LOCK.unpack_from(data, pos)
-            pos += _S_LOCK.size
-            events.append(TraceEvent(kind=kind, thread=thread, addr=addr))
-        else:  # access
-            (space, akind, sm, bid, wid, wib, base_tid, sync, fence,
-             l1_flag, n_lanes) = _S_ACCESS.unpack_from(data, pos)
-            pos += _S_ACCESS.size
-            lanes = []
-            for _ in range(n_lanes):
-                lane, addr, size, sig, crit = _S_LANE.unpack_from(data, pos)
-                pos += _S_LANE.size
-                lanes.append((lane, addr, size, sig, bool(crit)))
-            l1_hits: Optional[List[bool]] = None
-            if l1_flag:
-                l1_hits = [b != 0 for b in data[pos:pos + n_lanes]]
-                pos += n_lanes
-            events.append(TraceEvent(
-                kind=kind, space=space, access_kind=akind, lanes=lanes,
-                sm_id=sm, block_id=bid, warp_id=wid, warp_in_block=wib,
-                base_tid=base_tid, sync_id=sync, fence_id=fence,
-                l1_hits=l1_hits))
+    try:
+        while pos < len(data):
+            (code,) = _S_KIND.unpack_from(data, pos)
+            pos += _S_KIND.size
+            try:
+                kind = _BIN_KIND_NAMES[code]
+            except KeyError:
+                raise TraceFormatError(
+                    f"unknown trace record code {code} at byte "
+                    f"{pos - _S_KIND.size}") from None
+            if kind == _KERNEL:
+                (region,) = _S_KERNEL.unpack_from(data, pos)
+                pos += _S_KERNEL.size
+                events.append(TraceEvent(kind=kind, region_bytes=region))
+            elif kind == _BLOCK_START:
+                bid, sm, shared = _S_BLOCK_START.unpack_from(data, pos)
+                pos += _S_BLOCK_START.size
+                events.append(TraceEvent(kind=kind, block_id=bid, sm_id=sm,
+                                         shared_bytes=shared))
+            elif kind in (_BLOCK_END, _BARRIER):
+                (bid,) = _S_BLOCK.unpack_from(data, pos)
+                pos += _S_BLOCK.size
+                events.append(TraceEvent(kind=kind, block_id=bid))
+            elif kind == _FENCE:
+                wid, fid = _S_FENCE.unpack_from(data, pos)
+                pos += _S_FENCE.size
+                events.append(TraceEvent(kind=kind, warp_id=wid,
+                                         fence_id=fid))
+            elif kind in (_LOCK, _UNLOCK):
+                thread, addr = _S_LOCK.unpack_from(data, pos)
+                pos += _S_LOCK.size
+                events.append(TraceEvent(kind=kind, thread=thread,
+                                         addr=addr))
+            else:  # access
+                (space, akind, sm, bid, wid, wib, base_tid, sync, fence,
+                 l1_flag, n_lanes) = _S_ACCESS.unpack_from(data, pos)
+                pos += _S_ACCESS.size
+                lanes = []
+                for _ in range(n_lanes):
+                    lane, addr, size, sig, crit = _S_LANE.unpack_from(
+                        data, pos)
+                    pos += _S_LANE.size
+                    lanes.append((lane, addr, size, sig, bool(crit)))
+                l1_hits: Optional[List[bool]] = None
+                if l1_flag:
+                    if pos + n_lanes > len(data):
+                        raise TraceFormatError(
+                            "truncated trace (incomplete L1-hit vector)")
+                    l1_hits = [b != 0 for b in data[pos:pos + n_lanes]]
+                    pos += n_lanes
+                events.append(TraceEvent(
+                    kind=kind, space=space, access_kind=akind, lanes=lanes,
+                    sm_id=sm, block_id=bid, warp_id=wid, warp_in_block=wib,
+                    base_tid=base_tid, sync_id=sync, fence_id=fence,
+                    l1_hits=l1_hits))
+    except struct.error as exc:
+        raise TraceFormatError(
+            f"truncated trace (record cut short at byte {pos})") from exc
     return events
 
 
@@ -349,13 +391,26 @@ def write_trace(path, events: Sequence[TraceEvent],
                      encoding="utf-8")
 
 
+def parse_trace(data: bytes) -> List[TraceEvent]:
+    """Parse raw trace bytes, sniffing binary vs JSON-lines by the magic.
+
+    Raises :class:`~repro.common.errors.TraceFormatError` on any corrupt
+    or truncated input.
+    """
+    if data[:len(_BIN_MAGIC)] == _BIN_MAGIC:
+        return load_binary(data)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            "trace is neither binary (bad magic) nor UTF-8 text") from exc
+    return TraceRecorder.load(text)
+
+
 def read_trace(path) -> List[TraceEvent]:
     """Read a trace file, sniffing binary vs JSON-lines by the magic."""
     from pathlib import Path
-    data = Path(path).read_bytes()
-    if data[:len(_BIN_MAGIC)] == _BIN_MAGIC:
-        return load_binary(data)
-    return TraceRecorder.load(data.decode("utf-8"))
+    return parse_trace(Path(path).read_bytes())
 
 
 class _PreciseLocksets:

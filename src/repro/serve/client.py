@@ -1,0 +1,186 @@
+"""Blocking HTTP client for the detection service (stdlib only).
+
+Drives the full upload → job → verdict lifecycle; ``repro submit`` and
+the integration tests are thin wrappers over this. 429 responses are
+retried with the server-supplied Retry-After (bounded), so a polite
+client rides out backpressure instead of failing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from repro.common.errors import ReproError
+
+#: terminal job states the waiter accepts
+_TERMINAL = {"done", "error", "timeout", "crashed"}
+
+
+class ServiceError(ReproError):
+    """A non-2xx response (after any 429 retries were exhausted)."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("message") if isinstance(payload, dict) \
+            else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ReproError):
+    """A job reached a terminal non-``done`` state."""
+
+    def __init__(self, state: Dict[str, Any]) -> None:
+        super().__init__(f"job {state.get('job')} "
+                         f"{state.get('status')}: {state.get('error')}")
+        self.state = state
+
+
+class ServiceClient:
+    """One service endpoint; safe to use from multiple threads serially."""
+
+    def __init__(self, base_url: str, client_id: Optional[str] = None,
+                 timeout: float = 60.0, max_429_retries: int = 20) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {split.scheme!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+        self.max_429_retries = max_429_retries
+
+    # -- wire ----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[bytes] = None,
+                retry_429: bool = False) -> Tuple[int, Dict[str, str],
+                                                  bytes]:
+        """One request (optionally retrying 429s); returns the raw triple."""
+        attempts = 0
+        while True:
+            status, headers, payload = self._request_once(method, path,
+                                                          body)
+            if status != 429 or not retry_429 \
+                    or attempts >= self.max_429_retries:
+                return status, headers, payload
+            attempts += 1
+            retry_after = min(2.0, float(headers.get("retry-after", 0.05))
+                              or 0.05)
+            time.sleep(retry_after)
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[bytes]) -> Tuple[int, Dict[str, str],
+                                                      bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        headers = {}
+        if self.client_id:
+            headers["X-Client"] = self.client_id
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+            return (resp.status,
+                    {k.lower(): v for k, v in resp.getheaders()}, payload)
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None,
+              retry_429: bool = False) -> Dict[str, Any]:
+        status, _, payload = self.request(method, path, body,
+                                          retry_429=retry_429)
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            decoded = {"message": payload.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, float]:
+        status, _, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, payload.decode("utf-8", "replace"))
+        out: Dict[str, float] = {}
+        for line in payload.decode("utf-8").splitlines():
+            name, _, value = line.partition(" ")
+            if name:
+                out[name] = float(value)
+        return out
+
+    def backends(self) -> Dict[str, Any]:
+        return self._json("GET", "/backends")
+
+    def upload(self, trace: Union[bytes, str, Path]) -> Dict[str, Any]:
+        """Upload trace bytes or a trace file; returns the receipt."""
+        data = trace if isinstance(trace, bytes) \
+            else Path(trace).read_bytes()
+        return self._json("POST", "/traces", body=data)
+
+    def submit(self, trace_digest: str, backend: str,
+               program: Optional[Dict[str, Any]] = None,
+               retry_429: bool = True) -> Dict[str, Any]:
+        """Submit one job; returns its (possibly already-done) state."""
+        job: Dict[str, Any] = {"trace": trace_digest, "backend": backend}
+        if program is not None:
+            job["program"] = program
+        return self._json("POST", "/jobs",
+                          body=json.dumps(job).encode("utf-8"),
+                          retry_429=retry_429)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.02) -> Dict[str, Any]:
+        """Poll until the job settles; raises JobFailed on failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.job(job_id)
+            if state.get("status") in _TERMINAL:
+                if state["status"] != "done":
+                    raise JobFailed(state)
+                return state
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state.get('status')} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)
+
+    def verdict_bytes(self, key: str) -> bytes:
+        status, _, payload = self.request("GET", f"/verdicts/{key}")
+        if status != 200:
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                decoded = payload.decode("utf-8", "replace")
+            raise ServiceError(status, decoded)
+        return payload
+
+    def verdict(self, key: str) -> Dict[str, Any]:
+        return json.loads(self.verdict_bytes(key).decode("utf-8"))
+
+    # -- conveniences --------------------------------------------------
+
+    def detect(self, trace: Union[bytes, str, Path], backend: str,
+               program: Optional[Dict[str, Any]] = None,
+               timeout: float = 300.0) -> Dict[str, Any]:
+        """Upload + submit + wait + fetch: one call, one verdict record."""
+        receipt = self.upload(trace)
+        state = self.submit(receipt["digest"], backend, program=program)
+        if state["status"] not in _TERMINAL:
+            state = self.wait(state["job"], timeout=timeout)
+        elif state["status"] != "done":
+            raise JobFailed(state)
+        return self.verdict(state["verdict"])

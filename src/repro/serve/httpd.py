@@ -1,0 +1,227 @@
+"""Minimal asyncio HTTP/1.1 layer (stdlib only, no new dependencies).
+
+Just enough protocol for the detection service: request-line + header
+parsing, Content-Length bodies with a configurable cap, keep-alive,
+canonical-JSON responses, and hard limits that turn malformed or
+oversized input into 4xx responses instead of resource exhaustion.
+Handlers are ``async (Request) -> Response`` callables; an exception
+escaping a handler becomes a structured 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.serve.backends import canonical_json
+
+#: header-block and default body caps
+MAX_HEADER_BYTES = 64 * 1024
+DEFAULT_MAX_BODY = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    client: str = ""
+
+    def json(self):
+        import json
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") \
+                from exc
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+class BadRequest(Exception):
+    """Raised by handlers/parsers for malformed requests (-> 400)."""
+
+
+def json_response(obj, status: int = 200,
+                  headers: Optional[Dict[str, str]] = None) -> Response:
+    """Canonical-JSON response: deterministic bytes for identical data."""
+    return Response(status=status,
+                    body=canonical_json(obj).encode("utf-8"),
+                    headers=dict(headers or {}))
+
+
+def error_response(status: int, error: str, message: str,
+                   headers: Optional[Dict[str, str]] = None) -> Response:
+    """The service's structured error shape."""
+    return json_response({"error": error, "message": message,
+                          "status": status}, status=status, headers=headers)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def read_request(reader: asyncio.StreamReader, client: str,
+                       max_body: int = DEFAULT_MAX_BODY
+                       ) -> Optional[Request]:
+    """Parse one request; None on clean EOF; BadRequest on bad syntax."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None        # connection closed between requests
+        raise BadRequest("truncated request header") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request header too large") from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise BadRequest("request header too large")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise BadRequest("invalid Content-Length") from None
+        if length > max_body:
+            raise BadRequest(f"body of {length} bytes exceeds the "
+                             f"{max_body}-byte limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("truncated request body") from None
+    elif "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest("chunked transfer encoding is not supported")
+
+    return Request(method=method, path=path, query=query, headers=headers,
+                   body=body, client=client)
+
+
+def serialize_response(resp: Response, keep_alive: bool) -> bytes:
+    reason = REASONS.get(resp.status, "Unknown")
+    headers = {
+        "content-type": resp.content_type,
+        "content-length": str(len(resp.body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    headers.update({k.lower(): v for k, v in resp.headers.items()})
+    head = [f"HTTP/1.1 {resp.status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + resp.body
+
+
+class HTTPServer:
+    """asyncio stream server feeding requests to one async handler."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0, max_body: int = DEFAULT_MAX_BODY) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # keep-alive handlers still parked on a read: cancel them cleanly
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        self._connections.clear()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else str(peer or "?")
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, client,
+                                                 self.max_body)
+                except BadRequest as exc:
+                    resp = error_response(400, "bad-request", str(exc))
+                    writer.write(serialize_response(resp, keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close")
+                try:
+                    resp = await self.handler(request)
+                except BadRequest as exc:
+                    resp = error_response(400, "bad-request", str(exc))
+                except Exception as exc:  # noqa: BLE001 - isolation per req
+                    resp = error_response(
+                        500, "internal-error",
+                        f"{type(exc).__name__}: {exc}")
+                writer.write(serialize_response(resp, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass

@@ -1,0 +1,111 @@
+"""Worker-side execution of service replay jobs.
+
+A :class:`ReplayJob` is the service's unit of work: replay one stored
+trace through one backend. Like every campaign job kind it is plain
+data with a canonical ``record()`` and a content-hash ``key()`` — the
+key is the verdict-cache key, so a job's identity *is* its verdict's
+identity: ``(trace digest, backend, config digest, program)``. The
+trace's on-disk path rides along in the record (workers are separate
+``spawn`` processes and need to find the bytes) but never participates
+in the hash — keys are host-independent.
+
+``execute_replay_record`` is registered under job kind ``"replay"`` in
+:data:`repro.campaign.jobs.JOB_EXECUTORS`, so service jobs run on the
+exact same worker machinery (timeout, retry, crash isolation) as
+campaign cells.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.errors import TraceFormatError
+from repro.serve.backends import (
+    canonical_json,
+    get_backend,
+    verdict_key,
+    verdict_record,
+)
+
+REPLAY_JOB_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ReplayJob:
+    """One (trace, backend[, program]) replay request."""
+
+    trace: str                               # content digest of the trace
+    backend: str                             # resolved backend name
+    trace_path: str                          # where the worker reads bytes
+    program: Optional[str] = None            # canonical JSON program record
+
+    @classmethod
+    def create(cls, trace_digest: str, backend_name: str,
+               trace_path: os.PathLike | str,
+               program_record: Optional[Dict[str, Any]] = None
+               ) -> "ReplayJob":
+        backend = get_backend(backend_name)   # raises BackendError early
+        return cls(
+            trace=trace_digest,
+            backend=backend.name,
+            trace_path=str(trace_path),
+            program=(canonical_json(program_record)
+                     if program_record is not None else None),
+        )
+
+    def program_record(self) -> Optional[Dict[str, Any]]:
+        import json
+        return json.loads(self.program) if self.program is not None else None
+
+    def record(self) -> Dict[str, Any]:
+        return {
+            "kind": "replay",
+            "schema": REPLAY_JOB_SCHEMA,
+            "trace": self.trace,
+            "backend": self.backend,
+            "program": self.program,
+            "trace_path": self.trace_path,
+        }
+
+    def key(self) -> str:
+        """The verdict-cache key (trace_path intentionally excluded)."""
+        return verdict_key(self.trace, get_backend(self.backend),
+                           self.program_record())
+
+    def describe(self) -> str:
+        return f"{self.backend}@{self.trace[:12]}"
+
+
+def execute_replay_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point for job kind ``replay``.
+
+    Reads the trace bytes, verifies they still hash to the requested
+    digest (a corrupted store must surface as an error, not a wrong
+    verdict), replays, and returns the canonical verdict record.
+    """
+    from repro.harness.trace import parse_trace
+    from repro.serve.backends import trace_digest as digest_of
+
+    if record.get("schema") != REPLAY_JOB_SCHEMA:
+        raise ValueError(
+            f"replay job schema {record.get('schema')!r} != "
+            f"{REPLAY_JOB_SCHEMA}")
+    backend = get_backend(record["backend"])
+    path = Path(record["trace_path"])
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceFormatError(f"trace file unreadable: {exc}") from exc
+    events = parse_trace(data)
+    actual = digest_of(events)
+    if actual != record["trace"]:
+        raise TraceFormatError(
+            f"stored trace digest mismatch: expected {record['trace'][:12]} "
+            f"got {actual[:12]} (corrupted store entry)")
+    program = record.get("program")
+    import json
+    program_record = json.loads(program) if program is not None else None
+    return verdict_record(record["trace"], backend, events, program_record)

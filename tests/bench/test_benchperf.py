@@ -1,0 +1,154 @@
+"""bench-perf: perf job kind, record validation, and the BENCH_6 file."""
+
+import json
+
+import pytest
+
+from repro.harness.benchperf import (
+    BENCH_FILENAME,
+    PERF_SCHEMA,
+    PerfJob,
+    PerfSpecError,
+    bench_path,
+    execute_perf_record,
+    render_summary,
+    repo_root,
+    validate_bench_file,
+    validate_bench_record,
+    write_bench_file,
+)
+
+
+class TestPerfJob:
+    def test_record_round_trips_and_keys_are_stable(self):
+        job = PerfJob("replay", bench="SCAN", scale=0.1,
+                      backend="oracle", repeats=2)
+        assert PerfJob.from_record(job.record()) == job
+        assert job.key() == PerfJob.from_record(job.record()).key()
+
+    def test_distinct_cells_get_distinct_keys(self):
+        keys = {PerfJob("simulate", bench="SCAN", scale=0.1).key(),
+                PerfJob("simulate", bench="SCAN", scale=0.2).key(),
+                PerfJob("fuzz", seed=1).key(),
+                PerfJob("replay", bench="SCAN", scale=0.1,
+                        backend="oracle").key()}
+        assert len(keys) == 4
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(PerfSpecError, match="unknown perf metric"):
+            PerfJob("warp-speed")
+
+    def test_schema_mismatch_rejected(self):
+        record = PerfJob("fuzz").record()
+        record["schema"] = PERF_SCHEMA + 1
+        with pytest.raises(PerfSpecError, match="schema"):
+            PerfJob.from_record(record)
+
+    def test_registered_as_campaign_job_kind(self):
+        from repro.campaign.jobs import JOB_EXECUTORS, execute_record
+        assert JOB_EXECUTORS["perf"] \
+            == "repro.harness.benchperf:execute_perf_record"
+        out = execute_record(
+            PerfJob("simulate", bench="SCAN", scale=0.1).record())
+        assert out["metric"] == "simulate"
+
+
+class TestExecution:
+    def test_simulate_measures_events_per_sec(self):
+        out = execute_perf_record(
+            PerfJob("simulate", bench="SCAN", scale=0.1).record())
+        assert out["events"] > 0
+        assert out["rate"] > 0
+        assert out["unit"] == "events/s"
+        assert out["job"]["metric"] == "simulate"
+
+    def test_replay_measures_backend_rate(self):
+        out = execute_perf_record(
+            PerfJob("replay", bench="SCAN", scale=0.1,
+                    backend="haccrg-word").record())
+        assert out["backend"] == "haccrg-word"
+        assert out["rate"] > 0
+
+    def test_repeats_keep_the_best_attempt(self):
+        out = execute_perf_record(
+            PerfJob("simulate", bench="SCAN", scale=0.1,
+                    repeats=2).record())
+        assert out["elapsed"] > 0
+
+
+def _minimal_record():
+    return {
+        "schema": PERF_SCHEMA,
+        "bench": "BENCH_6",
+        "quick": True,
+        "sections": {
+            "simulate": {"events_per_sec": 100.0, "runs": []},
+            "fuzz": {"iterations_per_sec": 1.0, "iterations": 1},
+            "replay": {"backends": {
+                "oracle": {"events_per_sec": 50.0,
+                           "overhead_vs_fastest": 1.0}}},
+            "service": {"jobs_per_sec": 2.0, "jobs": 2, "workers": 0,
+                        "cache_hits_per_sec": 10.0},
+        },
+    }
+
+
+class TestValidation:
+    def test_minimal_record_validates(self):
+        validate_bench_record(_minimal_record())
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda r: r.update(schema=99), "schema"),
+        (lambda r: r.update(bench="BENCH_5"), "BENCH_6"),
+        (lambda r: r.pop("sections"), "sections"),
+        (lambda r: r["sections"].pop("service"), "service"),
+        (lambda r: r["sections"]["fuzz"].update(iterations_per_sec=0),
+         "non-positive"),
+        (lambda r: r["sections"]["replay"].update(backends={}),
+         "no backends"),
+        (lambda r: r["sections"]["replay"]["backends"]["oracle"].update(
+            events_per_sec=-1), "non-positive"),
+    ])
+    def test_malformed_records_rejected(self, mutate, match):
+        record = _minimal_record()
+        mutate(record)
+        with pytest.raises(PerfSpecError, match=match):
+            validate_bench_record(record)
+
+    def test_write_is_canonical_json(self, tmp_path):
+        path = write_bench_file(_minimal_record(),
+                                str(tmp_path / "bench.json"))
+        text = path.read_text(encoding="utf-8")
+        record = json.loads(text)
+        canonical = json.dumps(record, sort_keys=True,
+                               separators=(",", ":")) + "\n"
+        assert text == canonical
+        assert validate_bench_file(str(path)) == record
+
+    def test_write_refuses_malformed_record(self, tmp_path):
+        bad = _minimal_record()
+        bad["sections"].pop("fuzz")
+        with pytest.raises(PerfSpecError):
+            write_bench_file(bad, str(tmp_path / "bench.json"))
+        assert not (tmp_path / "bench.json").exists()
+
+    def test_validate_missing_file_raises(self, tmp_path):
+        with pytest.raises(PerfSpecError, match="does not exist"):
+            validate_bench_file(str(tmp_path / "nope.json"))
+
+    def test_default_path_is_repo_root(self):
+        assert bench_path() == repo_root() / BENCH_FILENAME
+        assert (repo_root() / "pyproject.toml").exists()
+
+    def test_render_summary_mentions_every_section(self):
+        text = render_summary(_minimal_record())
+        for word in ("simulate", "fuzz", "replay", "service"):
+            assert word in text
+
+
+class TestCheckedInBenchFile:
+    def test_repo_bench_file_exists_and_validates(self):
+        """BENCH_6.json at the repo root is the canonical perf record."""
+        record = validate_bench_file()
+        assert record["bench"] == "BENCH_6"
+        assert record["quick"] is False

@@ -1,0 +1,167 @@
+"""Trace robustness: corrupt/truncated HART files raise TraceFormatError.
+
+The detection service accepts trace uploads from untrusted clients, so
+the parser must fail with one typed error on *any* malformed input —
+never a bare ``struct.error``, ``EOFError``, ``KeyError``, or
+``UnicodeDecodeError`` that would crash a worker.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.harness.trace import (
+    TraceEvent,
+    TraceRecorder,
+    dump_binary,
+    load_binary,
+    parse_trace,
+    read_trace,
+)
+
+
+def _events():
+    return [
+        TraceEvent(kind="K", region_bytes=64),
+        TraceEvent(kind="S", block_id=0, sm_id=1, shared_bytes=32),
+        TraceEvent(kind="A", space=1, access_kind=1,
+                   lanes=[(0, 4, 4, 0, False), (1, 8, 4, 0, False)],
+                   sm_id=1, block_id=0, warp_id=0, warp_in_block=0,
+                   base_tid=0, sync_id=0, fence_id=0,
+                   l1_hits=[True, False]),
+        TraceEvent(kind="B", block_id=0),
+        TraceEvent(kind="L", thread=3, addr=128),
+        TraceEvent(kind="U", thread=3, addr=128),
+        TraceEvent(kind="F", warp_id=0, fence_id=1),
+        TraceEvent(kind="E", block_id=0),
+    ]
+
+
+class TestBinaryCorruption:
+    def test_empty_input(self):
+        with pytest.raises(TraceFormatError):
+            load_binary(b"")
+
+    def test_partial_header(self):
+        with pytest.raises(TraceFormatError):
+            load_binary(b"HAR")
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            load_binary(b"NOPE" + b"\x00" * 16)
+
+    def test_future_version(self):
+        data = bytearray(dump_binary(_events()))
+        data[4] = 250
+        with pytest.raises(TraceFormatError):
+            load_binary(bytes(data))
+
+    def test_unknown_record_code(self):
+        data = bytearray(dump_binary(_events()))
+        data[6] = 200  # first record's kind byte
+        with pytest.raises(TraceFormatError, match="unknown trace record"):
+            load_binary(bytes(data))
+
+    @pytest.mark.parametrize("cut", [1, 3, 7, 15, 40])
+    def test_truncation_at_every_depth(self, cut):
+        data = dump_binary(_events())
+        assert cut < len(data)
+        with pytest.raises(TraceFormatError):
+            load_binary(data[:-cut])
+
+    def test_every_prefix_is_typed_error_or_parses(self):
+        """No prefix of a valid trace may raise anything untyped."""
+        data = dump_binary(_events())
+        for cut in range(len(data)):
+            try:
+                load_binary(data[:cut])
+            except TraceFormatError:
+                pass
+
+    def test_truncated_l1_vector(self):
+        ev = [TraceEvent(kind="A", space=2, access_kind=0,
+                         lanes=[(0, 0, 4, 0, False)] * 4,
+                         l1_hits=[True] * 4)]
+        data = dump_binary(ev)
+        with pytest.raises(TraceFormatError):
+            load_binary(data[:-2])
+
+    def test_valid_trace_still_round_trips(self):
+        events = _events()
+        loaded = load_binary(dump_binary(events))
+        assert [e.__dict__ for e in loaded] == [e.__dict__ for e in events]
+
+
+class TestJSONCorruption:
+    def test_not_json(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json("{not json")
+
+    def test_json_but_not_object(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json("[1, 2, 3]")
+
+    def test_unknown_field(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json('{"kind": "A", "warp_speed": 9}')
+
+    def test_unknown_kind(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json('{"kind": "Z"}')
+
+    def test_malformed_lane_tuple(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json('{"kind": "A", "lanes": [[0, 4]]}')
+
+    def test_lanes_not_a_list(self):
+        with pytest.raises(TraceFormatError):
+            TraceEvent.from_json('{"kind": "A", "lanes": 7}')
+
+    def test_load_propagates(self):
+        good = _events()[0].to_json()
+        with pytest.raises(TraceFormatError):
+            TraceRecorder.load(good + "\n{broken\n")
+
+    def test_valid_json_round_trips(self):
+        events = _events()
+        text = "\n".join(e.to_json() for e in events)
+        loaded = TraceRecorder.load(text)
+        assert [e.__dict__ for e in loaded] == [e.__dict__ for e in events]
+
+
+class TestSniffing:
+    def test_parse_trace_binary(self):
+        events = parse_trace(dump_binary(_events()))
+        assert len(events) == len(_events())
+
+    def test_parse_trace_json(self):
+        text = "\n".join(e.to_json() for e in _events())
+        events = parse_trace(text.encode())
+        assert len(events) == len(_events())
+
+    def test_parse_trace_garbage_bytes(self):
+        # not HART magic, not UTF-8 — must still be the typed error
+        with pytest.raises(TraceFormatError):
+            parse_trace(b"\xff\xfe\x00\x01garbage")
+
+    def test_parse_trace_utf8_garbage(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace(b"hello world, not a trace")
+
+    def test_read_trace_corrupt_file(self, tmp_path):
+        p = tmp_path / "t.bin"
+        p.write_bytes(dump_binary(_events())[:-3])
+        with pytest.raises(TraceFormatError):
+            read_trace(p)
+
+    def test_error_is_also_valueerror(self):
+        # callers that predate the typed error catch ValueError
+        with pytest.raises(ValueError):
+            load_binary(b"NOPE" + b"\x00" * 16)
+
+    def test_error_message_is_json_safe(self):
+        try:
+            load_binary(b"NOPE" + b"\x00" * 16)
+        except TraceFormatError as exc:
+            json.dumps({"error": str(exc)})

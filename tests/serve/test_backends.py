@@ -1,0 +1,103 @@
+"""Backend registry, verdict determinism, and cache-key identity."""
+
+import json
+
+import pytest
+
+from repro.harness.trace import dump_binary, record
+from repro.serve.backends import (
+    BACKENDS,
+    BackendError,
+    backend_names,
+    canonical_json,
+    get_backend,
+    trace_digest,
+    verdict_bytes,
+    verdict_key,
+    verdict_record,
+)
+
+
+@pytest.fixture(scope="module")
+def events():
+    return record("SCAN", scale=0.1)
+
+
+class TestRegistry:
+    def test_expected_backends_present(self):
+        assert {"haccrg-bloom", "haccrg-full", "haccrg-word", "swdetect",
+                "oracle", "static"} <= set(backend_names())
+
+    def test_alias_resolves(self):
+        assert get_backend("haccrg") is BACKENDS["haccrg-bloom"]
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_config_digests_distinct(self):
+        digests = {b.config_digest() for b in BACKENDS.values()}
+        assert len(digests) == len(BACKENDS)
+
+    def test_describe_flags_program_requirement(self):
+        assert get_backend("static").describe()["needs_program"]
+        assert not get_backend("oracle").describe()["needs_program"]
+
+
+class TestVerdicts:
+    def test_trace_digest_is_format_independent(self, events):
+        digest = trace_digest(events)
+        # re-parsing the binary form must land on the same digest
+        from repro.harness.trace import parse_trace
+        assert trace_digest(parse_trace(dump_binary(events))) == digest
+
+    def test_replay_verdict_is_deterministic_bytes(self, events):
+        digest = trace_digest(events)
+        backend = get_backend("haccrg-word")
+        first = verdict_bytes(verdict_record(digest, backend, events))
+        second = verdict_bytes(verdict_record(digest, backend, events))
+        assert first == second
+
+    def test_full_vs_bloom_are_distinct_verdict_keys(self, events):
+        digest = trace_digest(events)
+        keys = {verdict_key(digest, get_backend(name))
+                for name in ("haccrg-bloom", "haccrg-full", "haccrg-word",
+                             "oracle")}
+        assert len(keys) == 4
+
+    def test_program_participates_in_static_keys(self, events):
+        digest = trace_digest(events)
+        static = get_backend("static")
+        assert verdict_key(digest, static, {"p": 1}) \
+            != verdict_key(digest, static, {"p": 2})
+
+    def test_verdict_record_shape(self, events):
+        digest = trace_digest(events)
+        backend = get_backend("oracle")
+        rec = verdict_record(digest, backend, events)
+        assert rec["trace"] == digest
+        assert rec["backend"] == "oracle"
+        assert rec["events"] == len(events)
+        assert rec["result"]["count"] == len(rec["result"]["races"])
+        # canonical bytes round-trip losslessly
+        assert json.loads(verdict_bytes(rec).decode("utf-8")) == rec
+
+    def test_static_without_program_raises(self, events):
+        with pytest.raises(BackendError, match="program"):
+            verdict_record(trace_digest(events), get_backend("static"),
+                           events)
+
+    def test_static_backend_cross_checks_against_oracle(self):
+        from repro.fuzz.generator import generate_program
+        from repro.fuzz.program import record_program
+
+        program = generate_program(3)
+        ev = record_program(program)
+        rec = verdict_record(trace_digest(ev), get_backend("static"), ev,
+                             program.record())
+        check = rec["result"]["cross_check"]
+        assert check["contradictions"] == []
+
+    def test_canonical_json_is_repo_canonical_form(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) \
+            == '{"a":[2,3],"b":1}'

@@ -32,6 +32,7 @@ from repro.bench.common import (
     scaled,
 )
 from repro.gpu.kernel import Kernel
+from repro.gpu.ops import OP_LOAD, OP_STORE
 
 _BINS = 64
 _BLOCK = 128
@@ -44,11 +45,23 @@ def hist_kernel(ctx, g_words, g_hist, words_per_thread, inj):
     lane = ctx.lane
     sh = ctx.shared["subhist"]  # _BINS x _WARPS x 4 one-byte counters
 
-    base = ctx.block_id_x * ctx.block_dim.x * words_per_thread
+    load_addr = ctx.load_addr
+    space = sh.space
+    stride = 4 * _WARPS  # bytes per bin row
+    # this thread's fixed byte column within every bin row
+    col = sh.base + warp * 4 + (lane & 3)
+    bdim = ctx.block_dim.x
+    length = g_words.length
+    gspace = g_words.space
+    gbase = g_words.base
+
+    base = ctx.block_id_x * bdim * words_per_thread
     for k in range(words_per_thread):
-        i = base + k * ctx.block_dim.x + tid
-        if i < g_words.length:
-            word = yield ctx.load(g_words, i)
+        i = base + k * bdim + tid
+        if i < length:
+            # ops yielded as raw tuples (what ctx.load/load_addr build):
+            # this loop is the hottest kernel code in the perf suite
+            word = yield (OP_LOAD, gspace, gbase + 4 * i, 4)
             w = int(word)
             # decode four packed 6-bit fields -> four byte-counter bumps.
             # Layout: bin-major, one 4-byte field per warp, lanes spread
@@ -56,19 +69,18 @@ def hist_kernel(ctx, g_words, g_hist, words_per_thread, inj):
             # stay word-aligned, so 4-byte tracking is exact but any
             # coarser granularity merges different warps' counters.
             for shift in (0, 6, 12, 18):
-                b = (w >> shift) & (_BINS - 1)
-                addr_idx = b * (4 * _WARPS) + warp * 4 + (lane & 3)
-                c = yield ctx.load_addr(sh.space, sh.base + addr_idx, 1)
-                yield ctx.store_addr(sh.space, sh.base + addr_idx, 1, c + 1)
+                addr = col + ((w >> shift) & (_BINS - 1)) * stride
+                c = yield (OP_LOAD, space, addr, 1)
+                yield (OP_STORE, space, addr, 1, c + 1)
     if inj.keep("barrier:merge"):
         yield ctx.syncthreads()
 
     # merge: one thread per bin folds its warp counters into global memory
     if tid < _BINS:
         total = 0.0
-        for w in range(4 * _WARPS):
-            c = yield ctx.load_addr(sh.space,
-                                    sh.base + tid * (4 * _WARPS) + w, 1)
+        row = sh.base + tid * stride
+        for w in range(stride):
+            c = yield load_addr(space, row + w, 1)
             total += c
         yield ctx.atomic_add(g_hist, tid, total)
         if inj.inject("xblock") and tid == 0:

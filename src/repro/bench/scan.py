@@ -27,6 +27,7 @@ from repro.bench.common import (
     scaled,
 )
 from repro.gpu.kernel import Kernel
+from repro.gpu.ops import OP_LOAD, OP_STORE
 
 #: log2 of the fixed per-block scan width (the SDK uses 512 = 2**9;
 #: barriers per kernel = 2 * steps)
@@ -43,35 +44,49 @@ def scan_kernel(ctx, g_in, g_out, n, inj):
     sh = ctx.shared["temp"]  # double buffer: 2 * n entries
     pout, pin = 0, 1
 
-    if tid < n:
+    sync = ctx.syncthreads
+    active = tid < n
+    # double-buffer byte addresses for this thread's element, indexed by
+    # pout/pin; the log-step loop yields raw op tuples (what ctx.load /
+    # ctx.store build) — it is the hottest kernel code after HIST's.
+    # Barrier-keep flags are a pure frozenset lookup, resolved up front.
+    space = sh.space
+    item = sh.itemsize
+    a_tid = sh.base + item * tid
+    aoffs = (a_tid, a_tid + item * n)
+    keeps = [inj.keep(f"barrier:step{k}") for k in range((n - 1).bit_length())]
+
+    if active:
         # exclusive scan: element tid seeds with input[tid - 1]
         if tid > 0:
             v = yield ctx.load(g_in, tid - 1)
-            yield ctx.store(sh, pout * n + tid, v)
+            yield ctx.store(sh, tid, v)
         else:
-            yield ctx.store(sh, pout * n + tid, 0.0)
+            yield ctx.store(sh, tid, 0.0)
             yield ctx.compute(1)
-    yield ctx.syncthreads()
+    yield sync()
 
     offset = 1
     step = 0
     while offset < n:
         pout, pin = pin, pout
-        if tid < n:
+        if active:
+            pi = aoffs[pin]
+            po = aoffs[pout]
             if tid >= offset:
-                a = yield ctx.load(sh, pin * n + tid)
-                b = yield ctx.load(sh, pin * n + tid - offset)
-                yield ctx.store(sh, pout * n + tid, a + b)
+                a = yield (OP_LOAD, space, pi, item)
+                b = yield (OP_LOAD, space, pi - item * offset, item)
+                yield (OP_STORE, space, po, item, a + b)
             else:
-                a = yield ctx.load(sh, pin * n + tid)
-                yield ctx.store(sh, pout * n + tid, a)
-        if inj.keep(f"barrier:step{step}"):
-            yield ctx.syncthreads()
+                a = yield (OP_LOAD, space, pi, item)
+                yield (OP_STORE, space, po, item, a)
+        if keeps[step]:
+            yield sync()
         offset <<= 1
         step += 1
 
-    if tid < n:
-        r = yield ctx.load(sh, pout * n + tid)
+    if active:
+        r = yield (OP_LOAD, space, aoffs[pout], item)
         yield ctx.store(g_out, tid, r)
         if inj.inject("xblock") and tid == 0 and ctx.block_id_x == 0:
             # dummy write into the range another block also writes

@@ -165,6 +165,26 @@ def _render_reproduce(scale: float) -> None:
 
 
 def _cmd_reproduce(args) -> int:
+    if args.profile:
+        # profile the single-process render path: the cProfile stats
+        # cover simulation + detection end to end, which is what the
+        # engine fast path optimizes
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            _render_reproduce(args.scale)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print(f"\n--- profile: top {args.profile_top} by cumulative "
+                  f"time ---", file=sys.stderr)
+            stats.print_stats(args.profile_top)
+        return 0
+
     if args.cache is None and args.workers <= 1:
         _render_reproduce(args.scale)
         return 0
@@ -566,6 +586,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retries per failed job (parallel only)")
     rep_p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    rep_p.add_argument("--profile", action="store_true",
+                       help="run under cProfile and dump the hottest "
+                            "functions to stderr (single-process only)")
+    rep_p.add_argument("--profile-top", type=int, default=25,
+                       metavar="N",
+                       help="functions shown with --profile "
+                            "(default: 25)")
     rep_p.set_defaults(fn=_cmd_reproduce)
 
     camp_p = sub.add_parser(
@@ -765,7 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bp_p = sub.add_parser(
         "bench-perf", help="measure simulator, fuzz, detector, and "
-                           "service throughput; writes BENCH_6.json")
+                           "service throughput; writes BENCH_7.json")
     bp_p.add_argument("--quick", action="store_true",
                       help="smaller workloads (CI smoke; marked in the "
                            "output record)")
@@ -774,7 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "section (0 = inline)")
     bp_p.add_argument("--output", default=None, metavar="FILE",
                       help="where to write the canonical record "
-                           "(default: BENCH_6.json at the repo root)")
+                           "(default: BENCH_7.json at the repo root)")
     bp_p.add_argument("--no-write", action="store_true",
                       help="print only; do not write the bench file")
     bp_p.add_argument("--json", action="store_true",

@@ -10,11 +10,27 @@ Bloom atomic IDs).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict
 
 from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
+
+
+def default_fast_path() -> bool:
+    """Default for ``fast_path`` config fields: on unless ``REPRO_FAST_PATH``
+    is set to a false-y string (``0``/``false``/``no``/``off``).
+
+    The environment hook exists so CI can run the same test suite twice —
+    vectorized and scalar — without threading a flag through every
+    entry point. The fast path is an execution strategy, not a semantic
+    knob: results must be bit-identical either way.
+    """
+    value = os.environ.get("REPRO_FAST_PATH")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
 
 
 class DetectionMode(enum.IntEnum):
@@ -88,6 +104,11 @@ class GPUConfig:
     flit_size: int = 32
     icnt_latency: int = 12              # SM <-> memory slice hop latency
     icnt_extra_flit_id_bits: int = 32   # sync+fence+atomic ID payload bits
+
+    # --- execution strategy (not hardware) ---------------------------------
+    #: use the vectorized warp-batch decode/coalesce/conflict fast path;
+    #: results are bit-identical to the scalar path (docs/ENGINE.md)
+    fast_path: bool = field(default_factory=default_fast_path)
 
     def __post_init__(self) -> None:
         for name in ("simd_width", "warp_size", "l1d_line", "l2_line",
@@ -204,6 +225,12 @@ class HAccRGConfig:
     #: only *modified* shadow entries generate write-back traffic; when
     #: False every checked entry is written back (naive RDU)
     shadow_writeback_dirty_only: bool = True
+
+    # --- execution strategy (not part of the modeled hardware) -----------
+    #: use the batched shadow-word / Bloom fast path in the detector and
+    #: trace replay; results are bit-identical to the scalar path and the
+    #: field is excluded from config digests (docs/ENGINE.md)
+    fast_path: bool = field(default_factory=default_fast_path)
 
     def __post_init__(self) -> None:
         for name in ("shared_granularity", "global_granularity"):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import NamedTuple, Sequence, Tuple
 
 
 class MemSpace(enum.IntEnum):
@@ -78,8 +78,7 @@ class Dim3:
         return Dim3(*value)
 
 
-@dataclass(frozen=True)
-class LaneAccess:
+class LaneAccess(NamedTuple):
     """One lane's contribution to a warp memory instruction.
 
     Addresses are byte addresses within the target space. ``size`` is the
@@ -87,6 +86,11 @@ class LaneAccess:
     issuing thread's atomic-ID Bloom signature and ``critical`` whether the
     thread was inside a critical section — the per-thread state the RDUs
     read (paper §III-B).
+
+    A ``NamedTuple`` rather than a frozen dataclass: the simulator decodes
+    one instance per lane per memory instruction, making construction cost
+    part of the hot path, and tuple construction is several times cheaper
+    than frozen-dataclass ``__init__`` + ``object.__setattr__``.
     """
 
     lane: int

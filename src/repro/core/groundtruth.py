@@ -209,7 +209,7 @@ class GroundTruthOracle:
             if shadow is None:
                 shadow = self._shared.setdefault(ev.block_id, {})
             self._intra_warp_waw(ev, space)
-            for lane, addr, size, _sig, _crit in ev.lanes:
+            for lane, addr, size in (l[:3] for l in ev.lanes):
                 kind = ev.access_kind
                 is_write = kind != _READ
                 ep = _Endpoint(
@@ -226,7 +226,7 @@ class GroundTruthOracle:
             fence = self._fence_now.get(ev.warp_id, 0)
             kind = ev.access_kind
             is_write = kind != _READ
-            for i, (lane, addr, size, _sig, crit) in enumerate(ev.lanes):
+            for i, (lane, addr, size, _sig, crit) in enumerate(ev.lane_rows()):
                 locks = (frozenset(self._held.get(ev.base_tid + lane, ()))
                          if crit else frozenset())
                 l1_hit = bool(ev.l1_hits[i]) if ev.l1_hits else False
@@ -246,7 +246,7 @@ class GroundTruthOracle:
         category = (RaceCategory.SHARED_BARRIER if space == MemSpace.SHARED
                     else RaceCategory.GLOBAL_BARRIER)
         first: Dict[int, int] = {}  # byte -> first writing lane
-        for lane, addr, size, _sig, _crit in ev.lanes:
+        for lane, addr, size in (l[:3] for l in ev.lanes):
             for byte in range(addr, addr + size):
                 prev_lane = first.setdefault(byte, lane)
                 if prev_lane == lane:

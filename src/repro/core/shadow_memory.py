@@ -42,7 +42,7 @@ from repro.common.types import (
 )
 from repro.core.clocks import RaceRegisterFile
 from repro.core.granularity import GranularityMap
-from repro.core.races import RaceLog, RaceReport
+from repro.core.races import RaceLog
 
 
 def global_shadow_footprint(data_bytes: int, granularity: int = 4,
@@ -83,6 +83,9 @@ class GlobalShadowMemory:
         self.regroup = config.warp_regrouping
         self.shadow_base = shadow_base  # device address of the shadow region
         self.stats = GlobalShadowStats()
+        # batched kernel compares owners by warp id; per-thread ownership
+        # under re-grouping keeps the scalar walk (see _check_batch)
+        self.fast_path = config.fast_path and not self.regroup
 
         n = self.n
         self.tid = np.full(n, -1, dtype=np.int64)
@@ -152,18 +155,15 @@ class GlobalShadowMemory:
             # concurrent atomics to one location serialize; not a race
             if la.kind == AccessKind.ATOMIC and prev.kind == AccessKind.ATOMIC:
                 continue
-            if self.log.report(RaceReport(
-                category=RaceCategory.GLOBAL_BARRIER,
-                kind=RaceKind.WAW,
-                space=MemSpace.GLOBAL,
-                entry=entry,
-                addr=la.addr,
+            if self.log.trip(
+                RaceCategory.GLOBAL_BARRIER, RaceKind.WAW, MemSpace.GLOBAL,
+                entry, la.addr,
                 owner_tid=access.thread_id(prev.lane),
                 access_tid=access.thread_id(la.lane),
                 owner_block=access.block_id,
                 access_block=access.block_id,
                 pc=access.pc,
-            )):
+            ):
                 new += 1
         return new
 
@@ -172,8 +172,20 @@ class GlobalShadowMemory:
         """Process one warp access; returns the distinct entries touched.
 
         The entry list is what the RDU turns into shadow-memory traffic
-        (one read-modify-write of each entry's shadow word).
+        (one read-modify-write of each entry's shadow word). With the fast
+        path enabled, accesses whose lanes map to distinct single entries
+        are classified in one vectorized pass (see :meth:`_check_batch`);
+        results — races, stats, dirtied-entry lists — are bit-identical.
         """
+        if self.fast_path and access.lanes:
+            fast = self._check_batch(access, lane_l1_hit)
+            if fast is not None:
+                return fast
+        return self._check_scalar(access, lane_l1_hit)
+
+    def _check_scalar(self, access: WarpAccess,
+                      lane_l1_hit: Optional[Sequence[bool]] = None) -> List[int]:
+        """Reference per-(entry, lane) dispatch walk."""
         self.intra_warp_waw(access)
         dirty_only = self.config.shadow_writeback_dirty_only
         dirtied: List[int] = []
@@ -190,6 +202,143 @@ class GlobalShadowMemory:
         # leave the entry unchanged are satisfied from the RDU's copy
         # (unless the dirty-only optimization is ablated away)
         return dirtied
+
+    # ------------------------------------------------------------------
+    # batched fast path
+
+    def _check_batch(self, access: WarpAccess,
+                     lane_l1_hit: Optional[Sequence[bool]]
+                     ) -> Optional[List[int]]:
+        """Vectorized warp check; None when preconditions are unmet.
+
+        Preconditions: uniform lane kind matching the warp kind, every
+        lane covered by exactly one shadow entry, and all entries distinct
+        within the access. Distinct entries make every (entry, lane) check
+        independent — the scalar walk's sequential entry mutations cannot
+        interact — so lanes are classified by pre-access entry state in
+        one pass. The dispatch classes that can report a race or consult
+        the race register file (lockset path, cross-warp HB conflicts)
+        fall back to the scalar :meth:`_check_one` in lane order,
+        preserving report order, trip counts and stats exactly.
+        """
+        lanes = access.lanes
+        cols = list(zip(*lanes))
+        lane_col, addr_col, size_col, kind_col, sig_col, crit_col = cols
+        if any(k != access.kind for k in kind_col):
+            return None
+        addrs = np.array(addr_col, dtype=np.int64)
+        shift = self.gmap._shift
+        entries = addrs >> shift
+        if len(set(size_col)) == 1:
+            last = (addrs + (size_col[0] - 1)) >> shift
+        else:
+            last = (addrs + (np.array(size_col, dtype=np.int64) - 1)) >> shift
+        if bool(np.any(entries != last)):
+            return None
+        if len(np.unique(entries)) != len(entries):
+            return None
+        # distinct entries: the associative same-instruction WAW check can
+        # never pair two lanes, so intra_warp_waw is a provable no-op
+
+        cfg = self.config
+        n_lanes = len(lanes)
+        is_write = access.kind != AccessKind.READ
+        is_atomic = access.kind == AccessKind.ATOMIC
+        wid = access.warp_id
+        cur_sync = access.sync_id & cfg.sync_id_mask
+        cur_fence = access.fence_id & cfg.fence_id_mask
+        tids = np.array(lane_col, dtype=np.int64) + access.base_tid
+        crit = np.array(crit_col, dtype=bool)
+
+        m = self.M[entries]
+        s = self.S[entries]
+        bid_eq = self.bid[entries] == access.block_id
+        wid_eq = self.wid[entries] == wid
+        sig_nz = self.sig[entries] != 0
+        atomic_e = self.atomic[entries]
+
+        # dispatch cascade on pre-access state (mirrors _check_one)
+        virgin = m & s
+        rem = ~virgin
+        refresh = rem & bid_eq & (self.sync[entries] != cur_sync)
+        rem &= ~refresh
+        lockset = rem & (crit | sig_nz)
+        rem &= ~lockset
+        if is_atomic:
+            atomic_ex = rem & atomic_e
+            rem &= ~atomic_ex
+        else:
+            atomic_ex = np.zeros(n_lanes, dtype=bool)
+        state3 = rem & m
+        s3_same = state3 & wid_eq
+        s3_diff = state3 & ~wid_eq
+        state2 = rem & ~m & ~s
+        state4 = rem & ~m & s
+
+        if is_write:
+            fallback = lockset | s3_diff | (state2 & ~wid_eq) | state4
+        else:
+            fallback = lockset | s3_diff
+
+        dirty = np.zeros(n_lanes, dtype=bool)
+
+        # -- vectorized transitions ------------------------------------
+        init_mask = virgin | refresh | atomic_ex
+        if is_write:
+            init_mask |= state2 & wid_eq
+        if bool(init_mask.any()):
+            e = entries[init_mask]
+            self.tid[e] = tids[init_mask]
+            self.wid[e] = wid
+            self.bid[e] = access.block_id
+            self.sid[e] = access.sm_id
+            self.M[e] = is_write
+            self.S[e] = False
+            self.sync[e] = cur_sync
+            self.fence[e] = cur_fence
+            self.sig[e] = np.where(crit[init_mask],
+                                   np.array(sig_col, dtype=np.int64)[init_mask],
+                                   0)
+            self.atomic[e] = is_atomic
+            dirty |= init_mask
+        if is_write and bool(s3_same.any()):
+            # same-owner over-write: latest writer, refreshed fence epoch
+            e = entries[s3_same]
+            self.tid[e] = tids[s3_same]
+            self.fence[e] = cur_fence
+            self.atomic[e] = is_atomic
+            dirty |= s3_same
+        if not is_write:
+            other_reader = state2 & (~wid_eq | ~bid_eq)
+            if bool(other_reader.any()):
+                self.S[entries[other_reader]] = True
+                dirty |= other_reader
+        # s3_same reads, same-warp state-2 reads and state-4 reads are
+        # no-ops in the scalar walk: nothing to do, nothing dirtied
+
+        # -- stats (fallback lanes count inside _check_one) -------------
+        n_fallback = int(fallback.sum())
+        self.stats.checks += n_lanes - n_fallback
+        self.stats.sync_refreshes += int(refresh.sum())
+        if is_atomic:
+            self.stats.atomic_exemptions += int(atomic_ex.sum())
+
+        # -- scalar fallback in lane order ------------------------------
+        if n_fallback:
+            for i in np.nonzero(fallback)[0].tolist():
+                la = lanes[i]
+                l1_hit = bool(lane_l1_hit[i]) if lane_l1_hit is not None else False
+                self._dirtied = False
+                self._check_one(int(entries[i]), la, access, l1_hit)
+                if self._dirtied:
+                    dirty[i] = True
+
+        dirty_only = self.config.shadow_writeback_dirty_only
+        entry_list = entries.tolist()
+        if not dirty_only:
+            return entry_list
+        flags = dirty.tolist()
+        return [e for e, d in zip(entry_list, flags) if d]
 
     # ------------------------------------------------------------------
 
@@ -216,19 +365,15 @@ class GlobalShadowMemory:
     def _report(self, entry: int, la: Any, access: WarpAccess,
                 kind: RaceKind,
                 category: RaceCategory, stale_l1: bool = False) -> None:
-        self.log.report(RaceReport(
-            category=category,
-            kind=kind,
-            space=MemSpace.GLOBAL,
-            entry=entry,
-            addr=la.addr,
+        self.log.trip(
+            category, kind, MemSpace.GLOBAL, entry, la.addr,
             owner_tid=int(self.tid[entry]),
             access_tid=access.thread_id(la.lane),
             owner_block=int(self.bid[entry]),
             access_block=access.block_id,
             pc=access.pc,
             stale_l1=stale_l1,
-        ))
+        )
         if stale_l1:
             self.stats.stale_l1_reports += 1
 

@@ -174,8 +174,12 @@ class EventBus:
         effect = NO_EFFECT
         for s in self._subs:
             effect = effect.combine(s.on_access(ev))
-        for s in self._subs:
-            s.on_effect(ev, effect)
+        # a free combined effect carries no information — skip the
+        # notification sweep on the per-access hot path (observers treat
+        # zero effects as no-ops by contract)
+        if effect is not NO_EFFECT:
+            for s in self._subs:
+                s.on_effect(ev, effect)
         return effect
 
     def emit_barrier(self, ev: BarrierReleased) -> TimingEffect:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.common.errors import SimulationError
 from repro.common.types import Dim3
@@ -34,8 +33,10 @@ class ThreadBlock:
         self.sm_id: Optional[int] = None
         self.warps: List[Warp] = []
         self.done = False
-        # shared-memory value store (byte-address indexed, like DeviceMemory)
-        self.shared_values: Optional[np.ndarray] = None
+        # shared-memory value store (byte-address indexed, like DeviceMemory);
+        # a plain list: per-element loads in the functional hot loop are
+        # several times cheaper than ndarray scalar indexing
+        self.shared_values: Optional[List[float]] = None
         self.shared_arrays: Dict[str, DeviceArray] = {}
         # HAccRG per-block state
         self.sync_id = 0
@@ -54,7 +55,7 @@ class ThreadBlock:
         grid_dim: Dim3 = self.launch.grid
 
         if kernel.shared:
-            self.shared_values = np.zeros(self.shared_capacity, dtype=np.float64)
+            self.shared_values = [0.0] * self.shared_capacity
             self.shared_arrays = kernel.make_shared_arrays(self.shared_capacity)
 
         bx = self.block_id % grid_dim.x
@@ -120,11 +121,12 @@ class ThreadBlock:
 
     def shared_load(self, addr: int) -> float:
         assert self.shared_values is not None
-        return float(self.shared_values[addr])
+        # stores coerce to float, so elements are always Python floats
+        return self.shared_values[addr]
 
     def shared_store(self, addr: int, value: float) -> None:
         assert self.shared_values is not None
-        self.shared_values[addr] = value
+        self.shared_values[addr] = float(value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,19 +1,18 @@
-"""Streaming multiprocessor: round-robin warp scheduling + event timing.
+"""Streaming multiprocessor: the orchestrator over functional and timing.
 
 One :class:`StreamingMultiprocessor` hosts up to ``max_blocks_per_sm``
 resident thread blocks (bounded also by threads and shared memory). Each
 scheduling step it issues one warp-instruction group from the next ready
-warp in round-robin order. Timing is event-driven: warps carry a
-``ready_at`` cycle; compute ops cost issue slots, memory ops cost the full
-coalesced round trip through the memory hierarchy the simulator provides.
+warp in round-robin order.
 
-The issue path is decomposed into four steps, each with one home:
+The SM itself owns *neither* semantics nor prices — it composes the two
+engine layers (``docs/ENGINE.md``):
 
-1. **decode** — :meth:`_decode_lanes` turns a warp op-group into per-lane
-   :class:`~repro.common.types.LaneAccess` records (shared by the shared-
-   and global-memory paths);
-2. **timing** — bank-conflict passes, coalescing and the memory-system
-   round trip price the access;
+1. **decode** — :func:`repro.gpu.functional.decode_warp` turns a warp
+   op-group into per-lane :class:`~repro.common.types.LaneAccess` records
+   (plus the warp address list when the fast path is on);
+2. **timing** — :class:`repro.gpu.timing.TimingModel` prices the access:
+   bank-conflict passes, coalescing, the memory-system round trip;
 3. **emission** — the event is published exactly once on the simulator's
    :class:`~repro.events.bus.EventBus`; subscribers (detector, tracer,
    metrics) observe it synchronously with execution, so detection results
@@ -21,7 +20,8 @@ The issue path is decomposed into four steps, each with one home:
    is warp-granular, and the combined
    :class:`~repro.events.effects.TimingEffect` feeds back into the warp's
    wake-up time;
-4. **functional execution** — lane values move and the warp advances.
+4. **functional execution** — :mod:`repro.gpu.functional` moves lane
+   values and advances the warp.
 
 The SM counts nothing itself: dynamic statistics live in the bus's
 :class:`~repro.events.metrics.MetricsCollector` (``self.stats`` is a view
@@ -30,11 +30,10 @@ onto this SM's slice of it).
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.common.errors import DeadlockError, SimulationError
-from repro.common.types import AccessKind, KernelStats, LaneAccess, MemSpace, WarpAccess
+from repro.common.types import KernelStats, MemSpace, WarpAccess
 from repro.events.records import (
     AccessIssued,
     BarrierReleased,
@@ -48,9 +47,8 @@ from repro.events.records import (
     LockReleased,
     UnlockIssued,
 )
-from repro.gpu.atomics import apply_atomic
+from repro.gpu import functional
 from repro.gpu.block import ThreadBlock
-from repro.gpu.coalescer import coalesce
 from repro.gpu.ops import (
     OP_ATOMIC,
     OP_COMPUTE,
@@ -60,22 +58,19 @@ from repro.gpu.ops import (
     OP_STORE,
     OP_UNLOCK,
 )
-from repro.gpu.shared_memory import SharedMemoryModel
+from repro.gpu.timing import (  # noqa: F401  (re-exported constants)
+    BARRIER_BASE_COST,
+    FENCE_BASE_COST,
+    LOCK_RETRY_INTERVAL,
+    LOCK_RETRY_LIMIT,
+    TimingModel,
+    lane_hit_flags,
+)
 from repro.gpu.warp import Warp
-
-#: Cycles a warp waits before re-attempting a contended lock acquire.
-LOCK_RETRY_INTERVAL = 40
-#: Retry budget before the simulator declares a lock deadlock.
-LOCK_RETRY_LIMIT = 1_000_000
-#: Fixed barrier pipeline cost (arrival/scoreboard handshake).
-BARRIER_BASE_COST = 4
-#: Fence completion cost: drain outstanding stores to the L2 point of
-#: coherence before the epoch advances.
-FENCE_BASE_COST = 60
 
 
 class StreamingMultiprocessor:
-    """One SM: resident blocks, warp scheduler, and per-SM timing state."""
+    """One SM: resident blocks, warp scheduler, and the layer composition."""
 
     def __init__(self, sm_id: int, config, gpu) -> None:
         self.sm_id = sm_id
@@ -86,11 +81,15 @@ class StreamingMultiprocessor:
         self.blocks: List[ThreadBlock] = []
         self.warps: List[Warp] = []
         self._rr = 0
-        self.shared_model = SharedMemoryModel(
-            config.shared_mem_banks, config.shared_bank_width
-        )
+        self.timing = TimingModel(config)
+        self.fast_path = bool(config.fast_path)
         self.idle_cycles = 0
         self.retired_blocks = 0
+
+    @property
+    def shared_model(self):
+        """The banked shared-memory conflict model (owned by the timing layer)."""
+        return self.timing.shared_model
 
     @property
     def stats(self) -> KernelStats:
@@ -215,57 +214,29 @@ class StreamingMultiprocessor:
         self.cycle += issue
 
     def _exec_compute(self, warp: Warp, lanes, issue: int) -> None:
-        # decode
-        n = 0
-        total = 0
-        for _, t in lanes:
-            n = max(n, t.pending[1])
-            total += t.pending[1]
+        # decode + functional execution
+        n, total = functional.execute_compute(warp, lanes)
         # emission
         self.bus.emit_compute(ComputeIssued(
             warp=warp, sm_id=self.sm_id, cycle=self.cycle,
             lanes=len(lanes), instructions=total,
         ))
-        # functional execution + timing
-        for _, t in lanes:
-            warp.complete_lane(t)
+        # timing
         warp.ready_at = self.cycle + max(1, n) * issue
-
-    # -- decode ------------------------------------------------------------
-
-    @staticmethod
-    def _decode_lanes(code: int, lanes) -> Tuple[AccessKind, List[LaneAccess]]:
-        """Turn one memory op-group into per-lane access records.
-
-        Groups are homogeneous in opcode, so the warp-level kind matches
-        every lane's kind.
-        """
-        if code == OP_LOAD:
-            kind = AccessKind.READ
-        elif code == OP_STORE:
-            kind = AccessKind.WRITE
-        else:
-            kind = AccessKind.ATOMIC
-        lane_accesses = [
-            LaneAccess(lane_idx, t.pending[2], t.pending[3], kind,
-                       sig=t.lock_sig, critical=t.critical_depth > 0)
-            for lane_idx, t in lanes
-        ]
-        return kind, lane_accesses
 
     # -- shared memory ---------------------------------------------------
 
     def _exec_shared(self, warp: Warp, code: int, lanes, issue: int) -> None:
         block = warp.block
-        # decode
-        kind, lane_accesses = self._decode_lanes(code, lanes)
+        # decode (clean: lock-free warps skip the per-lane lock-state reads)
+        dec = functional.decode_warp(code, lanes, self.fast_path,
+                                     clean=not warp.lock_touched)
 
         # timing: bank-conflict replay passes
-        passes = self.shared_model.conflict_passes(lane_accesses)
-        cost = self.config.shared_latency + passes * issue
+        cost = self.timing.shared_cost(dec.lanes, dec.addrs, issue)
 
         # emission
-        access = self._make_warp_access(warp, MemSpace.SHARED, kind, lane_accesses)
+        access = self._make_warp_access(warp, MemSpace.SHARED, dec)
         effect = self.bus.emit_access(AccessIssued(
             access=access, sm_id=self.sm_id, cycle=self.cycle,
         ))
@@ -273,50 +244,36 @@ class StreamingMultiprocessor:
 
         # functional execution (shared atomics serialize per address in
         # lane order, matching the hardware's conflict replay)
-        if code == OP_LOAD:
-            for la, (_, t) in zip(lane_accesses, lanes):
-                warp.complete_lane(t, block.shared_load(la.addr))
-        elif code == OP_STORE:
-            for (_, t) in lanes:
-                op = t.pending
-                block.shared_store(op[2], op[4])
-                warp.complete_lane(t)
-        else:
-            for (_, t) in lanes:
-                op = t.pending
-                old = block.shared_load(op[2])
-                block.shared_store(op[2], apply_atomic(op[4], old, op[5], op[6]))
-                warp.complete_lane(t, old)
+        functional.execute_shared(warp, block, code, lanes, dec.lanes)
 
         warp.ready_at = self.cycle + cost
 
     # -- global memory -----------------------------------------------------
 
     def _exec_global(self, warp: Warp, code: int, lanes, issue: int) -> None:
-        mem = self.gpu.device_mem
-        # decode
-        kind, lane_accesses = self._decode_lanes(code, lanes)
+        # decode (clean: lock-free warps skip the per-lane lock-state reads)
+        dec = functional.decode_warp(code, lanes, self.fast_path,
+                                     clean=not warp.lock_touched)
 
         # timing: coalesce and take the memory-system round trip
         is_write = code != OP_LOAD
-        txns = coalesce(lane_accesses, is_write)
+        txns = self.timing.global_transactions(dec.lanes, dec.addrs,
+                                               dec.size, is_write)
         latency, txn_levels = self.gpu.memory.warp_access(
             self.sm_id, txns, self.cycle,
             id_bits=self.bus.request_id_bits,
         )
 
         # per-lane L1-hit flags for the stale-read check (§IV-B)
-        lane_l1_hit = self._lane_hit_flags(lane_accesses, txns, txn_levels)
+        lane_l1_hit = lane_hit_flags(dec.lanes, txns, txn_levels)
 
         # atomics bypass L1 and serialize per distinct address
         if code == OP_ATOMIC:
-            per_addr: dict = {}
-            for la in lane_accesses:
-                per_addr[la.addr] = per_addr.get(la.addr, 0) + 1
-            latency += (max(per_addr.values()) - 1) * issue
+            latency += self.timing.atomic_serialization(dec.lanes, dec.addrs,
+                                                        issue)
 
         # emission
-        access = self._make_warp_access(warp, MemSpace.GLOBAL, kind, lane_accesses)
+        access = self._make_warp_access(warp, MemSpace.GLOBAL, dec)
         effect = self.bus.emit_access(AccessIssued(
             access=access, sm_id=self.sm_id, cycle=self.cycle,
             lane_l1_hit=lane_l1_hit,
@@ -324,60 +281,24 @@ class StreamingMultiprocessor:
         warp.block.global_accessed_since_barrier = True
 
         # functional execution
-        if code == OP_LOAD:
-            for la, (_, t) in zip(lane_accesses, lanes):
-                warp.complete_lane(t, mem.load(la.addr))
-        elif code == OP_STORE:
-            for (_, t) in lanes:
-                op = t.pending
-                mem.store(op[2], op[4])
-                warp.complete_lane(t)
-        else:
-            # serialize same-address atomics in lane order
-            for (_, t) in lanes:
-                op = t.pending
-                old = mem.load(op[2])
-                mem.store(op[2], apply_atomic(op[4], old, op[5], op[6]))
-                warp.complete_lane(t, old)
+        functional.execute_global(warp, self.gpu.device_mem, code, lanes,
+                                  dec.lanes)
 
         warp.ready_at = self.cycle + latency + effect.stall_cycles
-
-    @staticmethod
-    def _lane_hit_flags(lane_accesses, txns, txn_levels) -> List[bool]:
-        """Map per-transaction hit levels back to per-lane L1-hit flags.
-
-        Coalesced transactions are disjoint address intervals, so one
-        sorted interval map built per warp access answers every lane with
-        a binary search instead of rescanning the transaction list.
-        """
-        if not txns:
-            return [False] * len(lane_accesses)
-        intervals = sorted(
-            (txn.addr, txn.addr + txn.size, level == "l1")
-            for txn, level in zip(txns, txn_levels)
-        )
-        starts = [iv[0] for iv in intervals]
-        flags = []
-        for la in lane_accesses:
-            i = bisect_right(starts, la.addr) - 1
-            flags.append(i >= 0 and la.addr < intervals[i][1]
-                         and intervals[i][2])
-        return flags
 
     # -- synchronization -----------------------------------------------------
 
     def _exec_fence(self, warp: Warp, lanes, issue: int) -> None:
         # functional execution
-        for _, t in lanes:
-            warp.complete_lane(t)
-        warp.note_fence()
+        functional.execute_fence(warp, lanes)
         # emission + timing
         effect = self.bus.emit_fence(FenceIssued(
             warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
         ))
-        warp.ready_at = self.cycle + FENCE_BASE_COST + effect.stall_cycles
+        warp.ready_at = self.cycle + self.timing.fence_cost() + effect.stall_cycles
 
     def _exec_lock(self, warp: Warp, lanes, issue: int) -> None:
+        warp.lock_touched = True
         table = self.gpu.lock_table
         granted = 0
         for lane_idx, t in lanes:
@@ -397,15 +318,13 @@ class StreamingMultiprocessor:
         ))
         if granted:
             warp.retries = 0
-            # atomic-exchange round trip to acquire the lock line
-            warp.ready_at = self.cycle + self.config.l2_latency
         else:
             warp.retries += 1
             if warp.retries > LOCK_RETRY_LIMIT:
                 raise DeadlockError(
                     f"warp {warp.warp_id} exceeded lock retry budget"
                 )
-            warp.ready_at = self.cycle + LOCK_RETRY_INTERVAL
+        warp.ready_at = self.cycle + self.timing.lock_cost(granted > 0)
 
     def _exec_unlock(self, warp: Warp, lanes, issue: int) -> None:
         table = self.gpu.lock_table
@@ -421,7 +340,7 @@ class StreamingMultiprocessor:
         self.bus.emit_unlock(UnlockIssued(
             warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
         ))
-        warp.ready_at = self.cycle + self.config.l2_latency
+        warp.ready_at = self.cycle + self.timing.unlock_cost()
 
     # ------------------------------------------------------------------
     # barriers and retirement
@@ -438,7 +357,7 @@ class StreamingMultiprocessor:
             block=block, sm_id=self.sm_id, cycle=self.cycle,
             released_lanes=released_lanes,
         ))
-        release_at = self.cycle + BARRIER_BASE_COST + effect.stall_cycles
+        release_at = self.cycle + self.timing.barrier_cost() + effect.stall_cycles
         block.release_barrier(release_at, lazy_sync=self.gpu.sync_id_lazy)
 
     def _maybe_retire(self, block: ThreadBlock) -> None:
@@ -460,8 +379,8 @@ class StreamingMultiprocessor:
 
     # ------------------------------------------------------------------
 
-    def _make_warp_access(self, warp: Warp, space: MemSpace, kind: AccessKind,
-                          lane_accesses) -> WarpAccess:
+    def _make_warp_access(self, warp: Warp, space: MemSpace,
+                          dec: functional.DecodedAccess) -> WarpAccess:
         block = warp.block
         base_tid = (
             block.block_id * block.launch.threads_per_block
@@ -469,8 +388,8 @@ class StreamingMultiprocessor:
         )
         return WarpAccess(
             space=space,
-            kind=kind,
-            lanes=lane_accesses,
+            kind=dec.kind,
+            lanes=dec.lanes,
             sm_id=self.sm_id,
             block_id=block.block_id,
             warp_id=warp.warp_id,
@@ -478,7 +397,7 @@ class StreamingMultiprocessor:
             base_tid=base_tid,
             sync_id=block.sync_id,
             fence_id=warp.fence_id,
-            in_critical=any(la.critical for la in lane_accesses),
+            in_critical=dec.critical_any,
             pc=warp.pc,
             regroup=self.gpu.warp_regrouping,
         )

@@ -17,10 +17,16 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
 from repro.gpu.ops import (
+    OP_ATOMIC,
     OP_BARRIER,
+    OP_LOAD,
     OP_LOCK,
+    OP_STORE,
     group_key,
 )
+
+#: opcodes whose group key includes (space, size) — see :func:`group_key`
+_MEM_CODES = frozenset((OP_LOAD, OP_STORE, OP_ATOMIC))
 
 #: Sentinel stored in ``pending`` for a finished lane.
 _DONE = None
@@ -57,7 +63,8 @@ class Warp:
     """A warp: lockstep bundle of lanes plus its scheduling/timing state."""
 
     __slots__ = ("warp_id", "warp_in_block", "block", "lanes", "ready_at",
-                 "at_barrier", "fence_id", "pc", "finished", "retries")
+                 "at_barrier", "fence_id", "pc", "finished", "retries",
+                 "lock_touched", "_pairs")
 
     def __init__(self, warp_id: int, warp_in_block: int, block,
                  lanes: Sequence[ThreadState]) -> None:
@@ -71,6 +78,13 @@ class Warp:
         self.pc = 0                         # dynamic op-group counter
         self.finished = False
         self.retries = 0                    # consecutive failed lock attempts
+        # sticky: set on the warp's first lock-acquire group; while False,
+        # every lane has lock_sig == 0 and critical_depth == 0, so decode
+        # can skip the per-lane lock-state reads
+        self.lock_touched = False
+        # cached live (lane, thread) pairs; lanes only die inside
+        # next_group's generator pump, which rebuilds the cache
+        self._pairs: Optional[List[Tuple[int, ThreadState]]] = None
 
     # ------------------------------------------------------------------
 
@@ -79,10 +93,20 @@ class Warp:
         return [(i, t) for i, t in enumerate(self.lanes) if not t.done]
 
     def refill(self) -> None:
-        """Advance every live lane that has no pending op."""
+        """Advance every live lane that has no pending op.
+
+        The generator pump is inlined (rather than calling
+        :meth:`ThreadState.advance` per lane) — this is the innermost loop
+        of functional simulation.
+        """
         for t in self.lanes:
             if not t.done and t.pending is _DONE:
-                t.advance()
+                try:
+                    t.pending = t.gen.send(t.send_value)
+                except StopIteration:
+                    t.pending = _DONE
+                    t.done = True
+                t.send_value = None
 
     def check_finished(self) -> bool:
         """Mark and report completion once every lane's generator is done."""
@@ -101,29 +125,76 @@ class Warp:
         smallest issues first (deterministic immediate-post-dominator-free
         approximation of a SIMT stack).
         """
-        self.refill()
-        if self.check_finished():
+        if self.finished:
             return None
 
-        groups: Dict[tuple, List[Tuple[int, ThreadState]]] = {}
+        # Single merged sweep over the cached live pairs: pump each lane's
+        # generator if it has no pending op (the refill), classify the op,
+        # and track group-key homogeneity inline — one pass instead of
+        # refill + check_finished + regroup + homogeneity scan. Lanes only
+        # die inside this pump, so the live-pair list is reusable across
+        # calls; a converged warp (the overwhelmingly common case) issues
+        # the cached list itself, with no per-call tuple or list builds.
+        pairs = self._pairs
+        if pairs is None:
+            pairs = self._pairs = [
+                (i, t) for i, t in enumerate(self.lanes) if not t.done
+            ]
         barrier_lanes = 0
-        live = 0
-        for i, t in enumerate(self.lanes):
-            if t.done:
-                continue
-            live += 1
+        any_dead = False
+        op0: Optional[tuple] = None
+        code0 = 0
+        f1 = f3 = 0
+        is_mem = False
+        homogeneous = True
+        for pair in pairs:
+            t = pair[1]
             op = t.pending
-            if op is None:
-                raise SimulationError("live lane with no pending op after refill")
+            if op is _DONE:
+                try:
+                    op = t.gen.send(t.send_value)
+                except StopIteration:
+                    t.pending = _DONE
+                    t.send_value = None
+                    t.done = True
+                    any_dead = True
+                    continue
+                t.pending = op
+                t.send_value = None
             if op[0] == OP_BARRIER:
                 barrier_lanes += 1
                 continue
-            groups.setdefault(group_key(op), []).append((i, t))
+            if op0 is None:
+                op0 = op
+                code0 = op[0]
+                is_mem = code0 in _MEM_CODES
+                if is_mem:
+                    f1 = op[1]
+                    f3 = op[3]
+            elif homogeneous and (
+                    op[0] != code0
+                    or (is_mem and (op[1] != f1 or op[3] != f3))):
+                homogeneous = False
 
-        if not groups:
-            if barrier_lanes == live and live > 0:
+        if any_dead:
+            pairs = self._pairs = [p for p in pairs if not p[1].done]
+
+        if op0 is None:
+            if barrier_lanes > 0:
                 self.at_barrier = True
+            elif not pairs:
+                self.finished = True
             return None
+
+        if homogeneous and barrier_lanes == 0:
+            return group_key(op0), pairs
+
+        groups: Dict[tuple, List[Tuple[int, ThreadState]]] = {}
+        for pair in pairs:
+            op = pair[1].pending
+            if op[0] == OP_BARRIER:
+                continue
+            groups.setdefault(group_key(op), []).append(pair)
 
         # Lock-acquire groups issue last: lanes that already hold a lock
         # must drain their critical sections before spinners retry, which

@@ -1,8 +1,9 @@
 """Performance benchmarking: simulator, fuzz, detector, and service rates.
 
 ``repro bench-perf`` measures four throughput surfaces on pinned
-workloads and writes the canonical record to ``BENCH_6.json`` at the
-repo root (CI uploads it as an artifact and fails on malformed output):
+workloads and writes the canonical record to ``BENCH_7.json`` at the
+repo root (CI uploads it as an artifact, fails on malformed output, and
+diffs it against the previous record with ``tools/bench_compare.py``):
 
 - **simulate** — trace-recording throughput (events/second) over pinned
   benchmark cells;
@@ -21,6 +22,7 @@ cells can also ride the campaign pool/cache like any other job kind.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import platform
@@ -35,8 +37,9 @@ from repro.common.errors import ConfigError
 #: bump whenever the perf record shape changes
 PERF_SCHEMA = 1
 
-#: the canonical output name for this PR's bench file
-BENCH_FILENAME = "BENCH_6.json"
+#: the canonical record name + output file for this PR's bench record
+BENCH_NAME = "BENCH_7"
+BENCH_FILENAME = "BENCH_7.json"
 
 #: pinned simulator cells: (benchmark, scale)
 _SIM_CELLS = (("HIST", 0.25), ("SCAN", 0.25))
@@ -143,11 +146,20 @@ def execute_perf_record(record: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _measure_once(job: PerfJob) -> Dict[str, Any]:
+    # Timed regions run with the cyclic GC paused (collected beforehand):
+    # a generational collection landing inside a ~30 ms cell is pure
+    # measurement noise, and min-of-repeats should reflect the work, not
+    # the collector's schedule. Collection resumes right after the region.
     if job.metric == "simulate":
         from repro.harness.trace import record as record_trace
-        start = time.perf_counter()
-        events = record_trace(job.bench, scale=job.scale)
-        elapsed = time.perf_counter() - start
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            events = record_trace(job.bench, scale=job.scale)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
         return {"metric": "simulate", "events": len(events),
                 "elapsed": elapsed,
                 "rate": len(events) / elapsed if elapsed else 0.0,
@@ -155,10 +167,15 @@ def _measure_once(job: PerfJob) -> Dict[str, Any]:
     if job.metric == "fuzz":
         from repro.fuzz.generator import generate_program
         from repro.fuzz.harness import run_iteration
-        start = time.perf_counter()
-        program = generate_program(job.seed)
-        result = run_iteration(program)
-        elapsed = time.perf_counter() - start
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            program = generate_program(job.seed)
+            result = run_iteration(program)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
         return {"metric": "fuzz", "seed": job.seed,
                 "oracle_races": result.get("oracle_races", 0),
                 "real_bugs": result.get("real_bugs", 0),
@@ -170,9 +187,14 @@ def _measure_once(job: PerfJob) -> Dict[str, Any]:
     from repro.serve.backends import get_backend, run_backend
     backend = get_backend(job.backend)
     events = record_trace(job.bench, scale=job.scale)
-    start = time.perf_counter()
-    run_backend(backend, events)
-    elapsed = time.perf_counter() - start
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        run_backend(backend, events)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
     return {"metric": "replay", "backend": backend.name,
             "events": len(events), "elapsed": elapsed,
             "rate": len(events) / elapsed if elapsed else 0.0,
@@ -190,7 +212,7 @@ _TIMED_BACKENDS = ("haccrg-bloom", "haccrg-full", "haccrg-word",
 
 
 def run_bench_perf(quick: bool = False, workers: int = 0) -> Dict[str, Any]:
-    """Run every section and return the canonical BENCH_6 record."""
+    """Run every section and return the canonical bench record."""
     sections = {
         "simulate": _section_simulate(quick),
         "fuzz": _section_fuzz(quick),
@@ -199,7 +221,7 @@ def run_bench_perf(quick: bool = False, workers: int = 0) -> Dict[str, Any]:
     }
     return {
         "schema": PERF_SCHEMA,
-        "bench": "BENCH_6",
+        "bench": BENCH_NAME,
         "quick": bool(quick),
         "python": platform.python_version(),
         "platform": sys.platform,
@@ -216,7 +238,7 @@ def _section_simulate(quick: bool) -> Dict[str, Any]:
     for bench, scale in cells:
         out = execute_perf_record(
             PerfJob("simulate", bench=bench, scale=scale,
-                    repeats=1 if quick else 2).record())
+                    repeats=1 if quick else 3).record())
         runs.append({"bench": bench, "scale": scale,
                      "events": out["events"],
                      "elapsed": round(out["elapsed"], 6),
@@ -254,11 +276,13 @@ def _section_replay(quick: bool) -> Dict[str, Any]:
     bench, scale = _REPLAY_CELL_QUICK if quick else _REPLAY_CELL
     backends: Dict[str, Dict[str, Any]] = {}
     events = 0
+    total_elapsed = 0.0
     for name in _TIMED_BACKENDS:
         out = execute_perf_record(
             PerfJob("replay", bench=bench, scale=scale, backend=name,
-                    repeats=1 if quick else 2).record())
+                    repeats=1 if quick else 3).record())
         events = out["events"]
+        total_elapsed += out["elapsed"]
         backends[name] = {"elapsed": round(out["elapsed"], 6),
                           "events_per_sec": round(out["rate"], 1)}
     fastest = max(b["events_per_sec"] for b in backends.values()) or 1.0
@@ -266,8 +290,13 @@ def _section_replay(quick: bool) -> Dict[str, Any]:
         entry["overhead_vs_fastest"] = round(
             fastest / entry["events_per_sec"], 3) \
             if entry["events_per_sec"] else None
+    # aggregate throughput: every backend replays the same pinned trace,
+    # so the section-level rate is (backends * events) / total elapsed
+    aggregate = (len(backends) * events / total_elapsed
+                 if total_elapsed else 0.0)
     return {"unit": "events/s", "bench": bench, "scale": scale,
-            "events": events, "backends": backends}
+            "events": events, "elapsed": round(total_elapsed, 6),
+            "events_per_sec": round(aggregate, 1), "backends": backends}
 
 
 def _section_service(quick: bool, workers: int) -> Dict[str, Any]:
@@ -353,15 +382,15 @@ def write_bench_file(record: Dict[str, Any],
 
 
 def validate_bench_record(record: Dict[str, Any]) -> None:
-    """Raise ``PerfSpecError`` unless the record is a well-formed BENCH_6."""
+    """Raise ``PerfSpecError`` unless the record is well-formed."""
     if not isinstance(record, dict):
         raise PerfSpecError("bench record is not an object")
     if record.get("schema") != PERF_SCHEMA:
         raise PerfSpecError(
             f"bench schema {record.get('schema')!r} != {PERF_SCHEMA}")
-    if record.get("bench") != "BENCH_6":
+    if record.get("bench") != BENCH_NAME:
         raise PerfSpecError(f"bench name {record.get('bench')!r} "
-                            f"!= 'BENCH_6'")
+                            f"!= {BENCH_NAME!r}")
     sections = record.get("sections")
     if not isinstance(sections, dict):
         raise PerfSpecError("bench record has no 'sections' object")

@@ -73,8 +73,12 @@ class TraceEvent:
     # access fields
     space: int = 0
     access_kind: int = 0
-    lanes: List[Tuple[int, int, int, int, bool]] = field(
-        default_factory=list)  # (lane, addr, size, sig, critical)
+    # Lane records. The *wire* layout is 5-tuples (lane, addr, size, sig,
+    # critical); a freshly recorded event instead aliases the simulator's
+    # 6-field LaneAccess tuples (lane, addr, size, kind, sig, critical)
+    # zero-copy. Indices 0-2 agree between the layouts; use
+    # :meth:`lane_rows` for a normalized wire-layout view.
+    lanes: List[Tuple] = field(default_factory=list)
     sm_id: int = 0
     block_id: int = 0
     warp_id: int = 0
@@ -90,8 +94,20 @@ class TraceEvent:
     thread: int = 0
     addr: int = 0
 
+    def lane_rows(self) -> List[Tuple[int, int, int, int, bool]]:
+        """The lane records in wire layout (lane, addr, size, sig, critical)."""
+        ls = self.lanes
+        if ls and len(ls[0]) == 6:
+            return [(l[0], l[1], l[2], l[4], l[5]) for l in ls]
+        return ls
+
     def to_json(self) -> str:
-        return json.dumps(self.__dict__, separators=(",", ":"))
+        d = self.__dict__
+        ls = d.get("lanes")
+        if ls and len(ls[0]) == 6:
+            d = dict(d)
+            d["lanes"] = self.lane_rows()
+        return json.dumps(d, separators=(",", ":"))
 
     @staticmethod
     def from_json(line: str) -> "TraceEvent":
@@ -122,19 +138,41 @@ class TraceEvent:
                        ) -> WarpAccess:
         """Build the WarpAccess; ``sig_for(tid)`` overrides critical-lane
         signatures (perfect-signature replay)."""
-        lanes = [
-            LaneAccess(lane, addr, size, AccessKind(kind_),
-                       sig=(sig_for(self.base_tid + lane)
-                            if sig_for is not None and crit else sig),
-                       critical=crit)
-            for lane, addr, size, kind_, sig, crit in (
-                (l[0], l[1], l[2], self.access_kind, l[3], l[4])
-                for l in self.lanes
-            )
-        ]
+        kind = AccessKind(self.access_kind)
+        ls = self.lanes
+        recorded = bool(ls) and len(ls[0]) == 6
+        _new = tuple.__new__
+        if sig_for is None:
+            if recorded:
+                # freshly recorded events alias the simulator's LaneAccess
+                # tuples — reuse them outright (replay-side zero-copy)
+                lanes = ls
+            else:
+                # deserialized wire rows: rebuild the lane tuples through
+                # tuple.__new__ to skip the generated NamedTuple
+                # constructor frame per lane
+                lanes = [_new(LaneAccess, (l[0], l[1], l[2], kind,
+                                           l[3], l[4]))
+                         for l in ls]
+        else:
+            base = self.base_tid
+            if recorded:
+                lanes = [
+                    _new(LaneAccess,
+                         (l[0], l[1], l[2], kind,
+                          sig_for(base + l[0]) if l[5] else l[4], l[5]))
+                    for l in ls
+                ]
+            else:
+                lanes = [
+                    _new(LaneAccess,
+                         (l[0], l[1], l[2], kind,
+                          sig_for(base + l[0]) if l[4] else l[3], l[4]))
+                    for l in ls
+                ]
         return WarpAccess(
             space=MemSpace(self.space),
-            kind=AccessKind(self.access_kind),
+            kind=kind,
             lanes=lanes,
             sm_id=self.sm_id,
             block_id=self.block_id,
@@ -181,22 +219,33 @@ class TraceRecorder(Subscriber):
 
     def on_access(self, ev: AccessIssued):
         access = ev.access
-        self.events.append(TraceEvent(
-            kind=_ACCESS,
-            space=int(access.space),
-            access_kind=int(access.kind),
-            lanes=[(la.lane, la.addr, la.size, la.sig, la.critical)
-                   for la in access.lanes],
-            sm_id=access.sm_id,
-            block_id=access.block_id,
-            warp_id=access.warp_id,
-            warp_in_block=access.warp_in_block,
-            base_tid=access.base_tid,
-            sync_id=access.sync_id,
-            fence_id=access.fence_id,
-            l1_hits=(list(ev.lane_l1_hit)
-                     if ev.lane_l1_hit is not None else None),
-        ))
+        # per-access hot path: build the record through __new__ plus a
+        # __dict__ literal (skipping the 16-parameter dataclass __init__)
+        # and alias the access's LaneAccess list zero-copy — nothing
+        # mutates lane tuples after decode, and every egress path
+        # normalizes through ``lane_rows``. The dict keys must stay in
+        # field declaration order so ``to_json`` output is unchanged.
+        te = TraceEvent.__new__(TraceEvent)
+        te.__dict__ = {
+            "kind": _ACCESS,
+            "space": int(access.space),
+            "access_kind": int(access.kind),
+            "lanes": access.lanes,
+            "sm_id": access.sm_id,
+            "block_id": access.block_id,
+            "warp_id": access.warp_id,
+            "warp_in_block": access.warp_in_block,
+            "base_tid": access.base_tid,
+            "sync_id": access.sync_id,
+            "fence_id": access.fence_id,
+            "l1_hits": (list(ev.lane_l1_hit)
+                        if ev.lane_l1_hit is not None else None),
+            "shared_bytes": 0,
+            "region_bytes": 0,
+            "thread": 0,
+            "addr": 0,
+        }
+        self.events.append(te)
         return None
 
     def on_barrier(self, ev: BarrierReleased):
@@ -289,7 +338,7 @@ def dump_binary(events: Sequence[TraceEvent]) -> bytes:
                 ev.space, ev.access_kind, ev.sm_id, ev.block_id,
                 ev.warp_id, ev.warp_in_block, ev.base_tid, ev.sync_id,
                 ev.fence_id, 1 if has_l1 else 0, len(ev.lanes)))
-            for lane, addr, size, sig, crit in ev.lanes:
+            for lane, addr, size, sig, crit in ev.lane_rows():
                 out.append(_S_LANE.pack(lane, addr, size, sig,
                                         1 if crit else 0))
             if has_l1:
@@ -493,7 +542,8 @@ def replay(events: Sequence[TraceEvent],
             if cfg.mode.shared_enabled and ev.shared_bytes:
                 shared_tables[ev.block_id] = SharedShadowTable(
                     ev.shared_bytes, cfg.shared_granularity, log,
-                    regroup=cfg.warp_regrouping)
+                    regroup=cfg.warp_regrouping,
+                    fast_path=cfg.fast_path)
         elif ev.kind == _BLOCK_END:
             shared_tables.pop(ev.block_id, None)
         elif ev.kind == _BARRIER:

@@ -1,4 +1,4 @@
-"""bench-perf: perf job kind, record validation, and the BENCH_6 file."""
+"""bench-perf: perf job kind, record validation, and the BENCH_7 file."""
 
 import json
 
@@ -79,12 +79,12 @@ class TestExecution:
 def _minimal_record():
     return {
         "schema": PERF_SCHEMA,
-        "bench": "BENCH_6",
+        "bench": "BENCH_7",
         "quick": True,
         "sections": {
             "simulate": {"events_per_sec": 100.0, "runs": []},
             "fuzz": {"iterations_per_sec": 1.0, "iterations": 1},
-            "replay": {"backends": {
+            "replay": {"events_per_sec": 50.0, "backends": {
                 "oracle": {"events_per_sec": 50.0,
                            "overhead_vs_fastest": 1.0}}},
             "service": {"jobs_per_sec": 2.0, "jobs": 2, "workers": 0,
@@ -99,7 +99,7 @@ class TestValidation:
 
     @pytest.mark.parametrize("mutate, match", [
         (lambda r: r.update(schema=99), "schema"),
-        (lambda r: r.update(bench="BENCH_5"), "BENCH_6"),
+        (lambda r: r.update(bench="BENCH_5"), "BENCH_7"),
         (lambda r: r.pop("sections"), "sections"),
         (lambda r: r["sections"].pop("service"), "service"),
         (lambda r: r["sections"]["fuzz"].update(iterations_per_sec=0),
@@ -148,7 +148,9 @@ class TestValidation:
 
 class TestCheckedInBenchFile:
     def test_repo_bench_file_exists_and_validates(self):
-        """BENCH_6.json at the repo root is the canonical perf record."""
+        """BENCH_7.json at the repo root is the canonical perf record."""
         record = validate_bench_file()
-        assert record["bench"] == "BENCH_6"
+        assert record["bench"] == "BENCH_7"
         assert record["quick"] is False
+        # the replay section carries the aggregate rate bench_compare diffs
+        assert record["sections"]["replay"]["events_per_sec"] > 0

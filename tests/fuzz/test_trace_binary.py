@@ -17,9 +17,15 @@ def _bench_events(name="SCAN", scale=0.25):
 
 
 def _assert_equal(a, b):
+    # recorded events hold 6-field LaneAccess lanes; deserialized events
+    # hold wire 5-tuples — compare through the lane_rows() normalizer
     assert len(a) == len(b)
     for x, y in zip(a, b):
-        assert x.__dict__ == y.__dict__
+        dx = dict(x.__dict__)
+        dy = dict(y.__dict__)
+        dx["lanes"] = x.lane_rows()
+        dy["lanes"] = y.lane_rows()
+        assert dx == dy
 
 
 class TestBinaryRoundTrip:

@@ -72,7 +72,7 @@ class TestSerialization:
         events = record("HASH", scale=0.25)
         critical_lanes = [
             l for e in events if e.kind == "A"
-            for l in e.lanes if l[4]
+            for l in e.lane_rows() if l[4]
         ]
         assert critical_lanes
         assert all(l[3] != 0 for l in critical_lanes)  # sigs survive

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two bench-perf records; fail on regression.
+
+Usage::
+
+    python tools/bench_compare.py OLD.json NEW.json [--max-slowdown 0.25]
+
+Diffs the section-level throughput rates of two ``repro bench-perf``
+records (any schema-1 ``BENCH_<n>.json``) and exits non-zero when any
+section of NEW is more than ``--max-slowdown`` slower than OLD (default
+25%). Speedups never fail. Sections present in only one record are
+reported and skipped.
+
+Compared rates:
+
+- ``simulate.events_per_sec`` — trace-recording throughput;
+- ``fuzz.iterations_per_sec`` — differential fuzz throughput;
+- ``replay.events_per_sec`` — aggregate detector-replay throughput
+  (derived from the per-backend elapsed times for records that predate
+  the section-level field, e.g. BENCH_6);
+- ``service.jobs_per_sec`` — end-to-end service throughput.
+
+CI runs this against the previous committed record so a perf PR cannot
+silently regress one surface while advertising a speedup on another.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional
+
+#: (section, rate field) pairs diffed between the two records
+RATES = (
+    ("simulate", "events_per_sec"),
+    ("fuzz", "iterations_per_sec"),
+    ("replay", "events_per_sec"),
+    ("service", "jobs_per_sec"),
+)
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except OSError as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    except ValueError as exc:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {exc}")
+    if not isinstance(record, dict) or "sections" not in record:
+        sys.exit(f"bench_compare: {path} is not a bench-perf record")
+    return record
+
+
+def section_rate(record: Dict[str, Any], section: str,
+                 field: str) -> Optional[float]:
+    """The section's rate, deriving the replay aggregate when absent."""
+    data = record["sections"].get(section)
+    if not isinstance(data, dict):
+        return None
+    rate = data.get(field)
+    if isinstance(rate, (int, float)) and rate > 0:
+        return float(rate)
+    if section == "replay":
+        # pre-BENCH_7 records carry only per-backend rates: derive the
+        # aggregate as (backends * events) / total backend elapsed
+        backends = data.get("backends")
+        events = data.get("events")
+        if isinstance(backends, dict) and backends and events:
+            elapsed = sum(b.get("elapsed", 0.0) for b in backends.values())
+            if elapsed > 0:
+                return len(backends) * float(events) / elapsed
+    return None
+
+
+def compare(old: Dict[str, Any], new: Dict[str, Any],
+            max_slowdown: float) -> int:
+    """Print the per-section diff table; return the number of failures."""
+    failures = 0
+    name_old = old.get("bench", "old")
+    name_new = new.get("bench", "new")
+    print(f"{'section':<10} {name_old:>12} {name_new:>12} "
+          f"{'ratio':>8}  verdict")
+    for section, field in RATES:
+        r_old = section_rate(old, section, field)
+        r_new = section_rate(new, section, field)
+        if r_old is None or r_new is None:
+            which = name_old if r_old is None else name_new
+            print(f"{section:<10} {'-':>12} {'-':>12} {'-':>8}  "
+                  f"skipped (no rate in {which})")
+            continue
+        ratio = r_new / r_old
+        if ratio < 1.0 - max_slowdown:
+            verdict = f"FAIL (> {max_slowdown:.0%} slowdown)"
+            failures += 1
+        elif ratio < 1.0:
+            verdict = "ok (within tolerance)"
+        else:
+            verdict = "ok"
+        print(f"{section:<10} {r_old:>12.1f} {r_new:>12.1f} "
+              f"{ratio:>7.2f}x  {verdict}")
+    return failures
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench-perf records, fail on regression")
+    parser.add_argument("old", help="baseline record (e.g. BENCH_6.json)")
+    parser.add_argument("new", help="candidate record (e.g. BENCH_7.json)")
+    parser.add_argument("--max-slowdown", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="fail when a section is more than FRAC "
+                             "slower than baseline (default: 0.25)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_slowdown < 1.0:
+        parser.error("--max-slowdown must be in [0, 1)")
+    old = load_record(args.old)
+    new = load_record(args.new)
+    failures = compare(old, new, args.max_slowdown)
+    if failures:
+        print(f"bench_compare: {failures} section(s) regressed beyond "
+              f"{args.max_slowdown:.0%}")
+        return 1
+    print("bench_compare: no section regressed beyond "
+          f"{args.max_slowdown:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,16 +70,26 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
                           time.perf_counter() - start))
 
 
-class _Worker:
-    """Supervisor-side handle on one worker process."""
+class SpawnWorker:
+    """Supervisor-side handle on one spawned worker process.
 
-    def __init__(self, ctx, worker_id: int, result_q) -> None:
+    Generic over the worker entry point: ``target(worker_id, task_q,
+    result_q)`` runs in the child. Campaign pools use the job-executing
+    :func:`_worker_main`; epoch-sharded simulation
+    (:mod:`repro.gpu.epoch`) reuses the same spawn/kill/respawn machinery
+    with its shard dispatcher as the target. A ``None`` on the task queue
+    always means "shut down".
+    """
+
+    def __init__(self, ctx, worker_id: int, result_q,
+                 target: Callable[..., None] = _worker_main) -> None:
         self.ctx = ctx
         self.worker_id = worker_id
         self.result_q = result_q
+        self.target = target
         self.task_q = ctx.SimpleQueue()
         self.process = ctx.Process(
-            target=_worker_main,
+            target=target,
             args=(worker_id, self.task_q, result_q),
             daemon=True,
         )
@@ -218,11 +228,11 @@ class WorkerPool:
         pending: List[str] = list(jobs)
         outcomes: Dict[str, JobOutcome] = {}
         n_workers = min(self.workers, len(jobs))
-        pool: List[_Worker] = [
-            _Worker(ctx, wid, result_q) for wid in range(n_workers)
+        pool: List[SpawnWorker] = [
+            SpawnWorker(ctx, wid, result_q) for wid in range(n_workers)
         ]
 
-        def dispatch_to(worker: _Worker) -> None:
+        def dispatch_to(worker: SpawnWorker) -> None:
             key = pending.pop(0)
             attempts[key] += 1
             worker.dispatch(key, records[key], self.timeout)
@@ -287,7 +297,8 @@ class WorkerPool:
             result_q.join_thread()
         return outcomes
 
-    def _respawn(self, ctx, dead: _Worker, result_q) -> _Worker:
-        replacement = _Worker(ctx, dead.worker_id, result_q)
+    def _respawn(self, ctx, dead: SpawnWorker, result_q) -> SpawnWorker:
+        replacement = SpawnWorker(ctx, dead.worker_id, result_q,
+                              target=dead.target)
         replacement.busy_seconds = dead.busy_seconds
         return replacement

@@ -165,6 +165,11 @@ def _render_reproduce(scale: float) -> None:
 
 
 def _cmd_reproduce(args) -> int:
+    if args.sm_workers is not None:
+        # the env var is how the setting reaches every simulator the
+        # render path builds (and, like REPRO_FAST_PATH, it is excluded
+        # from campaign job digests — cached cells stay valid)
+        os.environ["REPRO_SM_WORKERS"] = str(args.sm_workers)
     if args.profile:
         # profile the single-process render path: the cProfile stats
         # cover simulation + detection end to end, which is what the
@@ -586,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retries per failed job (parallel only)")
     rep_p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    rep_p.add_argument("--sm-workers", type=int, default=None,
+                       metavar="N",
+                       help="shard each simulation's SMs across N "
+                            "processes with the epoch-sliced engine "
+                            "(bit-identical to inline; 0 = inline, "
+                            "the default)")
     rep_p.add_argument("--profile", action="store_true",
                        help="run under cProfile and dump the hottest "
                             "functions to stderr (single-process only)")
@@ -792,7 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bp_p = sub.add_parser(
         "bench-perf", help="measure simulator, fuzz, detector, and "
-                           "service throughput; writes BENCH_7.json")
+                           "service throughput; writes BENCH_8.json")
     bp_p.add_argument("--quick", action="store_true",
                       help="smaller workloads (CI smoke; marked in the "
                            "output record)")
@@ -801,7 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "section (0 = inline)")
     bp_p.add_argument("--output", default=None, metavar="FILE",
                       help="where to write the canonical record "
-                           "(default: BENCH_7.json at the repo root)")
+                           "(default: BENCH_8.json at the repo root)")
     bp_p.add_argument("--no-write", action="store_true",
                       help="print only; do not write the bench file")
     bp_p.add_argument("--json", action="store_true",

@@ -33,6 +33,24 @@ def default_fast_path() -> bool:
     return value.strip().lower() not in ("0", "false", "no", "off")
 
 
+def default_sm_workers() -> int:
+    """Default for ``sm_workers``: 0 (inline) unless ``REPRO_SM_WORKERS``
+    names a positive worker count.
+
+    Like ``REPRO_FAST_PATH``, this is an execution-strategy hook so CI can
+    run the whole suite sharded without threading a flag through every
+    entry point. Sharded results are bit-identical to inline results, so
+    the field is excluded from campaign config digests.
+    """
+    value = os.environ.get("REPRO_SM_WORKERS")
+    if value is None:
+        return 0
+    try:
+        return max(0, int(value.strip()))
+    except ValueError:
+        return 0
+
+
 class DetectionMode(enum.IntEnum):
     """Which memory spaces race detection covers."""
 
@@ -109,6 +127,12 @@ class GPUConfig:
     #: use the vectorized warp-batch decode/coalesce/conflict fast path;
     #: results are bit-identical to the scalar path (docs/ENGINE.md)
     fast_path: bool = field(default_factory=default_fast_path)
+    #: shard the SM array across this many worker processes (0 = inline);
+    #: results are bit-identical to the inline path (docs/ENGINE.md,
+    #: "Epochs and sharding")
+    sm_workers: int = field(default_factory=default_sm_workers)
+    #: epoch window (cycles) bounding shard run-ahead between merge flushes
+    epoch_cycles: int = 2048
 
     def __post_init__(self) -> None:
         for name in ("simd_width", "warp_size", "l1d_line", "l2_line",
@@ -121,6 +145,10 @@ class GPUConfig:
             raise ConfigError("num_sms must be divisible by num_clusters")
         if self.max_threads_per_sm % self.warp_size:
             raise ConfigError("max_threads_per_sm must be a multiple of warp_size")
+        if self.sm_workers < 0:
+            raise ConfigError("sm_workers must be >= 0")
+        if self.epoch_cycles < 1:
+            raise ConfigError("epoch_cycles must be >= 1")
 
     @property
     def warps_per_sm(self) -> int:

@@ -1,0 +1,235 @@
+"""Record/replay for the event bus: a shard's output as a wire stream.
+
+Epoch-sharded execution (docs/ENGINE.md, "Epochs and sharding") runs each
+SM inside a worker process against a private :class:`~repro.events.bus.EventBus`
+whose only observer is a :class:`WireRecorder`. The recorder turns every
+emission into a small serializable *wire entry*; entries ship to the
+coordinator with the shard's protocol messages, are merged across SMs in
+``(cycle, sm_id, seq)`` order — exactly the order the inline heap loop
+would have emitted them — and are replayed by :func:`replay_entries` into
+the merge-side subscribers (the metrics collector plus any
+``replay_safe`` observers).
+
+Three details make the merge order *identical* to inline emission, not
+just equivalent:
+
+- every entry is keyed at the cycle its scheduling step *started* (an
+  :class:`~repro.events.records.IdleAdvanced` is emitted after the jump,
+  so the recorder keys it at ``sm.cycle - ev.cycles``);
+- the per-SM ``seq`` counter is shared with the shard's coordinator
+  round-trips, so entries interleave with globally-applied state changes
+  in true program order;
+- ``on_effect`` notifications become their own entries (barrier/fence
+  always, access only when the combined effect is non-trivial — matching
+  the bus's hot-path skip), replayed against the event entry immediately
+  preceding them.
+
+Replayed events are real record instances with ``None`` in the live-object
+fields (``warp``, ``block``, ``thread``): subscribers declared
+``replay_safe`` never read those by contract, and ``isinstance`` dispatch
+(e.g. :meth:`MetricsCollector.on_effect`) keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.events.bus import Subscriber
+from repro.events.effects import TimingEffect
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    BlockStarted,
+    ComputeIssued,
+    FenceIssued,
+    IdleAdvanced,
+    LockIssued,
+    UnlockIssued,
+)
+
+#: wire entry codes (first element of every entry payload)
+W_COMPUTE = 0
+W_ACCESS = 1
+W_BARRIER = 2
+W_FENCE = 3
+W_LOCK = 4
+W_UNLOCK = 5
+W_IDLE = 6
+W_BLOCK_START = 7
+W_BLOCK_END = 8
+W_EFFECT = 9
+
+#: a recorded entry: (cycle, seq, payload) with payload = (code, *fields)
+WireEntry = Tuple[int, int, tuple]
+#: a merged entry: (cycle, sm_id, seq, payload)
+MergedEntry = Tuple[int, int, int, tuple]
+
+
+class WireRecorder(Subscriber):
+    """Captures one shard SM's bus output as serializable wire entries.
+
+    The recorder borrows the owning SM's cycle counter and unified ``seq``
+    counter (shared with the shard protocol round-trips). ``enabled`` is
+    cleared around initial block admits: the coordinator synthesizes those
+    ``BlockStarted`` entries itself, in cross-SM dispatch order, because
+    the inline simulator emits them round-robin *before* the run loop —
+    an order a per-SM sorted merge cannot reproduce.
+    """
+
+    def __init__(self, sm: Any) -> None:
+        self.sm = sm
+        self.entries: List[WireEntry] = []
+        self.enabled = True
+
+    def drain(self) -> List[WireEntry]:
+        """Return and clear the captured entries."""
+        out = self.entries
+        self.entries = []
+        return out
+
+    def _put(self, payload: tuple) -> None:
+        sm = self.sm
+        self.entries.append((sm.cycle, sm.next_seq(), payload))
+
+    # ------------------------------------------------------------------
+
+    def on_compute(self, ev: ComputeIssued) -> None:
+        self._put((W_COMPUTE, ev.lanes, ev.instructions))
+
+    def on_access(self, ev: AccessIssued) -> None:
+        self._put((W_ACCESS, ev.access, ev.lane_l1_hit))
+        return None
+
+    def on_barrier(self, ev: BarrierReleased) -> None:
+        self._put((W_BARRIER, ev.released_lanes, ev.block.block_id))
+        return None
+
+    def on_fence(self, ev: FenceIssued) -> None:
+        self._put((W_FENCE, ev.lanes))
+        return None
+
+    def on_lock(self, ev: LockIssued) -> None:
+        self._put((W_LOCK, ev.attempts, ev.granted))
+
+    def on_unlock(self, ev: UnlockIssued) -> None:
+        self._put((W_UNLOCK, ev.lanes))
+
+    def on_idle(self, ev: IdleAdvanced) -> None:
+        # emitted after the jump; key at the cycle the step began so the
+        # merged stream sorts in inline emission order
+        sm = self.sm
+        self.entries.append((sm.cycle - ev.cycles, sm.next_seq(),
+                             (W_IDLE, ev.cycles)))
+
+    def on_block_start(self, ev: BlockStarted) -> None:
+        if self.enabled:
+            self._put((W_BLOCK_START, ev.block.block_id))
+
+    def on_block_end(self, ev: BlockEnded) -> None:
+        self._put((W_BLOCK_END, ev.block.block_id))
+
+    def on_effect(self, ev: Any, effect: TimingEffect) -> None:
+        # the bus only sweeps access effects when they are non-trivial;
+        # barrier/fence sweeps always run (even with a zero effect), and
+        # the replay must reproduce both behaviours exactly
+        self._put((W_EFFECT, effect.stall_cycles, effect.extra_instructions))
+
+
+class BlockRef:
+    """Stand-in for a live ThreadBlock in replayed block events."""
+
+    __slots__ = ("block_id",)
+
+    def __init__(self, block_id: int) -> None:
+        self.block_id = block_id
+
+
+def replay_entries(batch: Iterable[MergedEntry],
+                   targets: Sequence[Subscriber]) -> None:
+    """Replay merged wire entries into ``targets`` in the given order.
+
+    ``batch`` must already be sorted by ``(cycle, sm_id, seq)`` (the merge
+    side does a stable sort over each flush window). Effect entries apply
+    to the event entry that directly precedes them — the shared ``seq``
+    counter guarantees adjacency survives the sort.
+    """
+    last_ev: Any = None
+    for cycle, sm_id, _seq, rec in batch:
+        code = rec[0]
+        if code == W_ACCESS:
+            ev: Any = AccessIssued(access=rec[1], sm_id=sm_id, cycle=cycle,
+                                   lane_l1_hit=rec[2])
+            for t in targets:
+                t.on_access(ev)
+            last_ev = ev
+        elif code == W_COMPUTE:
+            ev = ComputeIssued(warp=None, sm_id=sm_id, cycle=cycle,
+                               lanes=rec[1], instructions=rec[2])
+            for t in targets:
+                t.on_compute(ev)
+            last_ev = ev
+        elif code == W_IDLE:
+            ev = IdleAdvanced(sm_id=sm_id, cycles=rec[1])
+            for t in targets:
+                t.on_idle(ev)
+            last_ev = ev
+        elif code == W_EFFECT:
+            effect = TimingEffect(stall_cycles=rec[1],
+                                  extra_instructions=rec[2])
+            for t in targets:
+                t.on_effect(last_ev, effect)
+        elif code == W_BARRIER:
+            ev = BarrierReleased(block=BlockRef(rec[2]), sm_id=sm_id,
+                                 cycle=cycle, released_lanes=rec[1])
+            for t in targets:
+                t.on_barrier(ev)
+            last_ev = ev
+        elif code == W_FENCE:
+            ev = FenceIssued(warp=None, sm_id=sm_id, cycle=cycle,
+                             lanes=rec[1])
+            for t in targets:
+                t.on_fence(ev)
+            last_ev = ev
+        elif code == W_LOCK:
+            ev = LockIssued(warp=None, sm_id=sm_id, cycle=cycle,
+                            attempts=rec[1], granted=rec[2])
+            for t in targets:
+                t.on_lock(ev)
+            last_ev = ev
+        elif code == W_UNLOCK:
+            ev = UnlockIssued(warp=None, sm_id=sm_id, cycle=cycle,
+                              lanes=rec[1])
+            for t in targets:
+                t.on_unlock(ev)
+            last_ev = ev
+        elif code == W_BLOCK_START:
+            ev = BlockStarted(block=BlockRef(rec[1]), sm_id=sm_id)
+            for t in targets:
+                t.on_block_start(ev)
+            last_ev = ev
+        elif code == W_BLOCK_END:
+            ev = BlockEnded(block=BlockRef(rec[1]), sm_id=sm_id)
+            for t in targets:
+                t.on_block_end(ev)
+            last_ev = ev
+
+
+def replay_targets(bus: Any, metrics: Subscriber,
+                   detector_sub: Optional[Subscriber]) -> List[Subscriber]:
+    """The coordinator-bus subscribers fed from the merged wire stream.
+
+    The detector subscriber is excluded — the coordinator invokes the
+    detector explicitly during shard round-trips (global checks, lock
+    signatures) and the shared half runs shard-side; feeding it replayed
+    events as well would double-count. Everything else must be the metrics
+    collector or declare ``replay_safe``; eligibility is checked before
+    the sharded path is ever taken.
+    """
+    out: List[Subscriber] = []
+    for sub in bus.subscribers:
+        if sub is detector_sub:
+            continue
+        if sub is metrics or getattr(sub, "replay_safe", False):
+            out.append(sub)
+    return out

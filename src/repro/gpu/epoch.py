@@ -1,0 +1,592 @@
+"""Schedulers: the inline heap loop and the epoch-sliced sharded merge loop.
+
+:class:`GPUSimulator.run` delegates to one of two schedulers:
+
+- :class:`InlineScheduler` — the historical single-process path: dispatch
+  blocks round-robin, then always step the SM with the smallest local
+  cycle. Byte-for-byte the behaviour the repository has always had.
+- :class:`EpochScheduler` — SMs are partitioned across spawned shard
+  processes (:mod:`repro.gpu.shard`); each runs freely inside a bounded
+  *epoch window* against SM-local state, and every interaction with
+  globally-visible state parks the SM until the coordinator services it.
+
+The coordinator replays the inline simulator's global order exactly with a
+**conservative floor protocol**. For each SM it tracks a *floor*: a cycle
+number below which that SM can produce no further globally-visible work —
+the head of its unprocessed message queue, or (while the SM is running
+ahead) the cycle of its last processed item, since a shard SM's parks and
+ordered one-way operations leave it in monotone ``(cycle, seq)`` order.
+The merge loop repeatedly services the item of the globally smallest
+``(floor, sm_id)``; if that SM's queue is empty, the coordinator *blocks*
+on the shared result queue until the laggard reports in. Epoch parks
+bound run-ahead, so the laggard always reports within one epoch window.
+
+Because the inline heap loop orders steps by ``(cycle, sm_id)`` and a
+shard SM tags everything with one monotone per-SM ``seq`` counter, this
+floor order *is* the inline execution order for every globally-visible
+effect: L2/DRAM round trips, global shadow checks, device-memory values,
+lock-table arbitration, fence/sync signature bookkeeping, and block
+dispatch decisions. Recorded bus events are buffered and replayed into
+the metrics collector in sorted ``(cycle, sm_id, seq)`` order once every
+active SM's floor has passed them. Race reports merge by explicit
+``(launch, cycle, sm_id, seq)`` order stamps
+(:func:`repro.core.races.merge_ordered_logs`). The result is bit-identical
+to the inline path regardless of worker count.
+
+Fault handling is structural, never a hang: a dead worker raises
+:class:`~repro.common.errors.ShardCrashError`, a silent one raises
+:class:`~repro.common.errors.ShardTimeoutError` after
+``REPRO_SHARD_TIMEOUT`` seconds (default 120); both kill the whole worker
+fleet first. Retry-with-respawn lives in the callers (harness runner,
+fuzz executor) because a deterministic re-run needs a fresh simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.campaign.pool import SpawnWorker
+from repro.common.errors import (
+    ShardCrashError,
+    ShardTimeoutError,
+    SimulationError,
+)
+from repro.core.races import merge_ordered_logs
+from repro.events.records import (
+    KernelEnded,
+    KernelStarted,
+    LockAcquired,
+    LockReleased,
+)
+from repro.events.wire import W_BLOCK_START, replay_entries, replay_targets
+from repro.gpu.atomics import apply_atomic
+from repro.gpu.block import ThreadBlock
+from repro.gpu.ops import OP_ATOMIC, OP_LOAD
+from repro.gpu.shard import (
+    CMD_END,
+    CMD_LAUNCH,
+    CMD_RESUME,
+    CMD_SETUP,
+    DONE,
+    END_ACK,
+    ERROR,
+    OP_FENCE_NOTE,
+    OP_SYNC_NOTE,
+    PARK_EPOCH,
+    PARK_GLOBAL,
+    PARK_LOCK,
+    PARK_RETIRE,
+    PARK_UNLOCK,
+    READY,
+    shard_main,
+)
+from repro.gpu.timing import lane_hit_flags
+
+#: wall-clock seconds without any shard progress before declaring a stall
+TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+DEFAULT_TIMEOUT = 120.0
+
+#: buffered wire entries before an early (floor-bounded) replay flush
+FLUSH_THRESHOLD = 65536
+
+_INF = float("inf")
+
+_RUNNING = 0
+_DONE = 1
+
+
+class ResidencyMirror:
+    """Coordinator-side mirror of per-SM block residency.
+
+    The coordinator makes every dispatch decision (initial round-robin
+    fill and retire-time refill) against this mirror, exactly as the
+    inline simulator does against the live SMs. All resident blocks of
+    one launch are identical, so counts suffice.
+    """
+
+    def __init__(self, config: Any) -> None:
+        self.config = config
+        self.count = [0] * config.num_sms
+
+    def can_accept(self, sm_id: int, launch: Any) -> bool:
+        cfg = self.config
+        c = self.count[sm_id]
+        if c >= cfg.max_blocks_per_sm:
+            return False
+        if (c + 1) * launch.threads_per_block > cfg.max_threads_per_sm:
+            return False
+        shared = launch.kernel.shared_bytes()
+        return (c + 1) * shared <= cfg.shared_mem_per_sm
+
+    def admit(self, sm_id: int) -> None:
+        self.count[sm_id] += 1
+
+    def retire(self, sm_id: int) -> None:
+        self.count[sm_id] -= 1
+
+
+class InlineScheduler:
+    """The historical single-process run loop, extracted verbatim."""
+
+    def __init__(self, sim: Any) -> None:
+        self.sim = sim
+
+    def run(self, launch: Any) -> Any:
+        sim = self.sim
+        if launch.threads_per_block > sim.config.max_threads_per_sm:
+            raise SimulationError(
+                f"block of {launch.threads_per_block} threads exceeds SM "
+                f"capacity {sim.config.max_threads_per_sm}"
+            )
+        sim._launch = launch
+        sim._blocks_run = 0
+        sim.bus.emit_kernel_start(
+            KernelStarted(launch=launch, device_mem=sim.device_mem)
+        )
+
+        sim._pending_blocks = [
+            ThreadBlock(launch, bid, sim.config.warp_size,
+                        sim.config.shared_mem_per_sm)
+            for bid in range(launch.num_blocks)
+        ]
+        # initial dispatch: fill every SM round-robin up to residency limits
+        progress = True
+        while sim._pending_blocks and progress:
+            progress = False
+            for sm in sim.sms:
+                if sim._pending_blocks and sm.can_accept(launch):
+                    sm.admit(sim._pending_blocks.pop(0))
+                    sim._blocks_run += 1
+                    progress = True
+
+        # global loop: always advance the laggard SM
+        heap = [(sm.cycle, sm.sm_id) for sm in sim.sms if sm.active]
+        heapq.heapify(heap)
+        while heap:
+            _, sm_id = heapq.heappop(heap)
+            sm = sim.sms[sm_id]
+            if not sm.active:
+                continue
+            sm.step()
+            if sm.active:
+                heapq.heappush(heap, (sm.cycle, sm_id))
+
+        sim.bus.emit_kernel_end(KernelEnded())
+        return sim._collect(launch)
+
+    def close(self) -> None:
+        """Nothing to tear down for the in-process path."""
+
+
+class _ThreadProxy:
+    """Stand-in thread for coordinator-side lock events.
+
+    Carries exactly the two fields the signature chain reads: the lock
+    signature *before* the event and whether the thread still holds locks
+    after it (clear-on-empty release semantics).
+    """
+
+    __slots__ = ("lock_sig", "held_locks")
+
+    def __init__(self, lock_sig: int, held_locks: List[int]) -> None:
+        self.lock_sig = lock_sig
+        self.held_locks = held_locks
+
+
+class EpochScheduler:
+    """Epoch-sliced sharded execution with a deterministic barrier merge."""
+
+    def __init__(self, sim: Any) -> None:
+        self.sim = sim
+        cfg = sim.config
+        self.timeout = float(os.environ.get(TIMEOUT_ENV, "")
+                             or DEFAULT_TIMEOUT)
+        self.n_workers = max(1, min(int(cfg.sm_workers), cfg.num_sms))
+        # contiguous SM partition across the workers
+        base, rem = divmod(cfg.num_sms, self.n_workers)
+        self.chunks: List[List[int]] = []
+        nxt = 0
+        for wid in range(self.n_workers):
+            size = base + (1 if wid < rem else 0)
+            self.chunks.append(list(range(nxt, nxt + size)))
+            nxt += size
+        self.owner: Dict[int, int] = {
+            sm_id: wid for wid, chunk in enumerate(self.chunks)
+            for sm_id in chunk
+        }
+        self.workers: List[SpawnWorker] = []
+        self.result_q: Any = None
+        self.launch_idx = -1
+        self._started = False
+        self._dead = False
+        self._sm_cycles: List[int] = [0] * cfg.num_sms
+        self._replay_to: List[Any] = []
+        # per-launch merge state
+        self._pending: Dict[int, Deque[Tuple[int, int, str, Any]]] = {}
+        self._status: List[int] = []
+        self._last: List[int] = []
+        self._buf: List[Tuple[int, int, int, tuple]] = []
+        self.mirror: Optional[ResidencyMirror] = None
+        self._pending_bids: List[int] = []
+        self._blocks_run = 0
+
+    # ------------------------------------------------------------------
+    # fleet lifecycle
+
+    def start(self) -> None:
+        import multiprocessing
+
+        sim = self.sim
+        ctx = multiprocessing.get_context("spawn")
+        self.result_q = ctx.Queue()
+        self._replay_to = replay_targets(sim.bus, sim.metrics,
+                                         sim._detector_sub)
+        from repro.core.detector import HAccRGDetector
+        det_cfg = (sim.detector.config
+                   if isinstance(sim.detector, HAccRGDetector) else None)
+        for wid in range(self.n_workers):
+            worker = SpawnWorker(ctx, wid, self.result_q, target=shard_main)
+            worker.task_q.put((CMD_SETUP, {
+                "config": replace(sim.config, sm_workers=0),
+                "timing_enabled": sim.timing_enabled,
+                "detector": det_cfg,
+                "launch_source": sim.launch_source,
+                "sm_ids": self.chunks[wid],
+                "warp_regrouping": sim.warp_regrouping,
+                "sync_id_lazy": sim.sync_id_lazy,
+            }))
+            self.workers.append(worker)
+        ready = 0
+        while ready < self.n_workers:
+            msg = self._recv()
+            if msg[1] == ERROR:
+                self._fail(msg[6])
+            elif msg[1] == READY:
+                ready += 1
+
+    def close(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.stop()
+            except Exception:
+                pass
+        self.workers = []
+        if self.result_q is not None:
+            try:
+                self.result_q.close()
+                self.result_q.join_thread()
+            except Exception:
+                pass
+            self.result_q = None
+
+    def _kill_all(self) -> None:
+        self._dead = True
+        for worker in self.workers:
+            try:
+                worker.kill()
+            except Exception:
+                pass
+
+    def _fail(self, payload: Tuple[str, str]) -> None:
+        """A shard reported a structured error: kill the fleet and re-raise.
+
+        Simulation errors keep their original type (callers assert on
+        ``DeadlockError`` etc.); anything unrecognized becomes a
+        :class:`ShardCrashError`.
+        """
+        name, text = payload
+        self._kill_all()
+        import repro.common.errors as errors_mod
+        exc_cls = getattr(errors_mod, name, None)
+        if isinstance(exc_cls, type) and issubclass(exc_cls, Exception):
+            raise exc_cls(text)
+        raise ShardCrashError(f"shard worker failed with {name}: {text}")
+
+    def _recv(self) -> Tuple:
+        """Blocking receive with liveness checks and a stall watchdog."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                return self.result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                pass
+            for worker in self.workers:
+                if not worker.process.is_alive():
+                    code = worker.process.exitcode
+                    self._kill_all()
+                    raise ShardCrashError(
+                        f"shard worker {worker.worker_id} died mid-epoch "
+                        f"(exit code {code}); partial epoch discarded"
+                    )
+            if time.monotonic() > deadline:
+                self._kill_all()
+                raise ShardTimeoutError(
+                    f"no shard progress within {self.timeout:.1f}s "
+                    f"(REPRO_SHARD_TIMEOUT)"
+                )
+
+    # ------------------------------------------------------------------
+    # one launch
+
+    def run(self, launch: Any) -> Any:
+        sim = self.sim
+        if launch.threads_per_block > sim.config.max_threads_per_sm:
+            raise SimulationError(
+                f"block of {launch.threads_per_block} threads exceeds SM "
+                f"capacity {sim.config.max_threads_per_sm}"
+            )
+        if self._dead:
+            raise ShardCrashError("shard fleet is dead; build a fresh "
+                                  "simulator to retry")
+        if not self._started:
+            self.start()
+            self._started = True
+        self.launch_idx += 1
+        sim._launch = launch
+
+        det_log = getattr(sim.detector, "log", None)
+        if det_log is not None:
+            det_log.order_base = (self.launch_idx, -1, 0, 0)
+        sim.bus.emit_kernel_start(
+            KernelStarted(launch=launch, device_mem=sim.device_mem)
+        )
+
+        # dispatch against the residency mirror, exactly the inline order
+        num_sms = sim.config.num_sms
+        self.mirror = ResidencyMirror(sim.config)
+        self._pending_bids = list(range(launch.num_blocks))
+        admit_order: List[Tuple[int, int]] = []
+        progress = True
+        while self._pending_bids and progress:
+            progress = False
+            for sm_id in range(num_sms):
+                if self._pending_bids and self.mirror.can_accept(sm_id,
+                                                                 launch):
+                    self.mirror.admit(sm_id)
+                    admit_order.append((sm_id, self._pending_bids.pop(0)))
+                    progress = True
+        self._blocks_run = len(admit_order)
+
+        admits_of: Dict[int, List[int]] = {s: [] for s in range(num_sms)}
+        for sm_id, bid in admit_order:
+            admits_of[sm_id].append(bid)
+        for wid, worker in enumerate(self.workers):
+            worker.task_q.put((CMD_LAUNCH, self.launch_idx,
+                               [(s, admits_of[s]) for s in self.chunks[wid]]))
+
+        # the inline path emits initial BlockStarted events round-robin
+        # before the run loop; synthesize them in that exact order (shard
+        # recorders suppress their own copies)
+        replay_entries(
+            [(0, sm_id, i, (W_BLOCK_START, bid))
+             for i, (sm_id, bid) in enumerate(admit_order)],
+            self._replay_to,
+        )
+
+        # per-launch merge state
+        self._pending = {s: deque() for s in range(num_sms)}
+        self._status = [_RUNNING if admits_of[s] else _DONE
+                        for s in range(num_sms)]
+        self._last = list(self._sm_cycles)
+        self._buf = []
+
+        self._merge_loop()
+        self._flush(None)
+
+        # end-of-launch handshake: collect the shared-half race log deltas
+        for worker in self.workers:
+            worker.task_q.put((CMD_END,))
+        logs: Dict[int, Any] = {}
+        acks = 0
+        while acks < self.n_workers:
+            msg = self._recv()
+            if msg[1] == END_ACK:
+                logs.update(msg[6])
+                acks += 1
+            elif msg[1] == ERROR:
+                self._fail(msg[6])
+
+        if det_log is not None:
+            det_log.order_base = (self.launch_idx, 1 << 62, 0, 0)
+        sim.bus.emit_kernel_end(KernelEnded())
+        if det_log is not None and logs:
+            merge_ordered_logs(det_log, [logs[k] for k in sorted(logs)])
+        return sim._collect(launch, sm_cycles=list(self._sm_cycles),
+                            blocks_run=self._blocks_run)
+
+    # ------------------------------------------------------------------
+    # the floor-ordered merge loop
+
+    def _floor(self, sm_id: int) -> float:
+        if self._status[sm_id] == _DONE:
+            return _INF
+        q = self._pending[sm_id]
+        return q[0][0] if q else self._last[sm_id]
+
+    def _min_floor(self) -> float:
+        return min((self._floor(s) for s in range(len(self._status))
+                    if self._status[s] != _DONE), default=_INF)
+
+    def _merge_loop(self) -> None:
+        num_sms = len(self._status)
+        while True:
+            best_sm = -1
+            best_key: Tuple[float, int] = (_INF, num_sms)
+            for sm_id in range(num_sms):
+                if self._status[sm_id] == _DONE:
+                    continue
+                key = (self._floor(sm_id), sm_id)
+                if key < best_key:
+                    best_key = key
+                    best_sm = sm_id
+            if best_sm < 0:
+                return
+            q = self._pending[best_sm]
+            if not q:
+                # the globally smallest SM is running ahead of its last
+                # report; nothing else may be processed until it checks in
+                self._integrate(self._recv())
+                continue
+            cycle, seq, kind, payload = q.popleft()
+            self._last[best_sm] = cycle
+            self._process(best_sm, cycle, seq, kind, payload)
+            if len(self._buf) >= FLUSH_THRESHOLD:
+                self._flush(self._min_floor())
+
+    def _integrate(self, msg: Tuple) -> None:
+        sm_id, kind, cycle, seq, ops, events, payload = msg
+        if kind == ERROR:
+            self._fail(payload)
+        if kind in (READY, END_ACK):
+            return
+        buf = self._buf
+        for c, s, rec in events:
+            buf.append((c, sm_id, s, rec))
+        q = self._pending[sm_id]
+        q.extend(ops)
+        q.append((cycle, seq, kind, payload))
+
+    def _process(self, sm_id: int, cycle: int, seq: int, kind: str,
+                 payload: Any) -> None:
+        if kind == PARK_GLOBAL:
+            self._resume(sm_id, self._global_park(sm_id, cycle, seq,
+                                                  payload))
+        elif kind == OP_FENCE_NOTE:
+            self.sim.detector.rrf.on_fence(*payload)
+        elif kind == OP_SYNC_NOTE:
+            det = self.sim.detector
+            det.rrf.note_sync_increment(payload, det.config.sync_id_mask)
+        elif kind == PARK_EPOCH:
+            self._resume(sm_id, None)
+        elif kind == PARK_RETIRE:
+            self._resume(sm_id, self._retire_park(sm_id))
+        elif kind == PARK_LOCK:
+            self._resume(sm_id, self._lock_park(sm_id, cycle, payload))
+        elif kind == PARK_UNLOCK:
+            self._resume(sm_id, self._unlock_park(sm_id, cycle, payload))
+        elif kind == DONE:
+            self._status[sm_id] = _DONE
+            self._sm_cycles[sm_id] = cycle
+        else:  # pragma: no cover - protocol violation
+            raise SimulationError(f"unknown shard message kind {kind!r}")
+
+    def _resume(self, sm_id: int, resp: Any) -> None:
+        self.workers[self.owner[sm_id]].task_q.put((CMD_RESUME, sm_id, resp))
+
+    # -- park processors ---------------------------------------------------
+
+    def _global_park(self, sm_id: int, cycle: int, seq: int,
+                     payload: Tuple) -> Tuple:
+        access, txns, code, ops = payload
+        sim = self.sim
+        latency, levels = sim.memory.warp_access(
+            sm_id, txns, cycle, id_bits=sim.bus.request_id_bits)
+        lane_l1_hit = lane_hit_flags(access.lanes, txns, levels)
+        det = sim.detector
+        log = getattr(det, "log", None)
+        if log is not None:
+            log.order_base = (self.launch_idx, cycle, sm_id, seq)
+        det.on_warp_access(access, cycle, lane_l1_hit=lane_l1_hit)
+        mem = sim.device_mem
+        values: Optional[List[float]]
+        if code == OP_LOAD:
+            values = [mem.load(la.addr) for la in access.lanes]
+        elif code == OP_ATOMIC:
+            values = []
+            for addr, atom, a5, a6 in ops:
+                old = mem.load(addr)
+                mem.store(addr, apply_atomic(atom, old, a5, a6))
+                values.append(old)
+        else:
+            for addr, val in ops:
+                mem.store(addr, val)
+            values = None
+        return (latency, lane_l1_hit, values)
+
+    def _lock_park(self, sm_id: int, cycle: int,
+                   rows: List[Tuple[int, int, int]]
+                   ) -> List[Tuple[bool, int]]:
+        sim = self.sim
+        table = sim.lock_table
+        out: List[Tuple[bool, int]] = []
+        for addr, tid, sig in rows:
+            if table.try_acquire(addr, tid):
+                proxy = _ThreadProxy(sig, [addr])
+                new_sig = sim.bus.lock_acquired(LockAcquired(
+                    thread=proxy, addr=addr, sm_id=sm_id, cycle=cycle,
+                ))
+                out.append((True, new_sig))
+            else:
+                out.append((False, 0))
+        return out
+
+    def _unlock_park(self, sm_id: int, cycle: int,
+                     rows: List[Tuple[int, int, int, bool]]) -> List[int]:
+        sim = self.sim
+        table = sim.lock_table
+        out: List[int] = []
+        for addr, tid, sig, empty_after in rows:
+            table.release(addr, tid)
+            proxy = _ThreadProxy(sig, [] if empty_after else [addr])
+            out.append(sim.bus.lock_released(LockReleased(
+                thread=proxy, addr=addr, sm_id=sm_id, cycle=cycle,
+            )))
+        return out
+
+    def _retire_park(self, sm_id: int) -> Optional[int]:
+        assert self.mirror is not None
+        self.mirror.retire(sm_id)
+        launch = self.sim._launch
+        if self._pending_bids and self.mirror.can_accept(sm_id, launch):
+            self.mirror.admit(sm_id)
+            self._blocks_run += 1
+            return self._pending_bids.pop(0)
+        return None
+
+    # -- replay ------------------------------------------------------------
+
+    def _flush(self, bound: Optional[float]) -> None:
+        """Replay buffered wire entries with cycle strictly below ``bound``.
+
+        ``None`` flushes everything (launch end). The bound must be strict:
+        a running SM whose floor equals ``c`` may still produce entries
+        keyed at ``c``.
+        """
+        if not self._buf:
+            return
+        if bound is None or bound == _INF:
+            batch = self._buf
+            self._buf = []
+        else:
+            batch = [e for e in self._buf if e[0] < bound]
+            if not batch:
+                return
+            self._buf = [e for e in self._buf if e[0] >= bound]
+        batch.sort(key=lambda e: (e[0], e[1], e[2]))
+        replay_entries(batch, self._replay_to)

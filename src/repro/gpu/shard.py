@@ -1,0 +1,479 @@
+"""Shard worker: SM execution units for epoch-sliced simulation.
+
+One shard process owns a subset of the SM array. Each owned SM is an
+:class:`SMShard` — a :class:`~repro.gpu.sm.StreamingMultiprocessor`
+subclass that runs the unmodified warp scheduler, functional core, timing
+model, shared memory, and the *shared* half of detection against purely
+SM-local state, but replaces every interaction with globally-visible
+state by a synchronous round-trip to the coordinator
+(:class:`repro.gpu.epoch.EpochScheduler`):
+
+============================  =============================================
+park kind                     coordinator-side processing
+============================  =============================================
+``park_global``               L2/DRAM round trip + global shadow check +
+                              device-memory values for the warp's lanes
+``park_lock`` / ``park_unlock``  lock-table arbitration + Bloom signatures
+``park_retire``               residency-mirror update, possible next block
+``park_epoch``                run-ahead bound: permission to enter the
+                              next epoch window
+============================  =============================================
+
+plus two *one-way* ordered operations that ride on the next message
+(``fence`` → race-register-file fence epochs, ``sync`` → sync-ID
+bookkeeping). Every park and every recorded bus event consumes the same
+per-SM monotone ``seq`` counter, so the coordinator can apply global state
+changes and replay observer events in the exact inline interleaving
+``(cycle, sm_id, seq)``.
+
+Each owned SM runs on its own OS thread inside the shard (a park blocks
+deep inside the issue path, so the SM must be suspendable mid-call-stack).
+The threads share *no* mutable state — each has a private bus, recorder,
+and detector half — so GIL scheduling cannot affect results. The shard's
+main thread is a dispatcher: it routes coordinator commands (resume
+payloads, launches, shutdown) to the SM threads.
+
+The state contract: everything reachable from an :class:`SMShard` is
+SM-local and rebuilt deterministically in the worker (kernel generators
+are not picklable — instead of serializing state, the worker re-executes
+the launch plan from the simulator's ``launch_source`` recipe, which
+reproduces the bump-allocator address layout exactly). Device-memory
+*values* never live in the shard: lane values come back with each
+``park_global`` response.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import queue
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.config import DetectionMode
+from repro.common.errors import DeadlockError
+from repro.common.types import MemSpace
+from repro.events.bus import EventBus, PRIORITY_DETECTOR, PRIORITY_METRICS
+from repro.events.records import (
+    AccessIssued,
+    BarrierReleased,
+    BlockEnded,
+    FenceIssued,
+    KernelEnded,
+    KernelStarted,
+    LockIssued,
+    UnlockIssued,
+)
+from repro.events.wire import WireRecorder
+from repro.gpu import functional
+from repro.gpu.block import ThreadBlock
+from repro.gpu.hooks import HooksSubscriber
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.ops import OP_ATOMIC, OP_LOAD
+from repro.gpu.sm import LOCK_RETRY_LIMIT, StreamingMultiprocessor
+from repro.gpu.warp import Warp
+
+#: env knobs used by the fault-handling tests (see tests/gpu)
+STALL_FLAG_ENV = "REPRO_SHARD_STALL_FLAG"
+CRASH_AFTER_ENV = "REPRO_SHARD_CRASH_AFTER"
+
+# message kinds (shard -> coordinator)
+READY = "ready"
+ERROR = "error"
+DONE = "done"
+END_ACK = "end_ack"
+PARK_GLOBAL = "park_global"
+PARK_LOCK = "park_lock"
+PARK_UNLOCK = "park_unlock"
+PARK_RETIRE = "park_retire"
+PARK_EPOCH = "park_epoch"
+
+# one-way op kinds (ride inside a message's ops list)
+OP_FENCE_NOTE = "fence"
+OP_SYNC_NOTE = "sync"
+
+# command kinds (coordinator -> shard); None on the task queue = stop
+CMD_SETUP = "setup"
+CMD_LAUNCH = "launch"
+CMD_RESUME = "resume"
+CMD_END = "end"
+
+
+class SMShard(StreamingMultiprocessor):
+    """An SM executing inside a shard worker.
+
+    Subclasses the inline SM and overrides exactly the five methods that
+    touch globally-visible state (global memory, the lock table, fence and
+    sync-ID signatures, block retirement); everything else — warp
+    scheduling, compute, shared memory, barrier release, idle advance —
+    is the parent's code, bit for bit.
+    """
+
+    def __init__(self, sm_id: int, config: Any, gpu: Any, result_q: Any,
+                 detector_cfg: Any) -> None:
+        super().__init__(sm_id, config, gpu)
+        self.result_q = result_q
+        self.resume_q: "queue.Queue[Any]" = queue.Queue()
+        # private bus: shared-half detector + wire recorder only
+        self.bus = EventBus()
+        self.half_detector = None
+        self._half_log = None
+        if detector_cfg is not None and detector_cfg.mode.shared_enabled:
+            from repro.core.detector import HAccRGDetector
+            half = HAccRGDetector(
+                replace(detector_cfg, mode=DetectionMode.SHARED), gpu)
+            self.bus.subscribe(HooksSubscriber(half), PRIORITY_DETECTOR)
+            self.half_detector = half
+            self._half_log = half.log
+        self.recorder: WireRecorder = self.bus.subscribe(
+            WireRecorder(self), PRIORITY_METRICS)
+        self._note_fences = (detector_cfg is not None
+                             and detector_cfg.mode.global_enabled)
+        self._sync_lazy = (detector_cfg.sync_id_lazy_increment
+                           if detector_cfg is not None else True)
+        self.wire_seq = 0
+        self._ops: List[Tuple[int, int, str, Any]] = []
+        self.launch_idx = -1
+        self._launch_obj: Optional[KernelLaunch] = None
+        self.horizon = 0
+        self.epoch_cycles = max(1, int(config.epoch_cycles))
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+
+    def next_seq(self) -> int:
+        s = self.wire_seq
+        self.wire_seq = s + 1
+        return s
+
+    def _send(self, kind: str, cycle: int, seq: int, payload: Any) -> None:
+        self.result_q.put((self.sm_id, kind, cycle, seq,
+                           self._drain_ops(), self.recorder.drain(),
+                           payload))
+
+    def _drain_ops(self) -> List[Tuple[int, int, str, Any]]:
+        ops = self._ops
+        self._ops = []
+        return ops
+
+    def _park(self, kind: str, payload: Any) -> Any:
+        seq = self.next_seq()
+        self._send(kind, self.cycle, seq, payload)
+        return self.resume_q.get()
+
+    def _note(self, kind: str, payload: Any) -> None:
+        self._ops.append((self.cycle, self.next_seq(), kind, payload))
+
+    # ------------------------------------------------------------------
+    # launch lifecycle (driven by the shard dispatcher)
+
+    def begin_launch(self, launch_idx: int, launch: KernelLaunch) -> None:
+        self.launch_idx = launch_idx
+        self._launch_obj = launch
+        self.horizon = (self.cycle // self.epoch_cycles + 1) * self.epoch_cycles
+        self.bus.emit_kernel_start(
+            KernelStarted(launch=launch, device_mem=self.gpu.device_mem))
+
+    def admit_initial(self, block_ids: List[int]) -> None:
+        """Admit the coordinator's initial dispatch for this launch.
+
+        BlockStarted recording is suppressed: the inline simulator emits
+        these round-robin across SMs before the run loop, an order the
+        sorted merge cannot reproduce, so the coordinator synthesizes them
+        in true dispatch order instead.
+        """
+        assert self._launch_obj is not None
+        self.recorder.enabled = False
+        try:
+            for bid in block_ids:
+                self.admit(self._make_block(bid))
+        finally:
+            self.recorder.enabled = True
+
+    def _make_block(self, block_id: int) -> ThreadBlock:
+        assert self._launch_obj is not None
+        return ThreadBlock(self._launch_obj, block_id,
+                           self.config.warp_size,
+                           self.config.shared_mem_per_sm)
+
+    def end_launch(self) -> Any:
+        """Emit the kernel end and ship the shared-half race-log delta."""
+        self.bus.emit_kernel_end(KernelEnded())
+        log = self._half_log
+        if log is None or not (log.reports or log.trip_counts
+                               or log._pair_keys):
+            return None
+        import copy
+        shipped = copy.deepcopy(log)
+        log.clear()
+        return shipped
+
+    def run_loop(self) -> None:
+        """The SM thread body: step until the SM drains, bounded by epochs."""
+        try:
+            while self.active:
+                if self.cycle >= self.horizon:
+                    self._park(PARK_EPOCH, None)
+                    self.horizon = ((self.cycle // self.epoch_cycles + 1)
+                                    * self.epoch_cycles)
+                self.step()
+            self._send(DONE, self.cycle, self.next_seq(), None)
+        except Exception as exc:  # ship a structured error, never hang
+            try:
+                self._send(ERROR, self.cycle, self.wire_seq,
+                           (type(exc).__name__, str(exc)))
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # scheduling override: stamp race-order bases per step
+
+    def step(self) -> None:
+        log = self._half_log
+        if log is not None:
+            log.order_base = (self.launch_idx, self.cycle, self.sm_id,
+                              self.wire_seq)
+        super().step()
+
+    # ------------------------------------------------------------------
+    # globally-visible interactions -> coordinator round-trips
+
+    def _exec_global(self, warp: Warp, code: int,
+                     lanes: List[Tuple[int, Any]], issue: int) -> None:
+        dec = functional.decode_warp(code, lanes, self.fast_path,
+                                     clean=not warp.lock_touched)
+        is_write = code != OP_LOAD
+        txns = self.timing.global_transactions(dec.lanes, dec.addrs,
+                                               dec.size, is_write)
+        access = self._make_warp_access(warp, MemSpace.GLOBAL, dec)
+        if code == OP_LOAD:
+            ops = None
+        elif code == OP_ATOMIC:
+            ops = [(t.pending[2], t.pending[4], t.pending[5], t.pending[6])
+                   for _, t in lanes]
+        else:
+            ops = [(t.pending[2], t.pending[4]) for _, t in lanes]
+
+        latency, lane_l1_hit, values = self._park(
+            PARK_GLOBAL, (access, txns, code, ops))
+
+        if code == OP_ATOMIC:
+            latency += self.timing.atomic_serialization(dec.lanes, dec.addrs,
+                                                        issue)
+        effect = self.bus.emit_access(AccessIssued(
+            access=access, sm_id=self.sm_id, cycle=self.cycle,
+            lane_l1_hit=lane_l1_hit,
+        ))
+        warp.block.global_accessed_since_barrier = True
+
+        # functional completion from the coordinator's device memory
+        if code == OP_LOAD or code == OP_ATOMIC:
+            for v, (_, t) in zip(values, lanes):
+                warp.complete_lane(t, v)
+        else:
+            for _, t in lanes:
+                warp.complete_lane(t)
+
+        warp.ready_at = self.cycle + latency + effect.stall_cycles
+
+    def _exec_lock(self, warp: Warp, lanes: List[Tuple[int, Any]],
+                   issue: int) -> None:
+        warp.lock_touched = True
+        rows = [(t.pending[1], t.global_tid, t.lock_sig) for _, t in lanes]
+        results = self._park(PARK_LOCK, rows)
+        granted = 0
+        for (ok, sig), (_, t) in zip(results, lanes):
+            if ok:
+                t.held_locks.append(t.pending[1])
+                t.critical_depth += 1
+                t.lock_sig = sig
+                warp.complete_lane(t)
+                granted += 1
+        self.bus.emit_lock(LockIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle,
+            attempts=len(lanes), granted=granted,
+        ))
+        if granted:
+            warp.retries = 0
+        else:
+            warp.retries += 1
+            if warp.retries > LOCK_RETRY_LIMIT:
+                raise DeadlockError(
+                    f"warp {warp.warp_id} exceeded lock retry budget"
+                )
+        warp.ready_at = self.cycle + self.timing.lock_cost(granted > 0)
+
+    def _exec_unlock(self, warp: Warp, lanes: List[Tuple[int, Any]],
+                   issue: int) -> None:
+        rows = []
+        for _, t in lanes:
+            addr = t.pending[1]
+            t.held_locks.remove(addr)
+            t.critical_depth -= 1
+            rows.append((addr, t.global_tid, t.lock_sig,
+                         not t.held_locks))
+        results = self._park(PARK_UNLOCK, rows)
+        for sig, (_, t) in zip(results, lanes):
+            t.lock_sig = sig
+            warp.complete_lane(t)
+        self.bus.emit_unlock(UnlockIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+        ))
+        warp.ready_at = self.cycle + self.timing.unlock_cost()
+
+    def _exec_fence(self, warp: Warp, lanes: List[Tuple[int, Any]],
+                   issue: int) -> None:
+        functional.execute_fence(warp, lanes)
+        if self._note_fences:
+            self._note(OP_FENCE_NOTE, (warp.warp_id, warp.fence_id))
+        effect = self.bus.emit_fence(FenceIssued(
+            warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+        ))
+        warp.ready_at = (self.cycle + self.timing.fence_cost()
+                         + effect.stall_cycles)
+
+    def _maybe_release_barrier(self, block: ThreadBlock) -> None:
+        if not block.all_at_barrier():
+            return
+        released_lanes = sum(
+            len(w.live_lanes()) for w in block.warps if w.at_barrier
+        )
+        effect = self.bus.emit_barrier(BarrierReleased(
+            block=block, sm_id=self.sm_id, cycle=self.cycle,
+            released_lanes=released_lanes,
+        ))
+        if self._note_fences:
+            will_increment = (block.global_accessed_since_barrier
+                              or not self._sync_lazy)
+            self._note(OP_SYNC_NOTE,
+                       block.sync_id + (1 if will_increment else 0))
+        release_at = (self.cycle + self.timing.barrier_cost()
+                      + effect.stall_cycles)
+        block.release_barrier(release_at, lazy_sync=self.gpu.sync_id_lazy)
+
+    def _maybe_retire(self, block: ThreadBlock) -> None:
+        if not block.check_done():
+            return
+        self.blocks.remove(block)
+        removed_before = sum(
+            1 for w in self.warps[:self._rr] if w.block is block
+        )
+        self.warps = [w for w in self.warps if w.block is not block]
+        self._rr = ((self._rr - removed_before) % len(self.warps)
+                    if self.warps else 0)
+        self.retired_blocks += 1
+        self.bus.emit_block_end(BlockEnded(block=block, sm_id=self.sm_id))
+        next_bid = self._park(PARK_RETIRE, block.block_id)
+        if next_bid is not None:
+            self.admit(self._make_block(next_bid))
+
+
+# ---------------------------------------------------------------------------
+# worker entry point
+# ---------------------------------------------------------------------------
+
+
+def rebuild_simulator(setup: Dict[str, Any]) -> Tuple[Any, List[KernelLaunch]]:
+    """Rebuild the SM-local world from the coordinator's setup payload.
+
+    The local simulator repeats the coordinator's allocation sequence via
+    ``launch_source`` — the bump allocator is deterministic, so every
+    device address (and therefore every decoded lane access) matches the
+    coordinator's byte for byte. Device-memory *values* in the local copy
+    are never read.
+    """
+    from repro.gpu.simulator import GPUSimulator
+
+    sim = GPUSimulator(setup["config"],
+                       timing_enabled=setup["timing_enabled"])
+    sim.warp_regrouping = setup["warp_regrouping"]
+    sim.sync_id_lazy = setup["sync_id_lazy"]
+    module, func, payload = setup["launch_source"]
+    specs = getattr(importlib.import_module(module), func)(payload, sim)
+    launches = [
+        ls if isinstance(ls, KernelLaunch) else KernelLaunch(
+            ls.kernel, _dim3(ls.grid), _dim3(ls.block), tuple(ls.args))
+        for ls in specs
+    ]
+    return sim, launches
+
+
+def _dim3(value: Any) -> Any:
+    from repro.common.types import Dim3
+    return Dim3.of(value)
+
+
+def shard_main(worker_id: int, task_q: Any, result_q: Any) -> None:
+    """Shard dispatcher: build the local world, run SM threads, route cmds."""
+    stall_flag = os.environ.get(STALL_FLAG_ENV)
+    if stall_flag and worker_id == 0 and os.path.exists(stall_flag):
+        try:
+            os.remove(stall_flag)
+        except OSError:
+            pass
+        time.sleep(3600.0)
+    crash_after = int(os.environ.get(CRASH_AFTER_ENV, "0") or 0)
+    resumes_seen = 0
+
+    item = task_q.get()
+    if item is None or item[0] != CMD_SETUP:
+        return
+    setup = item[1]
+    try:
+        sim, launches = rebuild_simulator(setup)
+        sms = {
+            sm_id: SMShard(sm_id, sim.config, sim, result_q,
+                           setup["detector"])
+            for sm_id in setup["sm_ids"]
+        }
+    except Exception as exc:
+        result_q.put((-1, ERROR, 0, 0, [], [],
+                      (type(exc).__name__, str(exc))))
+        return
+    result_q.put((-1, READY, 0, 0, [], [], None))
+
+    threads: List[threading.Thread] = []
+    while True:
+        cmd = task_q.get()
+        if cmd is None:
+            return
+        op = cmd[0]
+        if op == CMD_RESUME:
+            _, sm_id, resp = cmd
+            if crash_after:
+                resumes_seen += 1
+                if resumes_seen >= crash_after:
+                    os._exit(1)
+            sms[sm_id].resume_q.put(resp)
+        elif op == CMD_LAUNCH:
+            _, launch_idx, admits = cmd
+            for t in threads:
+                t.join()
+            threads = []
+            try:
+                launch = launches[launch_idx]
+            except IndexError:
+                result_q.put((-1, ERROR, 0, 0, [], [],
+                              ("SimulationError",
+                               f"launch {launch_idx} not in rebuilt plan "
+                               f"({len(launches)} launches)")))
+                continue
+            for sm in sms.values():
+                sm.begin_launch(launch_idx, launch)
+            for sm_id, bids in admits:
+                sms[sm_id].admit_initial(bids)
+            for sm_id, bids in admits:
+                if bids:
+                    t = threading.Thread(target=sms[sm_id].run_loop,
+                                         daemon=True)
+                    threads.append(t)
+                    t.start()
+        elif op == CMD_END:
+            logs = {}
+            for sm_id in sorted(sms):
+                shipped = sms[sm_id].end_launch()
+                if shipped is not None:
+                    logs[sm_id] = shipped
+            result_q.put((-1, END_ACK, 0, 0, [], [], logs))

@@ -1,7 +1,7 @@
 """Performance benchmarking: simulator, fuzz, detector, and service rates.
 
 ``repro bench-perf`` measures four throughput surfaces on pinned
-workloads and writes the canonical record to ``BENCH_7.json`` at the
+workloads and writes the canonical record to ``BENCH_8.json`` at the
 repo root (CI uploads it as an artifact, fails on malformed output, and
 diffs it against the previous record with ``tools/bench_compare.py``):
 
@@ -38,8 +38,8 @@ from repro.common.errors import ConfigError
 PERF_SCHEMA = 1
 
 #: the canonical record name + output file for this PR's bench record
-BENCH_NAME = "BENCH_7"
-BENCH_FILENAME = "BENCH_7.json"
+BENCH_NAME = "BENCH_8"
+BENCH_FILENAME = "BENCH_8.json"
 
 #: pinned simulator cells: (benchmark, scale)
 _SIM_CELLS = (("HIST", 0.25), ("SCAN", 0.25))

@@ -44,7 +44,7 @@ from repro.campaign.pool import (
     OK,
     TIMEOUT,
     JobOutcome,
-    _Worker,
+    SpawnWorker,
 )
 from repro.common.errors import ReproError
 from repro.serve.verdicts import VerdictCache
@@ -214,7 +214,7 @@ class ShardedWorkerPool:
 
         ctx = multiprocessing.get_context(self.start_method)
         result_q = ctx.Queue()
-        pool: List[_Worker] = [_Worker(ctx, wid, result_q)
+        pool: List[SpawnWorker] = [SpawnWorker(ctx, wid, result_q)
                                for wid in range(self.workers)]
         backlog: List[List[_Task]] = [[] for _ in range(self.workers)]
         active: Dict[int, _Task] = {}
@@ -232,7 +232,7 @@ class ShardedWorkerPool:
         def respawn(i: int) -> None:
             dead = pool[i]
             dead.kill()
-            replacement = _Worker(ctx, dead.worker_id, result_q)
+            replacement = SpawnWorker(ctx, dead.worker_id, result_q)
             replacement.busy_seconds = dead.busy_seconds
             pool[i] = replacement
             self.stats["respawns"] += 1

@@ -1,4 +1,4 @@
-"""bench-perf: perf job kind, record validation, and the BENCH_7 file."""
+"""bench-perf: perf job kind, record validation, and the canonical BENCH file."""
 
 import json
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.harness.benchperf import (
     BENCH_FILENAME,
+    BENCH_NAME,
     PERF_SCHEMA,
     PerfJob,
     PerfSpecError,
@@ -79,7 +80,7 @@ class TestExecution:
 def _minimal_record():
     return {
         "schema": PERF_SCHEMA,
-        "bench": "BENCH_7",
+        "bench": BENCH_NAME,
         "quick": True,
         "sections": {
             "simulate": {"events_per_sec": 100.0, "runs": []},
@@ -99,7 +100,7 @@ class TestValidation:
 
     @pytest.mark.parametrize("mutate, match", [
         (lambda r: r.update(schema=99), "schema"),
-        (lambda r: r.update(bench="BENCH_5"), "BENCH_7"),
+        (lambda r: r.update(bench="BENCH_5"), "BENCH_8"),
         (lambda r: r.pop("sections"), "sections"),
         (lambda r: r["sections"].pop("service"), "service"),
         (lambda r: r["sections"]["fuzz"].update(iterations_per_sec=0),
@@ -148,9 +149,70 @@ class TestValidation:
 
 class TestCheckedInBenchFile:
     def test_repo_bench_file_exists_and_validates(self):
-        """BENCH_7.json at the repo root is the canonical perf record."""
+        """BENCH_8.json at the repo root is the canonical perf record."""
         record = validate_bench_file()
-        assert record["bench"] == "BENCH_7"
+        assert record["bench"] == BENCH_NAME
         assert record["quick"] is False
         # the replay section carries the aggregate rate bench_compare diffs
         assert record["sections"]["replay"]["events_per_sec"] > 0
+
+
+class TestBenchCompareTrajectory:
+    """tools/bench_compare.py --trajectory: latest vs every predecessor."""
+
+    @staticmethod
+    def _tool():
+        import importlib.util
+        import sys
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_compare", repo_root() / "tools" / "bench_compare.py")
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules.setdefault("bench_compare", mod)
+        spec.loader.exec_module(mod)
+        return mod
+
+    @staticmethod
+    def _write(tmp_path, n, simulate):
+        rec = {"bench": f"BENCH_{n}", "sections": {
+            "simulate": {"events_per_sec": simulate},
+            "fuzz": {"iterations_per_sec": 10.0},
+            "replay": {"events_per_sec": 100.0},
+            "service": {"jobs_per_sec": 5.0},
+        }}
+        (tmp_path / f"BENCH_{n}.json").write_text(json.dumps(rec))
+
+    def test_discovery_orders_numerically(self, tmp_path):
+        tool = self._tool()
+        for n in (10, 2, 9):
+            self._write(tmp_path, n, 100.0)
+        paths = tool.discover_trajectory(str(tmp_path))
+        assert [p.rsplit("/", 1)[-1] for p in paths] == [
+            "BENCH_2.json", "BENCH_9.json", "BENCH_10.json"]
+
+    def test_latest_compared_against_every_predecessor(self, tmp_path):
+        tool = self._tool()
+        # latest beats its immediate predecessor but gives back the
+        # speedup an earlier record banked: the trajectory must fail
+        self._write(tmp_path, 1, 200.0)
+        self._write(tmp_path, 2, 50.0)
+        self._write(tmp_path, 3, 60.0)
+        assert tool.main(["--trajectory", str(tmp_path)]) == 1
+
+    def test_monotone_trajectory_passes(self, tmp_path):
+        tool = self._tool()
+        for n, rate in ((1, 100.0), (2, 150.0), (3, 160.0)):
+            self._write(tmp_path, n, rate)
+        assert tool.main(["--trajectory", str(tmp_path)]) == 0
+
+    def test_checked_in_trajectory_passes(self):
+        """The repo's own BENCH_* records satisfy the gate CI runs."""
+        tool = self._tool()
+        assert tool.main(["--trajectory", str(repo_root())]) == 0
+
+    def test_two_file_mode_still_works(self, tmp_path):
+        tool = self._tool()
+        self._write(tmp_path, 1, 100.0)
+        self._write(tmp_path, 2, 90.0)
+        assert tool.main([str(tmp_path / "BENCH_1.json"),
+                          str(tmp_path / "BENCH_2.json")]) == 0

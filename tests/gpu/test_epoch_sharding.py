@@ -1,0 +1,128 @@
+"""Epoch-sliced sharded execution: parity, fallback, and fault handling.
+
+The sharded path (``config.sm_workers > 0``) must be bit-identical to the
+inline heap loop — same races, same statistics, same cycle counts — and
+must fail *cleanly* when a worker dies or stalls: a structured error with
+the partial state discarded, never a hang.
+"""
+
+import pytest
+
+from repro.common.config import (
+    DetectionMode,
+    HAccRGConfig,
+    scaled_gpu_config,
+)
+from repro.common.errors import ShardCrashError, ShardTimeoutError
+from repro.harness.export import run_result_record
+from repro.harness.runner import run_benchmark_direct
+
+SCALE = 0.05
+
+
+def _record(name, mode, sm_workers):
+    cfg = None if mode is None else HAccRGConfig(mode=mode)
+    res = run_benchmark_direct(
+        name, cfg, scaled_gpu_config(sm_workers=sm_workers),
+        scale=SCALE, seed=3)
+    return run_result_record(res)
+
+
+@pytest.mark.parametrize("mode", [DetectionMode.FULL, None])
+@pytest.mark.parametrize("name", ["HIST", "HASH"])
+def test_sharded_matches_inline(name, mode):
+    """2-worker sharded run == inline run, field for field."""
+    assert _record(name, mode, sm_workers=2) == _record(name, mode, 0)
+
+
+def test_sharded_multi_launch_parity():
+    """A multi-launch plan merges race logs cumulatively across launches."""
+    assert (_record("SCAN", DetectionMode.FULL, sm_workers=2)
+            == _record("SCAN", DetectionMode.FULL, 0))
+
+
+def test_inline_when_sm_workers_zero():
+    """sm_workers=0 must select the inline scheduler (the default path)."""
+    from repro.gpu.epoch import InlineScheduler
+    from repro.gpu.simulator import GPUSimulator
+
+    sim = GPUSimulator(scaled_gpu_config(sm_workers=0))
+    sim.launch_source = ("repro.harness.runner",
+                         "rebuild_bench_launches", {})
+    assert isinstance(sim._select_scheduler(), InlineScheduler)
+    sim.close()
+
+
+def test_inline_fallback_without_launch_source():
+    """No rebuild recipe -> silent inline fallback even with workers."""
+    from repro.gpu.epoch import InlineScheduler
+    from repro.gpu.simulator import GPUSimulator
+
+    sim = GPUSimulator(scaled_gpu_config(sm_workers=2))
+    assert sim.launch_source is None
+    assert isinstance(sim._select_scheduler(), InlineScheduler)
+    sim.close()
+
+
+def test_inline_fallback_for_software_detector():
+    """Non-hardware detectors cannot shard: fall back, don't fail."""
+    from repro.common.config import DetectorBackend
+    from repro.gpu.epoch import InlineScheduler
+    from repro.gpu.simulator import GPUSimulator
+    from repro.harness.runner import make_detector
+
+    sim = GPUSimulator(scaled_gpu_config(sm_workers=2),
+                       timing_enabled=False)
+    sim.launch_source = ("repro.harness.runner",
+                         "rebuild_bench_launches", {})
+    det = make_detector(
+        HAccRGConfig(mode=DetectionMode.FULL,
+                     backend=DetectorBackend.SOFTWARE), sim)
+    sim.attach_detector(det)
+    assert isinstance(sim._select_scheduler(), InlineScheduler)
+    sim.close()
+
+
+# ---------------------------------------------------------------------------
+# fault handling
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_raises_structured_error(monkeypatch):
+    """A worker killed mid-epoch surfaces ShardCrashError, not a hang."""
+    monkeypatch.setenv("REPRO_SHARD_CRASH_AFTER", "3")
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "60")
+    with pytest.raises(ShardCrashError):
+        run_benchmark_direct(
+            "HIST", HAccRGConfig(mode=DetectionMode.FULL),
+            scaled_gpu_config(sm_workers=2), scale=SCALE, seed=3)
+
+
+def test_worker_timeout_retries_and_succeeds(tmp_path, monkeypatch):
+    """A stalled fleet is killed and the run retried once, successfully.
+
+    The stall flag is a one-shot: worker 0 of the *first* fleet consumes
+    the file and sleeps past the watchdog; the retry's fresh fleet finds
+    no flag and completes. The retried result must equal a clean run.
+    """
+    flag = tmp_path / "stall"
+    flag.write_text("x")
+    monkeypatch.setenv("REPRO_SHARD_STALL_FLAG", str(flag))
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "3")
+    monkeypatch.setenv("REPRO_SHARD_RETRIES", "1")
+    got = _record("HIST", DetectionMode.FULL, sm_workers=2)
+    assert not flag.exists(), "worker 0 should have consumed the flag"
+    monkeypatch.delenv("REPRO_SHARD_STALL_FLAG")
+    assert got == _record("HIST", DetectionMode.FULL, 0)
+
+
+def test_worker_timeout_propagates_without_retries(tmp_path, monkeypatch):
+    """REPRO_SHARD_RETRIES=0: the timeout propagates to the caller."""
+    flag = tmp_path / "stall"
+    flag.write_text("x")
+    monkeypatch.setenv("REPRO_SHARD_STALL_FLAG", str(flag))
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "3")
+    monkeypatch.setenv("REPRO_SHARD_RETRIES", "0")
+    with pytest.raises(ShardTimeoutError):
+        run_benchmark_direct(
+            "HIST", HAccRGConfig(mode=DetectionMode.FULL),
+            scaled_gpu_config(sm_workers=2), scale=SCALE, seed=3)

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Compare two bench-perf records; fail on regression.
+"""Compare bench-perf records; fail on regression.
 
 Usage::
 
     python tools/bench_compare.py OLD.json NEW.json [--max-slowdown 0.25]
+    python tools/bench_compare.py --trajectory [DIR] [--max-slowdown 0.25]
 
-Diffs the section-level throughput rates of two ``repro bench-perf``
-records (any schema-1 ``BENCH_<n>.json``) and exits non-zero when any
-section of NEW is more than ``--max-slowdown`` slower than OLD (default
-25%). Speedups never fail. Sections present in only one record are
-reported and skipped.
+The two-file form diffs the section-level throughput rates of two
+``repro bench-perf`` records (any schema-1 ``BENCH_<n>.json``) and exits
+non-zero when any section of NEW is more than ``--max-slowdown`` slower
+than OLD (default 25%). Speedups never fail. Sections present in only
+one record are reported and skipped.
+
+``--trajectory`` discovers every ``BENCH_<n>.json`` in DIR (default:
+the current directory), orders them by ``<n>``, and diffs the *latest*
+record against **every** predecessor — the whole perf trajectory, not
+just the previous PR. A regression beyond the tolerance against *any*
+predecessor fails, so a PR cannot give back a speedup an earlier PR
+banked (e.g. land slower than BENCH_7 while still beating BENCH_6).
 
 Compared rates:
 
@@ -103,11 +111,46 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
     return failures
 
 
+def discover_trajectory(directory: str) -> list:
+    """``BENCH_<n>.json`` paths in ``directory``, ordered by ``<n>``."""
+    import os
+    import re
+
+    found = []
+    for entry in os.listdir(directory or "."):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", entry)
+        if match:
+            found.append((int(match.group(1)),
+                          os.path.join(directory or ".", entry)))
+    return [path for _, path in sorted(found)]
+
+
+def compare_trajectory(directory: str, max_slowdown: float) -> int:
+    """Diff the latest record against every predecessor; count failures."""
+    paths = discover_trajectory(directory)
+    if len(paths) < 2:
+        sys.exit(f"bench_compare: need at least two BENCH_<n>.json "
+                 f"records in {directory or '.'} (found {len(paths)})")
+    records = [load_record(p) for p in paths]
+    latest = records[-1]
+    failures = 0
+    for predecessor in records[:-1]:
+        failures += compare(predecessor, latest, max_slowdown)
+        print()
+    return failures
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="diff two bench-perf records, fail on regression")
-    parser.add_argument("old", help="baseline record (e.g. BENCH_6.json)")
-    parser.add_argument("new", help="candidate record (e.g. BENCH_7.json)")
+        description="diff bench-perf records, fail on regression")
+    parser.add_argument("old", nargs="?", default=None,
+                        help="baseline record (e.g. BENCH_7.json)")
+    parser.add_argument("new", nargs="?", default=None,
+                        help="candidate record (e.g. BENCH_8.json)")
+    parser.add_argument("--trajectory", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="diff the latest BENCH_<n>.json in DIR "
+                             "(default: .) against every predecessor")
     parser.add_argument("--max-slowdown", type=float, default=0.25,
                         metavar="FRAC",
                         help="fail when a section is more than FRAC "
@@ -115,9 +158,16 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_slowdown < 1.0:
         parser.error("--max-slowdown must be in [0, 1)")
-    old = load_record(args.old)
-    new = load_record(args.new)
-    failures = compare(old, new, args.max_slowdown)
+    if args.trajectory is not None:
+        if args.old is not None or args.new is not None:
+            parser.error("--trajectory takes no positional records")
+        failures = compare_trajectory(args.trajectory, args.max_slowdown)
+    elif args.old is None or args.new is None:
+        parser.error("need OLD.json and NEW.json (or --trajectory)")
+    else:
+        old = load_record(args.old)
+        new = load_record(args.new)
+        failures = compare(old, new, args.max_slowdown)
     if failures:
         print(f"bench_compare: {failures} section(s) regressed beyond "
               f"{args.max_slowdown:.0%}")

@@ -207,6 +207,33 @@ def _smoke(scale: float) -> List[LabeledJob]:
     return cells
 
 
+def _multigpu(scale: float) -> List[LabeledJob]:
+    """The multi-GPU extension grid: suite x devices + injection matrix.
+
+    Cells are :class:`repro.multigpu.runner.MGJob` records (job kind
+    ``"multigpu"``); they ride the same pool/cache/retry machinery as
+    ``run_benchmark`` cells via the executor registry.
+    """
+    from repro.multigpu.bench import MG_BENCHMARKS, MG_INJECTION_CATALOG
+    from repro.multigpu.runner import MGJob
+
+    cells: List[LabeledJob] = []
+    for bench in MG_BENCHMARKS:
+        for gpus in (2, 3):
+            cells.append((
+                f"multigpu/{bench.name}-x{gpus}",
+                MGJob(bench=bench.name, gpus=gpus, scale=scale,
+                      verify=not bench.has_real_race)))
+    for spec in MG_INJECTION_CATALOG:
+        if not spec.injection:
+            continue  # the design race already runs fault-free above
+        cells.append((
+            f"multigpu/{spec.bench}-{spec.injection}",
+            MGJob(bench=spec.bench, gpus=2, scale=scale,
+                  injection=spec.injection)))
+    return cells
+
+
 def _reproduce(scale: float) -> List[LabeledJob]:
     """Every run_benchmark cell the full ``reproduce`` pass issues."""
     cells: List[LabeledJob] = []
@@ -256,6 +283,8 @@ CAMPAIGNS: Dict[str, Campaign] = {
         Campaign("fig9", "DRAM bandwidth grid", _fig9),
         Campaign("table4", "shadow memory overhead grid", _table4),
         Campaign("smoke", "tiny CI sanity grid", _smoke),
+        Campaign("multigpu", "multi-GPU suite + cross-GPU injections",
+                 _multigpu),
         Campaign("reproduce", "every cell of the full reproduce pass",
                  _reproduce),
     )

@@ -229,6 +229,7 @@ JOB_EXECUTORS: Dict[str, str] = {
     "analyze": "repro.analyze.worker:execute_analyze_record",
     "replay": "repro.serve.worker:execute_replay_record",
     "perf": "repro.harness.benchperf:execute_perf_record",
+    "multigpu": "repro.multigpu.runner:execute_mg_record",
 }
 
 

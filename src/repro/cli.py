@@ -7,10 +7,12 @@ Commands:
   print races + performance counters;
 - ``experiment ID`` — regenerate one paper artifact (table1, table2,
   effectiveness, injected, table3, bloom, idsizes, fig7, fig8, fig9,
-  table4, hwcost, ablations, vmtlb);
+  table4, hwcost, ablations, vmtlb, multigpu);
 - ``reproduce`` — regenerate everything, in paper order; with
   ``--workers N --cache DIR`` the experiment grid is pre-computed in
   parallel through the campaign engine and every re-run is incremental;
+  ``--gpus N`` (N > 1) renders the multi-GPU extension section instead
+  (see docs/MULTIGPU.md);
 - ``campaign list/run/status/clean`` — drive experiment grids through
   the parallel campaign engine (see docs/CAMPAIGNS.md).
 """
@@ -69,7 +71,18 @@ def _cmd_run(args) -> int:
             shared_granularity=args.shared_granularity,
             global_granularity=args.global_granularity,
         )
-    res = run_benchmark(args.bench.upper(), cfg, scale=args.scale)
+    if args.tlb:
+        # translation modeling is a live observer, so it takes the direct
+        # (session-bypassing) path; the probe prices the paired app+shadow
+        # lookup whenever a detector is attached
+        from repro.harness.runner import run_benchmark_direct
+        from repro.harness.vm_experiment import TLBProbe
+
+        probe = TLBProbe(entries=args.tlb, shadowed=cfg is not None)
+        res = run_benchmark_direct(args.bench.upper(), cfg,
+                                   scale=args.scale, observers=(probe,))
+    else:
+        res = run_benchmark(args.bench.upper(), cfg, scale=args.scale)
     print(f"{res.name}: {res.cycles} cycles, "
           f"{res.stats.instructions} instructions, "
           f"DRAM util {res.dram_utilization:.1%}, "
@@ -82,6 +95,12 @@ def _cmd_run(args) -> int:
               f"{ph.barrier_stall_cycles} barrier, "
               f"{ph.fence_stall_cycles} fence), "
               f"shadow traffic {ph.shadow_traffic_bytes} B")
+    if res.tlb is not None:
+        t = res.tlb
+        print(f"tlb: {t['app_accesses']} app + {t['shadow_accesses']} "
+              f"shadow lookups, app miss {t['app_miss_rate']:.1%}, "
+              f"total miss {t['total_miss_rate']:.1%}, "
+              f"{t['walks']} page walks")
     if res.races is not None:
         print(f"races: {len(res.races)} distinct "
               f"({res.shared_races()} shared, {res.global_races()} global)")
@@ -120,6 +139,7 @@ _EXPERIMENTS = {
         ex.table4_memory_overhead(scale=s)),
     "hwcost": lambda s: report.render_hw_cost(ex.hw_cost_report()),
     "vmtlb": lambda s: vme.render_vm_tlb(vme.vm_tlb_study(scale=s)),
+    "multigpu": lambda s: _multigpu_section(s, gpus=2),
     "ablations": lambda s: "\n\n".join([
         ab.render_ablation("fence-ID suppression",
                            ab.ablation_fence_suppression(scale=s),
@@ -145,7 +165,16 @@ def _figure(data, table_renderer, chart_name: str) -> str:
                         getattr(charts, chart_name)(data)])
 
 
+def _multigpu_section(scale: float, gpus: int) -> str:
+    from repro.multigpu.experiment import multigpu_study, render_multigpu
+
+    return render_multigpu(multigpu_study(scale=scale, gpus=gpus))
+
+
 def _cmd_experiment(args) -> int:
+    if args.id == "multigpu":
+        print(_multigpu_section(args.scale, gpus=args.gpus))
+        return 0
     print(_EXPERIMENTS[args.id](args.scale))
     return 0
 
@@ -165,6 +194,13 @@ def _render_reproduce(scale: float) -> None:
 
 
 def _cmd_reproduce(args) -> int:
+    if args.gpus > 1:
+        # the multi-GPU extension section: every registered multi-device
+        # benchmark plus the injection matrix, detector vs oracle. The
+        # single-GPU tables are unaffected by the device count, so this
+        # renders the one section that is.
+        print(_multigpu_section(args.scale, gpus=args.gpus))
+        return 0
     if args.sm_workers is not None:
         # the env var is how the setting reaches every simulator the
         # render path builds (and, like REPRO_FAST_PATH, it is excluded
@@ -384,6 +420,23 @@ def _cmd_trace_replay(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    if args.gpus > 1:
+        from repro.multigpu.fuzz import MGFuzzParams, run_mg_fuzz
+
+        summary = run_mg_fuzz(args.seed, args.iterations,
+                              MGFuzzParams(gpus=args.gpus))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"mg-fuzz: {summary['iterations']} iterations on "
+                  f"{args.gpus} devices, {summary['racy_programs']} racy "
+                  f"programs ({summary['oracle_races']} oracle / "
+                  f"{summary['detector_races']} detector races), "
+                  f"digest {summary['digest'][:16]}")
+            for c in summary["contradictions"]:
+                print(f"  CONTRADICTION: {c}")
+        return 1 if summary["contradictions"] else 0
+
     from repro.fuzz import GeneratorParams, run_fuzz_campaign
 
     params = GeneratorParams(inject_every=args.inject_every)
@@ -564,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--global-granularity", type=int, default=4)
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--max-races", type=int, default=10)
+    run_p.add_argument("--tlb", type=int, default=0, metavar="ENTRIES",
+                       help="model address translation through an "
+                            "ENTRIES-entry tagged TLB (repro.vm) and "
+                            "report its statistics; runs the direct "
+                            "(uncached) path")
     run_p.add_argument("--diagnose", action="store_true",
                        help="group races into per-array findings with "
                             "suggested fixes")
@@ -573,11 +631,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate one paper artifact")
     exp_p.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--gpus", type=int, default=2,
+                       help="device count for the multigpu experiment "
+                            "(ignored by single-GPU experiments)")
     exp_p.set_defaults(fn=_cmd_experiment)
 
     rep_p = sub.add_parser("reproduce",
                            help="regenerate every table and figure")
     rep_p.add_argument("--scale", type=float, default=1.0)
+    rep_p.add_argument("--gpus", type=int, default=1,
+                       help="with N > 1, render the multi-GPU extension "
+                            "section on an N-device system instead of "
+                            "the single-GPU tables (docs/MULTIGPU.md)")
     rep_p.add_argument("--workers", type=int, default=1,
                        help="pre-compute the experiment grid with N "
                             "parallel workers before rendering")
@@ -705,6 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--seed", type=int, default=0)
     fuzz_p.add_argument("--iterations", type=int, default=100)
     fuzz_p.add_argument("--workers", type=int, default=1)
+    fuzz_p.add_argument("--gpus", type=int, default=1,
+                        help="with N > 1, run the multi-GPU differential "
+                             "fuzzer on an N-device system instead "
+                             "(docs/MULTIGPU.md); other flags except "
+                             "--seed/--iterations/--json are ignored")
     fuzz_p.add_argument("--inject-every", type=int, default=2,
                         help="inject a planned race into every Nth "
                              "program (0 = never)")
@@ -802,8 +872,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub_p.set_defaults(fn=_cmd_submit)
 
     bp_p = sub.add_parser(
-        "bench-perf", help="measure simulator, fuzz, detector, and "
-                           "service throughput; writes BENCH_8.json")
+        "bench-perf", help="measure simulator, fuzz, detector, multi-GPU, "
+                           "and service throughput; writes BENCH_9.json")
     bp_p.add_argument("--quick", action="store_true",
                       help="smaller workloads (CI smoke; marked in the "
                            "output record)")
@@ -812,7 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "section (0 = inline)")
     bp_p.add_argument("--output", default=None, metavar="FILE",
                       help="where to write the canonical record "
-                           "(default: BENCH_8.json at the repo root)")
+                           "(default: BENCH_9.json at the repo root)")
     bp_p.add_argument("--no-write", action="store_true",
                       help="print only; do not write the bench file")
     bp_p.add_argument("--json", action="store_true",

@@ -39,12 +39,20 @@ class RaceKind(enum.IntEnum):
 
 
 class RaceCategory(enum.IntEnum):
-    """The four reporting categories of §VI-A."""
+    """The four reporting categories of §VI-A, plus the cross-GPU class.
+
+    The ``XGPU_*`` members extend the paper's taxonomy for the multi-GPU
+    model (``repro.multigpu``, docs/MULTIGPU.md): conflicts between
+    devices on shared (peer-mapped or unified) pages, which no
+    single-device shadow machinery can observe.
+    """
 
     SHARED_BARRIER = 0   #: shared memory, incorrect barrier synchronization
     GLOBAL_BARRIER = 1   #: global memory, incorrect barrier synchronization
     GLOBAL_LOCKSET = 2   #: global memory, lack of / inconsistent critical sections
     GLOBAL_FENCE = 3     #: global memory, missing memory fence
+    XGPU_SHARING = 4     #: cross-GPU concurrent conflicting writes on a shared page
+    XGPU_FENCE = 5       #: cross-GPU read of a write never published system-scope
 
 
 @dataclass(frozen=True)

@@ -50,7 +50,7 @@ epoch wraparound — diffs against it are the fuzzer's measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.common.types import AccessKind, MemSpace, RaceCategory, RaceKind
 
@@ -429,3 +429,181 @@ def detector_entries(log: Any, shared_enabled: bool = True,
         elif global_enabled:
             out.add((r.space.name, int(r.entry)))
     return out
+
+
+# ---------------------------------------------------------------------------
+# cross-device extension (repro.multigpu, docs/MULTIGPU.md)
+# ---------------------------------------------------------------------------
+#
+# Multi-GPU runs open a race class the single-device oracle never sees:
+# conflicts between devices on shared (peer-mapped or unified) pages. The
+# semantics mirror the single-device model one level up:
+#
+# - kernels launched on different devices within one *host phase* are
+#   logically concurrent (the host never orders them); the host-side
+#   synchronize between phases orders everything, exactly like a barrier
+#   orders block epochs;
+# - a device-scope fence (``__threadfence``) publishes nothing to peers;
+#   only a **system-scope** fence (``__threadfence_system``) does — so the
+#   single-device fence-suppression rule lifts to: a cross-device W/R
+#   conflict is suppressed iff the writing warp issued a system-scope
+#   fence after the write, within the same phase;
+# - system atomics serialize at the page's home node, so two cross-device
+#   atomics never race (the global-memory atomic exemption, lifted);
+# - cross-device W/W conflicts in one phase always race (fences do not
+#   order writes against writes, matching the single-device model).
+#
+# Cross-device W/R conflicts are canonically reported as RAW regardless of
+# which endpoint the analysis encounters first: the two accesses are
+# logically concurrent, so "the read may observe the pre-write value" is
+# the failure either way. This keeps the verdict order-independent, which
+# is what makes the byte-level oracle and the granule-level directory
+# detector (repro.multigpu.detector) provably agree on entry sets.
+
+
+@dataclass(frozen=True)
+class DeviceEndpoint:
+    """One access endpoint in the cross-device analysis (plain data)."""
+
+    device: int
+    phase: int
+    wid: int             #: device-local warp id
+    tid: int             #: device-local grid thread id
+    bid: int
+    kind: int            #: AccessKind int value
+    sys_fenced_after: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != _READ
+
+
+def cross_device_verdict(a: DeviceEndpoint, b: DeviceEndpoint
+                         ) -> Optional[Tuple[RaceKind, RaceCategory]]:
+    """Shared pair-verdict for cross-device conflicts (order-independent).
+
+    Returns ``None`` when the pair is ordered or exempt, else the
+    ``(kind, category)`` to report. Both the byte-exact
+    :class:`MultiDeviceOracle` and the granule-level directory detector
+    call this — the cross-GPU race rule exists exactly once.
+    """
+    if a.device == b.device or a.phase != b.phase:
+        return None
+    a_w = a.kind != _READ
+    b_w = b.kind != _READ
+    if not (a_w or b_w):
+        return None
+    if a.kind == _ATOMIC and b.kind == _ATOMIC:
+        return None  # system atomics serialize at the home node
+    if a_w and b_w:
+        return (RaceKind.WAW, RaceCategory.XGPU_SHARING)
+    writer = a if a_w else b
+    if writer.sys_fenced_after:
+        return None  # published by a system-scope fence within the phase
+    return (RaceKind.RAW, RaceCategory.XGPU_FENCE)
+
+
+@dataclass(frozen=True)
+class CrossDeviceRace:
+    """One cross-device racing pair (byte-level, from the oracle)."""
+
+    byte: int
+    kind: RaceKind
+    category: RaceCategory
+    phase: int
+    first_device: int
+    second_device: int
+    first_tid: int
+    second_tid: int
+
+    def entry(self, granularity: int) -> int:
+        return self.byte // granularity
+
+
+class MultiDeviceOracle:
+    """Exact byte-granularity cross-device oracle.
+
+    Consumes plain access/fence records (no live simulator objects) in any
+    per-device order that preserves each warp's program order, defers all
+    verdicts to :meth:`finish` — fence publication is a *phase-final*
+    property, so judging online would depend on the interleaving of
+    logically concurrent streams — and reports deduplicated
+    :class:`CrossDeviceRace` pairs via :func:`cross_device_verdict`.
+    """
+
+    def __init__(self) -> None:
+        #: (device, wid) -> running system-scope fence epoch
+        self._epoch: Dict[Tuple[int, int], int] = {}
+        #: (device, phase, wid) -> epoch at that warp's last record in phase
+        self._phase_final: Dict[Tuple[int, int, int], int] = {}
+        #: (phase, byte) -> list of (device, wid, tid, bid, kind, stamp)
+        self._bytes: Dict[Tuple[int, int],
+                          List[Tuple[int, int, int, int, int, int]]] = {}
+        self._races: Dict[Tuple[int, int, RaceKind, RaceCategory],
+                          CrossDeviceRace] = {}
+
+    def on_access(self, device: int, phase: int, wid: int, bid: int,
+                  kind: int, base_tid: int,
+                  lanes: Iterable[Tuple[int, int, int]]) -> None:
+        """One warp access: ``lanes`` yields ``(lane, addr, size)`` rows."""
+        stamp = self._epoch.get((device, wid), 0)
+        self._phase_final[(device, phase, wid)] = stamp
+        for lane, addr, size in lanes:
+            tid = base_tid + lane
+            row = (device, wid, tid, bid, kind, stamp)
+            for byte in range(addr, addr + size):
+                self._bytes.setdefault((phase, byte), []).append(row)
+
+    def on_fence(self, device: int, phase: int, wid: int, scope: int) -> None:
+        """One fence; only system scope (1) publishes across devices."""
+        if scope:
+            epoch = self._epoch.get((device, wid), 0) + 1
+            self._epoch[(device, wid)] = epoch
+            self._phase_final[(device, phase, wid)] = epoch
+
+    # ------------------------------------------------------------------
+
+    def _endpoint(self, phase: int,
+                  row: Tuple[int, int, int, int, int, int]) -> DeviceEndpoint:
+        device, wid, tid, bid, kind, stamp = row
+        final = self._phase_final.get((device, phase, wid), stamp)
+        return DeviceEndpoint(device=device, phase=phase, wid=wid, tid=tid,
+                              bid=bid, kind=kind,
+                              sys_fenced_after=final > stamp)
+
+    def finish(self) -> List[CrossDeviceRace]:
+        """Judge every cross-device pair; returns deduplicated races."""
+        for (phase, byte), rows in sorted(self._bytes.items()):
+            # dedupe interchangeable endpoints: same (device, warp, kind,
+            # fence stamp) rows pair identically against everything
+            unique: Dict[Tuple[int, int, int, int],
+                         Tuple[int, int, int, int, int, int]] = {}
+            for row in rows:
+                unique.setdefault((row[0], row[1], row[4], row[5]), row)
+            eps = [self._endpoint(phase, row) for row in unique.values()]
+            for i, a in enumerate(eps):
+                for b in eps[i + 1:]:
+                    verdict = cross_device_verdict(a, b)
+                    if verdict is None:
+                        continue
+                    kind, category = verdict
+                    key = (phase, byte, kind, category)
+                    if key not in self._races:
+                        lo, hi = ((a, b) if a.device < b.device else (b, a))
+                        self._races[key] = CrossDeviceRace(
+                            byte=byte, kind=kind, category=category,
+                            phase=phase,
+                            first_device=lo.device,
+                            second_device=hi.device,
+                            first_tid=lo.tid, second_tid=hi.tid)
+        return [self._races[key] for key in sorted(self._races)]
+
+
+def cross_device_entries(races: Iterable[CrossDeviceRace],
+                         granularity: int) -> "set[Tuple[str, int]]":
+    """Cross-device races as ``("XGPU", entry)`` diff keys.
+
+    The entry level is the unit the multi-GPU differential harness diffs
+    on, for the same robustness reasons as :func:`oracle_entries`.
+    """
+    return {("XGPU", r.entry(granularity)) for r in races}

@@ -16,7 +16,7 @@ benchmark's final snapshot aggregates the whole run (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Optional
 
 from repro.common.types import AccessKind, KernelStats, MemSpace
 from repro.events.bus import Subscriber
@@ -66,6 +66,14 @@ class MetricsCollector(Subscriber):
         self._issue_width = issue_width_cycles
         self._per_sm: Dict[int, KernelStats] = {}
         self.phase = PhaseStats()
+        #: TLB statistics record (repro.vm TLBStats.record() shape), set
+        #: via note_tlb by runs that model address translation — the
+        #: multi-GPU simulator and the vm_tlb experiment; None otherwise
+        self.tlb: Optional[Dict[str, Any]] = None
+
+    def note_tlb(self, record: Dict[str, Any]) -> None:
+        """Attach (or replace) the run's TLB statistics record."""
+        self.tlb = dict(record)
 
     # ------------------------------------------------------------------
     # stats access

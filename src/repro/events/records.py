@@ -85,14 +85,31 @@ class BarrierReleased:
     released_lanes: int
 
 
+#: fence scopes carried on :class:`FenceIssued` (CUDA ``__threadfence``
+#: vs ``__threadfence_system``; device scope is the historical default)
+FENCE_SCOPE_DEVICE = 0
+FENCE_SCOPE_SYSTEM = 1
+
+
 @dataclass(slots=True)
 class FenceIssued:
-    """A warp completed a memory-fence instruction."""
+    """A warp completed a memory-fence instruction.
+
+    ``scope`` distinguishes device-scope from system-scope fences
+    (``FENCE_SCOPE_*``); within one device they behave identically, so
+    single-device consumers may ignore it. ``warp_id`` / ``block_id``
+    carry the issuer identity so replayed events (where ``warp`` is
+    ``None``) still attribute the fence — ``-1`` means unknown, which
+    only pre-extension wire producers emit.
+    """
 
     warp: Any
     sm_id: int
     cycle: int
     lanes: int
+    scope: int = FENCE_SCOPE_DEVICE
+    warp_id: int = -1
+    block_id: int = -1
 
 
 @dataclass(slots=True)

@@ -106,7 +106,7 @@ class WireRecorder(Subscriber):
         return None
 
     def on_fence(self, ev: FenceIssued) -> None:
-        self._put((W_FENCE, ev.lanes))
+        self._put((W_FENCE, ev.lanes, ev.scope, ev.warp_id, ev.block_id))
         return None
 
     def on_lock(self, ev: LockIssued) -> None:
@@ -187,7 +187,8 @@ def replay_entries(batch: Iterable[MergedEntry],
             last_ev = ev
         elif code == W_FENCE:
             ev = FenceIssued(warp=None, sm_id=sm_id, cycle=cycle,
-                             lanes=rec[1])
+                             lanes=rec[1], scope=rec[2], warp_id=rec[3],
+                             block_id=rec[4])
             for t in targets:
                 t.on_fence(ev)
             last_ev = ev

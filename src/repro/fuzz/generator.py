@@ -259,7 +259,13 @@ def generate_program(seed: int,
     for _ in range(rng.randrange(2, params.max_safe_stmts + 1)):
         stmts.extend(_safe_stmt(rng, prog_meta, regions))
         if rng.random() < 0.3:
-            stmts.append({"op": rng.choice(["barrier", "fence"])})
+            sep: Dict[str, Any] = {"op": rng.choice(["barrier", "fence"])}
+            # every third fence is system-scope (__threadfence_system):
+            # derived from seed + position, not an rng draw, so the
+            # statement stream of any legacy seed is unchanged
+            if sep["op"] == "fence" and (seed + len(stmts)) % 3 == 0:
+                sep["scope"] = 1
+            stmts.append(sep)
 
     expected: Tuple[str, ...] = ()
     expected_fp: Tuple[str, ...] = ()

@@ -131,7 +131,14 @@ def _fuzz_kernel(ctx, g, bbin, locks, program: FuzzProgram):
         if op == "barrier":
             yield ctx.syncthreads()
         elif op == "fence":
-            yield ctx.threadfence()
+            # scope 1 = system (__threadfence_system): semantically inert
+            # for a single device — the intra-device detector and oracle
+            # treat both scopes identically — but it exercises the scope
+            # plumbing the multi-GPU model keys on (docs/MULTIGPU.md)
+            if st.get("scope") == 1:
+                yield ctx.threadfence_system()
+            else:
+                yield ctx.threadfence()
         elif op == "g":
             if "only_tid" in st and st["only_tid"] != ctx.global_tid:
                 continue

@@ -27,7 +27,7 @@ from repro.fuzz.generator import GeneratorParams, generate_program
 from repro.fuzz.harness import ITERATION_SCHEMA, mode_by_name, run_iteration
 
 #: results with a different fuzz schema are never served from cache
-FUZZ_SCHEMA = 2
+FUZZ_SCHEMA = 3
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,14 @@ from repro.gpu.ops import (
 
 _BARRIER_OP = (OP_BARRIER,)
 _FENCE_OP = (OP_FENCE,)
+#: system-scope fence: scope flag 1 in the op tuple's second slot. Fences
+#: group by opcode only, so device- and system-scope fences coalesce into
+#: one warp group exactly like plain fences.
+_FENCE_SYSTEM_OP = (OP_FENCE, 1)
+
+#: fence scope constants (mirrored by :mod:`repro.events.records`)
+FENCE_SCOPE_DEVICE = 0
+FENCE_SCOPE_SYSTEM = 1
 
 
 class ThreadCtx:
@@ -139,6 +147,16 @@ class ThreadCtx:
     def threadfence(self) -> tuple:
         """Device-wide memory fence (``__threadfence``)."""
         return _FENCE_OP
+
+    def threadfence_system(self) -> tuple:
+        """System-wide memory fence (``__threadfence_system``).
+
+        Within one device it behaves exactly like :meth:`threadfence`;
+        across devices it is the only fence that publishes prior writes to
+        peers (see ``docs/MULTIGPU.md``). The scope rides in the op tuple
+        and on the emitted :class:`~repro.events.records.FenceIssued`.
+        """
+        return _FENCE_SYSTEM_OP
 
     def lock(self, arr: DeviceArray, index: int) -> tuple:
         """Acquire the lock stored at ``arr[index]`` (spins until granted).

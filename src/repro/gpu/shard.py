@@ -325,11 +325,16 @@ class SMShard(StreamingMultiprocessor):
 
     def _exec_fence(self, warp: Warp, lanes: List[Tuple[int, Any]],
                    issue: int) -> None:
+        # scope rides the pending op tuple; read before execute clears it
+        op = lanes[0][1].pending
+        scope = op[1] if len(op) > 1 else 0
         functional.execute_fence(warp, lanes)
         if self._note_fences:
             self._note(OP_FENCE_NOTE, (warp.warp_id, warp.fence_id))
         effect = self.bus.emit_fence(FenceIssued(
             warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+            scope=scope, warp_id=warp.warp_id,
+            block_id=warp.block.block_id,
         ))
         warp.ready_at = (self.cycle + self.timing.fence_cost()
                          + effect.stall_cycles)

@@ -289,11 +289,18 @@ class StreamingMultiprocessor:
     # -- synchronization -----------------------------------------------------
 
     def _exec_fence(self, warp: Warp, lanes, issue: int) -> None:
+        # scope rides in the op tuple's second slot ((OP_FENCE,) = device,
+        # (OP_FENCE, 1) = system); read it before execute_fence clears the
+        # lanes' pending ops
+        op = lanes[0][1].pending
+        scope = op[1] if len(op) > 1 else 0
         # functional execution
         functional.execute_fence(warp, lanes)
         # emission + timing
         effect = self.bus.emit_fence(FenceIssued(
             warp=warp, sm_id=self.sm_id, cycle=self.cycle, lanes=len(lanes),
+            scope=scope, warp_id=warp.warp_id,
+            block_id=warp.block.block_id,
         ))
         warp.ready_at = self.cycle + self.timing.fence_cost() + effect.stall_cycles
 

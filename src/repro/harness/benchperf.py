@@ -1,7 +1,7 @@
 """Performance benchmarking: simulator, fuzz, detector, and service rates.
 
-``repro bench-perf`` measures four throughput surfaces on pinned
-workloads and writes the canonical record to ``BENCH_8.json`` at the
+``repro bench-perf`` measures five throughput surfaces on pinned
+workloads and writes the canonical record to ``BENCH_9.json`` at the
 repo root (CI uploads it as an artifact, fails on malformed output, and
 diffs it against the previous record with ``tools/bench_compare.py``):
 
@@ -13,7 +13,10 @@ diffs it against the previous record with ``tools/bench_compare.py``):
   trace, with each backend's overhead relative to the fastest;
 - **service** — end-to-end jobs/second through a live ``repro.serve``
   endpoint (upload → submit → verdict), plus the cache-hit rate for
-  repeat submissions.
+  repeat submissions;
+- **multigpu** — cross-GPU events/second through the full
+  :class:`~repro.multigpu.system.MultiGPUSimulator` stack (simulation +
+  merge + directory detection + HB oracle) over pinned benchmark cells.
 
 Each measurement is a :class:`PerfJob` — a content-addressed job record
 (kind ``"perf"``) registered in the campaign executor table, so perf
@@ -38,8 +41,8 @@ from repro.common.errors import ConfigError
 PERF_SCHEMA = 1
 
 #: the canonical record name + output file for this PR's bench record
-BENCH_NAME = "BENCH_8"
-BENCH_FILENAME = "BENCH_8.json"
+BENCH_NAME = "BENCH_9"
+BENCH_FILENAME = "BENCH_9.json"
 
 #: pinned simulator cells: (benchmark, scale)
 _SIM_CELLS = (("HIST", 0.25), ("SCAN", 0.25))
@@ -56,6 +59,10 @@ _REPLAY_CELL_QUICK = ("SCAN", 0.1)
 #: service-throughput shape: (distinct traces, jobs per trace)
 _SERVICE_LOAD = (4, 2)
 _SERVICE_LOAD_QUICK = (2, 2)
+
+#: pinned multi-GPU cells: (benchmark, devices, scale)
+_MG_CELLS = (("MG_RING", 2, 0.5), ("MG_PRODCONS", 2, 0.5))
+_MG_CELLS_QUICK = (("MG_RING", 2, 0.25),)
 
 
 class PerfSpecError(ConfigError):
@@ -76,7 +83,9 @@ class PerfJob:
     - ``"fuzz"`` — run one differential fuzz iteration for ``seed``;
       value = iterations/s;
     - ``"replay"`` — replay ``bench``/``scale`` through ``backend``;
-      value = events/s through that backend.
+      value = events/s through that backend;
+    - ``"multigpu"`` — run multi-GPU ``bench`` at ``scale`` on ``gpus``
+      devices (detector + oracle attached); value = cross-GPU events/s.
     """
 
     metric: str
@@ -85,8 +94,9 @@ class PerfJob:
     seed: int = 0
     backend: str = ""
     repeats: int = 1
+    gpus: int = 2
 
-    _METRICS = ("simulate", "fuzz", "replay")
+    _METRICS = ("simulate", "fuzz", "replay", "multigpu")
 
     def __post_init__(self) -> None:
         if self.metric not in self._METRICS:
@@ -106,6 +116,7 @@ class PerfJob:
             "seed": int(self.seed),
             "backend": self.backend,
             "repeats": int(self.repeats),
+            "gpus": int(self.gpus),
         }
 
     def key(self) -> str:
@@ -122,13 +133,16 @@ class PerfJob:
                    scale=float(record.get("scale", 1.0)),
                    seed=int(record.get("seed", 0)),
                    backend=record.get("backend", ""),
-                   repeats=int(record.get("repeats", 1)))
+                   repeats=int(record.get("repeats", 1)),
+                   gpus=int(record.get("gpus", 2)))
 
     def describe(self) -> str:
         if self.metric == "simulate":
             return f"simulate {self.bench}@{self.scale}"
         if self.metric == "fuzz":
             return f"fuzz seed={self.seed}"
+        if self.metric == "multigpu":
+            return f"multigpu {self.bench}@{self.scale} x{self.gpus}"
         return f"replay {self.bench}@{self.scale} via {self.backend}"
 
 
@@ -182,6 +196,25 @@ def _measure_once(job: PerfJob) -> Dict[str, Any]:
                 "elapsed": elapsed,
                 "rate": 1.0 / elapsed if elapsed else 0.0,
                 "unit": "iterations/s"}
+    if job.metric == "multigpu":
+        from repro.common.config import HAccRGConfig
+        from repro.multigpu.runner import run_mg_benchmark
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            res = run_mg_benchmark(job.bench, gpus=job.gpus,
+                                   detector_config=HAccRGConfig(),
+                                   scale=job.scale, timing_enabled=False)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        return {"metric": "multigpu", "events": res.events,
+                "gpus": job.gpus,
+                "contradictions": len(res.contradictions),
+                "elapsed": elapsed,
+                "rate": res.events / elapsed if elapsed else 0.0,
+                "unit": "events/s"}
     # replay: record once (untimed), time only the backend replay
     from repro.harness.trace import record as record_trace
     from repro.serve.backends import get_backend, run_backend
@@ -218,6 +251,7 @@ def run_bench_perf(quick: bool = False, workers: int = 0) -> Dict[str, Any]:
         "fuzz": _section_fuzz(quick),
         "replay": _section_replay(quick),
         "service": _section_service(quick, workers),
+        "multigpu": _section_multigpu(quick),
     }
     return {
         "schema": PERF_SCHEMA,
@@ -297,6 +331,30 @@ def _section_replay(quick: bool) -> Dict[str, Any]:
     return {"unit": "events/s", "bench": bench, "scale": scale,
             "events": events, "elapsed": round(total_elapsed, 6),
             "events_per_sec": round(aggregate, 1), "backends": backends}
+
+
+def _section_multigpu(quick: bool) -> Dict[str, Any]:
+    cells = _MG_CELLS_QUICK if quick else _MG_CELLS
+    runs = []
+    total_events = 0
+    total_elapsed = 0.0
+    for bench, gpus, scale in cells:
+        out = execute_perf_record(
+            PerfJob("multigpu", bench=bench, scale=scale, gpus=gpus,
+                    repeats=1 if quick else 3).record())
+        runs.append({"bench": bench, "gpus": gpus, "scale": scale,
+                     "events": out["events"],
+                     "contradictions": out["contradictions"],
+                     "elapsed": round(out["elapsed"], 6),
+                     "events_per_sec": round(out["rate"], 1)})
+        total_events += out["events"]
+        total_elapsed += out["elapsed"]
+    return {
+        "unit": "events/s",
+        "runs": runs,
+        "events_per_sec": round(total_events / total_elapsed, 1)
+        if total_elapsed else 0.0,
+    }
 
 
 def _section_service(quick: bool, workers: int) -> Dict[str, Any]:
@@ -399,6 +457,7 @@ def validate_bench_record(record: Dict[str, Any]) -> None:
         "fuzz": "iterations_per_sec",
         "replay": "backends",
         "service": "jobs_per_sec",
+        "multigpu": "events_per_sec",
     }
     for name, field in required.items():
         section = sections.get(name)
@@ -407,7 +466,7 @@ def validate_bench_record(record: Dict[str, Any]) -> None:
         if field not in section:
             raise PerfSpecError(
                 f"bench section {name!r} is missing {field!r}")
-    for name in ("simulate", "fuzz", "service"):
+    for name in ("simulate", "fuzz", "service", "multigpu"):
         rate = sections[name][required[name]]
         if not isinstance(rate, (int, float)) or rate <= 0:
             raise PerfSpecError(
@@ -459,4 +518,8 @@ def render_summary(record: Dict[str, Any]) -> str:
     lines.append(f"  service   {svc['jobs_per_sec']:>10.2f} jobs/s "
                  f"({svc['jobs']} jobs, {svc['workers']} workers); "
                  f"cache hits {svc['cache_hits_per_sec']:.1f}/s")
+    mg = s.get("multigpu")
+    if mg is not None:
+        lines.append(f"  multigpu  {mg['events_per_sec']:>10.1f} events/s "
+                     f"({len(mg['runs'])} cells)")
     return "\n".join(lines)

@@ -77,6 +77,8 @@ def run_result_to_dict(res: RunResult,
         out["phases"] = phase_stats_record(res.phases)
         out["phases"]["detector_stall_cycles"] = int(
             res.phases.detector_stall_cycles)
+    if res.tlb is not None:
+        out["tlb"] = dict(res.tlb)
     if res.races is not None:
         out["race_log"] = race_log_to_dict(res.races, max_races=max_races)
     return out
@@ -229,6 +231,7 @@ def run_result_record(res: RunResult) -> Dict[str, Any]:
         "shadow_transactions": int(res.shadow_transactions),
         "phases": (phase_stats_record(res.phases)
                    if res.phases is not None else None),
+        "tlb": dict(res.tlb) if res.tlb is not None else None,
     }
 
 
@@ -256,4 +259,7 @@ def run_result_from_record(record: Dict[str, Any]) -> RunResult:
         # .get(): records cached before the event pipeline lack the field
         phases=(phase_stats_from_record(record["phases"])
                 if record.get("phases") is not None else None),
+        # .get(): records cached before the TLB surface lack the field
+        tlb=(dict(record["tlb"])
+             if record.get("tlb") is not None else None),
     )

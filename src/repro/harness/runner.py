@@ -76,6 +76,10 @@ class RunResult:
     #: collector (issue/idle split, detector-induced stalls, shadow
     #: traffic); None for results cached before the field existed
     phases: Optional[PhaseStats] = None
+    #: TLB statistics (repro.vm TLBStats.record() shape: counters plus
+    #: app/shadow miss rates) for runs that model address translation;
+    #: None otherwise and for results cached before the field existed
+    tlb: Optional[Dict[str, Any]] = None
 
     def shared_races(self) -> int:
         return self.races.count(space=MemSpace.SHARED) if self.races else 0
@@ -257,6 +261,13 @@ def _run_benchmark_attempt(name: str,
         plan.verify()  # raises on functional mismatch
         verified = True
 
+    # translation-modeling observers (e.g. TLBProbe) publish their stats
+    # into the run's metrics so RunResult.tlb / the export carry them
+    for obs in observers or ():
+        tlb_record = getattr(obs, "tlb_record", None)
+        if callable(tlb_record):
+            sim.metrics.note_tlb(tlb_record())
+
     # Per-launch SimulationResults snapshot *cumulative* simulator counters:
     # SM stats/cycles and the cache/DRAM statistics are never reset between
     # launches of one simulator, so the final launch's snapshot already
@@ -300,4 +311,5 @@ def _run_benchmark_attempt(name: str,
             getattr(detector, "global_rdu", None), "shadow_transactions",
             0) or 0),
         phases=last.phases if last else None,
+        tlb=sim.metrics.tlb,
     )

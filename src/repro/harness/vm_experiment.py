@@ -34,6 +34,53 @@ class _TraceCollector(Subscriber):
         return None
 
 
+class TLBProbe(Subscriber):
+    """Observer that models address translation for one live run.
+
+    Feeds every global-memory lane address through a :class:`TaggedTLB`
+    backed by an on-demand page table (pages map on first touch, same
+    policy as real lazy allocation). With ``shadowed=True`` the probe
+    prices the detector's paired app+shadow lookup
+    (:meth:`TaggedTLB.access_cycles`); otherwise only the application
+    translation. The benchmark runner harvests :meth:`tlb_record` into
+    ``MetricsCollector.note_tlb``, which is how the statistics reach
+    ``RunResult.tlb``, the JSON export, and the CLI summary line.
+    """
+
+    #: pure function of the access stream — safe under epoch replay
+    replay_safe = True
+
+    def __init__(self, entries: int = 16, page_size: int = 4096,
+                 shadowed: bool = False) -> None:
+        self._page_size = page_size
+        self._pt = PageTable(page_size)
+        self._tlb = TaggedTLB(entries, self._pt)
+        self._shadowed = shadowed
+        self._mapped: set = set()
+        #: total modeled translation cycles over the run
+        self.translation_cycles = 0
+
+    def on_access(self, ev: AccessIssued):
+        if ev.access.space != MemSpace.GLOBAL:
+            return None
+        for la in ev.access.lanes:
+            vpn = la.addr // self._page_size
+            if vpn not in self._mapped:
+                self._mapped.add(vpn)
+                self._pt.map_range(vpn * self._page_size, self._page_size,
+                                   is_global=True)
+            if self._shadowed:
+                self.translation_cycles += self._tlb.access_cycles(la.addr)
+            else:
+                _, cycles = self._tlb.translate(la.addr)
+                self.translation_cycles += cycles
+        return None
+
+    def tlb_record(self):
+        """JSON-safe ``TLBStats.record()`` snapshot (runner harvest hook)."""
+        return self._tlb.stats.record()
+
+
 @dataclass
 class VMTLBRow:
     name: str

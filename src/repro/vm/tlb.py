@@ -19,7 +19,7 @@ misses walk the page table (allocating shadow pages on demand).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 from repro.common.errors import ConfigError
 from repro.vm.page_table import PageTable
@@ -50,6 +50,41 @@ class TLBStats:
         acc = self.app_accesses + self.shadow_accesses
         hits = self.app_hits + self.shadow_hits
         return 1 - hits / acc if acc else 0.0
+
+    def merge(self, other: "TLBStats") -> None:
+        """Accumulate another stats record into this one (in place)."""
+        self.app_accesses += other.app_accesses
+        self.app_hits += other.app_hits
+        self.shadow_accesses += other.shadow_accesses
+        self.shadow_hits += other.shadow_hits
+        self.walks += other.walks
+
+    def record(self) -> Dict[str, Any]:
+        """JSON-safe export: raw counters plus the derived miss rates.
+
+        This is the shape :class:`~repro.events.metrics.MetricsCollector`
+        carries and ``RunResult.tlb`` serializes — keep keys stable.
+        """
+        return {
+            "app_accesses": int(self.app_accesses),
+            "app_hits": int(self.app_hits),
+            "shadow_accesses": int(self.shadow_accesses),
+            "shadow_hits": int(self.shadow_hits),
+            "walks": int(self.walks),
+            "app_miss_rate": float(self.app_miss_rate),
+            "shadow_miss_rate": float(self.shadow_miss_rate),
+            "total_miss_rate": float(self.total_miss_rate),
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, Any]) -> "TLBStats":
+        return TLBStats(
+            app_accesses=int(record["app_accesses"]),
+            app_hits=int(record["app_hits"]),
+            shadow_accesses=int(record["shadow_accesses"]),
+            shadow_hits=int(record["shadow_hits"]),
+            walks=int(record["walks"]),
+        )
 
 
 class _LRUArray:

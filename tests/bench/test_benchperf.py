@@ -90,6 +90,7 @@ def _minimal_record():
                            "overhead_vs_fastest": 1.0}}},
             "service": {"jobs_per_sec": 2.0, "jobs": 2, "workers": 0,
                         "cache_hits_per_sec": 10.0},
+            "multigpu": {"events_per_sec": 80.0, "runs": []},
         },
     }
 
@@ -100,7 +101,10 @@ class TestValidation:
 
     @pytest.mark.parametrize("mutate, match", [
         (lambda r: r.update(schema=99), "schema"),
-        (lambda r: r.update(bench="BENCH_5"), "BENCH_8"),
+        (lambda r: r.update(bench="BENCH_5"), "BENCH_9"),
+        (lambda r: r["sections"].pop("multigpu"), "multigpu"),
+        (lambda r: r["sections"]["multigpu"].update(events_per_sec=0),
+         "non-positive"),
         (lambda r: r.pop("sections"), "sections"),
         (lambda r: r["sections"].pop("service"), "service"),
         (lambda r: r["sections"]["fuzz"].update(iterations_per_sec=0),
@@ -143,13 +147,13 @@ class TestValidation:
 
     def test_render_summary_mentions_every_section(self):
         text = render_summary(_minimal_record())
-        for word in ("simulate", "fuzz", "replay", "service"):
+        for word in ("simulate", "fuzz", "replay", "service", "multigpu"):
             assert word in text
 
 
 class TestCheckedInBenchFile:
     def test_repo_bench_file_exists_and_validates(self):
-        """BENCH_8.json at the repo root is the canonical perf record."""
+        """BENCH_9.json at the repo root is the canonical perf record."""
         record = validate_bench_file()
         assert record["bench"] == BENCH_NAME
         assert record["quick"] is False

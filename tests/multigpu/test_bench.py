@@ -1,0 +1,125 @@
+"""The registered multi-GPU benchmarks and the cross-GPU injection catalog.
+
+Every injected cell is the oracle-assertion the issue demands: the
+directory detector must report the race, the extended happens-before
+oracle must confirm it, the observed kinds/categories must match the
+catalog's expectation, and the two analyses must never contradict.
+"""
+
+import pytest
+
+from repro.common.config import HAccRGConfig
+from repro.multigpu.bench import (
+    MG_BENCHMARKS,
+    MG_INJECTION_CATALOG,
+    get_mg_benchmark,
+    mg_injection,
+)
+from repro.multigpu.runner import run_mg_benchmark
+
+SCALE = 0.5
+
+
+def run(name, **kw):
+    kw.setdefault("gpus", 2)
+    kw.setdefault("detector_config", HAccRGConfig())
+    kw.setdefault("scale", SCALE)
+    kw.setdefault("timing_enabled", False)
+    return run_mg_benchmark(name, **kw)
+
+
+class TestRegistry:
+    def test_catalog_covers_required_benchmark_count(self):
+        assert len(MG_BENCHMARKS) >= 3
+        assert len(MG_INJECTION_CATALOG) >= 2
+
+    def test_get_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_mg_benchmark("MG_NOPE")
+
+    def test_injection_name_resolution(self):
+        inj = mg_injection("MG_RING", "overlap")
+        assert inj.inject("overlap")
+        with pytest.raises(KeyError, match="unknown injection"):
+            mg_injection("MG_RING", "nope")
+
+    def test_empty_injection_name_is_no_injection(self):
+        inj = mg_injection("MG_RING", "")
+        assert not inj.inject("overlap")
+
+    def test_design_race_specs_match_benchmark_flags(self):
+        by_name = {b.name: b for b in MG_BENCHMARKS}
+        for spec in MG_INJECTION_CATALOG:
+            assert spec.bench in by_name
+            if not spec.injection:
+                assert by_name[spec.bench].has_real_race, (
+                    f"{spec.bench}: design-race spec but benchmark not "
+                    "flagged has_real_race")
+
+    def test_every_named_injection_site_is_known_to_its_benchmark(self):
+        by_name = {b.name: b for b in MG_BENCHMARKS}
+        for spec in MG_INJECTION_CATALOG:
+            sites = by_name[spec.bench].injection_sites
+            if spec.injection:
+                assert spec.injection in sites
+
+
+@pytest.mark.slow
+class TestFaultFreeRuns:
+    @pytest.mark.parametrize("name", [b.name for b in MG_BENCHMARKS])
+    def test_runs_end_to_end_without_contradiction(self, name):
+        bench = get_mg_benchmark(name)
+        res = run(name, verify=not bench.has_real_race)
+        assert res.events > 0
+        assert res.phases >= 1
+        assert res.contradictions == []
+        if bench.has_real_race:
+            # the documented design race must be visible to both analyses
+            assert res.cross_races and res.detector_reports
+        else:
+            assert res.verified is True
+            assert res.cross_races == []
+            assert res.detector_reports == []
+
+
+@pytest.mark.slow
+class TestInjectionCatalog:
+    @pytest.mark.parametrize(
+        "spec", [s for s in MG_INJECTION_CATALOG if s.injection],
+        ids=lambda s: f"{s.bench}-{s.injection}")
+    def test_injected_race_detected_and_oracle_confirmed(self, spec):
+        res = run(spec.bench, injection=spec.injection)
+        assert res.cross_races, f"{spec.bench}+{spec.injection}: oracle silent"
+        assert res.detector_reports, (
+            f"{spec.bench}+{spec.injection}: directory detector silent")
+        assert res.contradictions == [], (
+            f"{spec.bench}+{spec.injection}: oracle vs detector disagree")
+        oracle_kinds = {r.kind for r in res.cross_races}
+        oracle_cats = {r.category for r in res.cross_races}
+        assert oracle_kinds == set(spec.expected_kinds)
+        assert oracle_cats == set(spec.expected_categories)
+        det_kinds = {r.kind for r in res.detector_reports}
+        det_cats = {r.category for r in res.detector_reports}
+        assert det_kinds == set(spec.expected_kinds)
+        assert det_cats == set(spec.expected_categories)
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in MG_INJECTION_CATALOG if not s.injection],
+        ids=lambda s: s.bench)
+    def test_design_race_matches_catalog_expectation(self, spec):
+        res = run(spec.bench)
+        assert {r.kind for r in res.cross_races} == set(spec.expected_kinds)
+        assert ({r.category for r in res.cross_races}
+                == set(spec.expected_categories))
+        assert res.contradictions == []
+
+
+@pytest.mark.slow
+class TestScaling:
+    def test_three_device_run(self):
+        res = run("MG_RING", gpus=3, verify=True)
+        assert res.num_devices == 3
+        assert res.verified is True
+        assert res.contradictions == []
+        assert len(res.tlb) == 3
+        assert len(res.remote_cycles) == 3

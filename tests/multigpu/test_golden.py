@@ -1,0 +1,43 @@
+"""Multi-GPU golden-parity gate: digests must not move silently.
+
+Mirrors tests/harness/test_golden_parity.py for the ``mg_cells`` section
+of tests/golden/parity.json: every registered benchmark (fault-free) and
+every named injection must reproduce the recorded full-system digest and
+race counts bit-for-bit. Regenerate only for an intentional behavior
+change, with ``tools/record_golden_parity.py``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "record_golden_parity", _REPO / "tools" / "record_golden_parity.py")
+_tool = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("record_golden_parity", _tool)
+_spec.loader.exec_module(_tool)
+
+GOLDEN = json.loads(_tool.GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_mg_spec_matches_recording():
+    assert GOLDEN["mg_spec"] == _tool.MG_GOLDEN_SPEC
+
+
+def test_mg_cells_cover_suite_and_catalog():
+    assert sorted(GOLDEN["mg_cells"]) == sorted(_tool.mg_cell_names())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("key", sorted(GOLDEN["mg_cells"]))
+def test_mg_golden_parity(key):
+    name, injection = key.split("/")
+    live = _tool.mg_golden_cell(name, "" if injection == "-" else injection)
+    reference = GOLDEN["mg_cells"][key]
+    assert live["digest"] == reference["digest"], (
+        f"{key}: full-system digest diverged from golden reference")
+    assert live == reference

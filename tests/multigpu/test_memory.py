@@ -1,0 +1,89 @@
+"""SharedPagePool: placement, per-device translation, directory wiring."""
+
+import pytest
+
+from repro.common.errors import ConfigError, KernelError
+from repro.gpu.device import DeviceMemory
+from repro.multigpu.memory import SharedPagePool
+
+
+def make_pool(devices: int = 2, **kw) -> SharedPagePool:
+    return SharedPagePool(devices, DeviceMemory(), **kw)
+
+
+class TestAllocation:
+    def test_home_out_of_range_rejected(self):
+        pool = make_pool(2)
+        with pytest.raises(ConfigError, match="out of range"):
+            pool.alloc("x", 8, home=2)
+        with pytest.raises(ConfigError, match="out of range"):
+            pool.alloc("x", 8, home=-1)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedPagePool(0, DeviceMemory())
+
+    def test_addresses_are_globally_unique(self):
+        pool = make_pool(2)
+        a = pool.alloc("a", 64, home=0)
+        b = pool.alloc("b", 64, home=1)
+        assert a.base + a.nbytes <= b.base or b.base + b.nbytes <= a.base
+
+    def test_shared_page_maps_into_every_table(self):
+        pool = make_pool(3)
+        arr = pool.alloc("u", 16, home=1, shared=True)
+        for table in pool.page_tables:
+            table.translate(arr.base)  # must not page-fault anywhere
+
+    def test_local_page_maps_into_home_table_only(self):
+        pool = make_pool(2)
+        arr = pool.alloc("priv", 16, home=1)
+        pool.page_tables[1].translate(arr.base)
+        with pytest.raises(KernelError, match="page fault"):
+            pool.page_tables[0].translate(arr.base)
+
+
+class TestPlacementQueries:
+    def test_home_and_sharing_queries(self):
+        # small pages so the two allocations land on distinct pages
+        # (home and sharing are per-page properties)
+        pool = make_pool(2, page_size=256)
+        shared = pool.alloc("s", 64, home=1, shared=True)
+        local = pool.alloc("l", 64, home=0)
+        assert pool.home_of_addr(shared.base) == 1
+        assert pool.home_of_addr(local.base) == 0
+        assert pool.is_shared_addr(shared.base)
+        assert not pool.is_shared_addr(local.base)
+        # an address the pool never allocated has no home
+        assert pool.home_of_addr(1 << 40) is None
+
+    def test_shared_pages_registered_in_directory(self):
+        pool = make_pool(2, page_size=256)
+        shared = pool.alloc("s", 64, home=0, shared=True)
+        local = pool.alloc("l", 64, home=0)
+        assert pool.vpn_of(shared.base) in pool.directory._entries
+        assert pool.vpn_of(local.base) not in pool.directory._entries
+
+    def test_multi_page_allocation_registers_every_page(self):
+        pool = make_pool(2, page_size=4096)
+        arr = pool.alloc("big", 3 * 4096 // 4, home=0, shared=True)
+        first = pool.vpn_of(arr.base)
+        last = pool.vpn_of(arr.base + arr.nbytes - 1)
+        assert last > first
+        for vpn in range(first, last + 1):
+            assert vpn in pool.directory._entries
+            assert pool._home[vpn] == 0
+
+
+class TestTLBSurface:
+    def test_per_device_tlb_records(self):
+        pool = make_pool(2)
+        arr = pool.alloc("u", 16, home=0, shared=True)
+        pool.tlbs[0].translate(arr.base)
+        pool.tlbs[0].translate(arr.base)
+        records = pool.tlb_record()
+        assert len(records) == 2
+        assert records[0]["app_accesses"] == 2
+        assert records[0]["app_hits"] == 1  # second lookup hits
+        assert records[0]["walks"] == 1
+        assert records[1]["app_accesses"] == 0

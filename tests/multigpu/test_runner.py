@@ -1,0 +1,85 @@
+"""MGJob: the campaign-pool adapter for multi-GPU cells."""
+
+import pytest
+
+from repro.campaign.jobs import JOB_EXECUTORS, JobSpecError, execute_record
+from repro.multigpu.runner import MGJob, execute_mg_record, run_mg_record
+
+
+class TestJobRecord:
+    def test_record_round_trips(self):
+        job = MGJob(bench="MG_RING", gpus=3, scale=0.5, seed=2,
+                    injection="overlap", detect=False,
+                    timing_enabled=False, verify=False)
+        assert MGJob.from_record(job.record()) == job
+
+    def test_keys_are_stable_and_distinct(self):
+        a = MGJob(bench="MG_RING", scale=0.5)
+        assert a.key() == MGJob.from_record(a.record()).key()
+        keys = {a.key(),
+                MGJob(bench="MG_RING", scale=0.25).key(),
+                MGJob(bench="MG_RING", scale=0.5, gpus=3).key(),
+                MGJob(bench="MG_RING", scale=0.5, injection="overlap").key(),
+                MGJob(bench="MG_PRODCONS", scale=0.5).key()}
+        assert len(keys) == 5
+
+    def test_wrong_kind_rejected(self):
+        record = MGJob(bench="MG_RING").record()
+        record["kind"] = "simulate"
+        with pytest.raises(JobSpecError, match="multigpu"):
+            MGJob.from_record(record)
+
+    def test_describe_names_the_cell(self):
+        assert MGJob(bench="MG_RING", gpus=3).describe() == "MG_RING x3"
+        assert (MGJob(bench="MG_PRODCONS", injection="nofence").describe()
+                == "MG_PRODCONS+nofence x2")
+
+
+class TestExecutorRegistry:
+    def test_registered_under_kind_multigpu(self):
+        assert (JOB_EXECUTORS["multigpu"]
+                == "repro.multigpu.runner:execute_mg_record")
+
+    @pytest.mark.slow
+    def test_execute_record_runs_the_cell(self):
+        job = MGJob(bench="MG_RING", gpus=2, scale=0.25, detect=False,
+                    timing_enabled=False)
+        out = execute_record(job.record())
+        assert out["name"] == "MG_RING"
+        assert out["num_devices"] == 2
+        assert out["contradictions"] == []
+        assert out == execute_mg_record(job.record())
+
+    @pytest.mark.slow
+    def test_run_record_honors_verify(self):
+        job = MGJob(bench="MG_RING", gpus=2, scale=0.25, detect=False,
+                    timing_enabled=False, verify=True)
+        assert run_mg_record(job)["verified"] is True
+
+
+class TestCampaignGrid:
+    def test_multigpu_campaign_enumerates_suite_and_injections(self):
+        from repro.campaign.campaigns import get_campaign
+        from repro.multigpu.bench import MG_BENCHMARKS, MG_INJECTION_CATALOG
+
+        jobs = get_campaign("multigpu").jobs(scale=0.25)
+        labels = [label for label, _ in jobs]
+        named = [s for s in MG_INJECTION_CATALOG if s.injection]
+        assert len(jobs) == 2 * len(MG_BENCHMARKS) + len(named)
+        for bench in MG_BENCHMARKS:
+            assert f"multigpu/{bench.name}-x2" in labels
+            assert f"multigpu/{bench.name}-x3" in labels
+        for spec in named:
+            assert f"multigpu/{spec.bench}-{spec.injection}" in labels
+        assert all(isinstance(job, MGJob) for _, job in jobs)
+
+    def test_fault_free_cells_verify_unless_design_racy(self):
+        from repro.campaign.campaigns import get_campaign
+        from repro.multigpu.bench import MG_BENCHMARKS
+
+        by_name = {b.name: b for b in MG_BENCHMARKS}
+        for label, job in get_campaign("multigpu").jobs(scale=0.25):
+            if job.injection:
+                assert not job.verify
+            else:
+                assert job.verify == (not by_name[job.bench].has_real_race)

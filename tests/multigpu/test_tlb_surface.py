@@ -1,0 +1,47 @@
+"""TLB statistics surface: probe -> metrics -> RunResult -> export."""
+
+from repro.common.config import DetectionMode, HAccRGConfig
+from repro.harness.export import run_result_from_record, run_result_record
+from repro.harness.runner import run_benchmark_direct
+from repro.harness.vm_experiment import TLBProbe
+
+
+class TestProbe:
+    def test_app_only_translation(self):
+        probe = TLBProbe(entries=8)
+        res = run_benchmark_direct("SCAN", scale=0.1, timing_enabled=False,
+                                   observers=[probe])
+        assert res.tlb is not None
+        assert res.tlb["app_accesses"] > 0
+        assert res.tlb["shadow_accesses"] == 0
+        assert 0.0 <= res.tlb["app_miss_rate"] <= 1.0
+        assert probe.translation_cycles > 0
+
+    def test_shadowed_translation_prices_paired_lookup(self):
+        probe = TLBProbe(entries=8, shadowed=True)
+        cfg = HAccRGConfig(mode=DetectionMode.FULL, shared_granularity=4)
+        res = run_benchmark_direct("SCAN", cfg, scale=0.1,
+                                   timing_enabled=False, observers=[probe])
+        assert res.tlb is not None
+        assert res.tlb["shadow_accesses"] == res.tlb["app_accesses"]
+        assert res.tlb["walks"] > 0
+
+    def test_no_probe_leaves_tlb_unset(self):
+        res = run_benchmark_direct("SCAN", scale=0.1, timing_enabled=False)
+        assert res.tlb is None
+
+
+class TestExport:
+    def test_tlb_round_trips_through_the_result_record(self):
+        probe = TLBProbe(entries=8)
+        res = run_benchmark_direct("SCAN", scale=0.1, timing_enabled=False,
+                                   observers=[probe])
+        record = run_result_record(res)
+        assert record["tlb"] == res.tlb
+        back = run_result_from_record(record)
+        assert back.tlb == res.tlb
+
+    def test_absent_tlb_round_trips_as_none(self):
+        res = run_benchmark_direct("SCAN", scale=0.1, timing_enabled=False)
+        back = run_result_from_record(run_result_record(res))
+        assert back.tlb is None

@@ -26,7 +26,9 @@ Compared rates:
 - ``replay.events_per_sec`` — aggregate detector-replay throughput
   (derived from the per-backend elapsed times for records that predate
   the section-level field, e.g. BENCH_6);
-- ``service.jobs_per_sec`` — end-to-end service throughput.
+- ``service.jobs_per_sec`` — end-to-end service throughput;
+- ``multigpu.events_per_sec`` — multi-GPU stack throughput (absent in
+  records before BENCH_9; skipped when missing).
 
 CI runs this against the previous committed record so a perf PR cannot
 silently regress one surface while advertising a speedup on another.
@@ -45,6 +47,7 @@ RATES = (
     ("fuzz", "iterations_per_sec"),
     ("replay", "events_per_sec"),
     ("service", "jobs_per_sec"),
+    ("multigpu", "events_per_sec"),
 )
 
 
@@ -146,7 +149,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("old", nargs="?", default=None,
                         help="baseline record (e.g. BENCH_7.json)")
     parser.add_argument("new", nargs="?", default=None,
-                        help="candidate record (e.g. BENCH_8.json)")
+                        help="candidate record (e.g. BENCH_9.json)")
     parser.add_argument("--trajectory", nargs="?", const=".", default=None,
                         metavar="DIR",
                         help="diff the latest BENCH_<n>.json in DIR "

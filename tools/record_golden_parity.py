@@ -34,6 +34,15 @@ GOLDEN_SPEC = {
 
 GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "golden" / "parity.json"
 
+#: multi-GPU golden cells: full-system digests over the canonical merged
+#: event stream (docs/MULTIGPU.md); same regeneration policy as above
+MG_GOLDEN_SPEC = {
+    "scale": 0.25,
+    "gpus": 2,
+    "seed": 0,
+    "timing_enabled": True,
+}
+
 
 def detector_config(mode_name: str) -> HAccRGConfig | None:
     mode = DetectionMode[mode_name]
@@ -59,6 +68,37 @@ def golden_cell(name: str, mode_name: str) -> dict:
     }
 
 
+def mg_golden_cell(name: str, injection: str = "") -> dict:
+    """One multi-GPU benchmark reference record."""
+    from repro.multigpu.runner import run_mg_benchmark
+
+    res = run_mg_benchmark(
+        name, gpus=MG_GOLDEN_SPEC["gpus"],
+        detector_config=HAccRGConfig(
+            shared_granularity=GOLDEN_SPEC["shared_granularity"],
+            global_granularity=GOLDEN_SPEC["global_granularity"]),
+        scale=MG_GOLDEN_SPEC["scale"], seed=MG_GOLDEN_SPEC["seed"],
+        injection=injection,
+        timing_enabled=MG_GOLDEN_SPEC["timing_enabled"])
+    return {
+        "digest": res.digest,
+        "events": int(res.events),
+        "oracle_races": len(res.cross_races),
+        "detector_races": len(res.detector_reports),
+        "contradictions": len(res.contradictions),
+    }
+
+
+def mg_cell_names() -> list:
+    """Every MG cell key: each benchmark fault-free + each injection."""
+    from repro.multigpu.bench import MG_BENCHMARKS, MG_INJECTION_CATALOG
+
+    names = [f"{b.name}/-" for b in MG_BENCHMARKS]
+    names += [f"{s.bench}/{s.injection}" for s in MG_INJECTION_CATALOG
+              if s.injection]
+    return names
+
+
 def record() -> dict:
     cells = {}
     for bench in SUITE:
@@ -66,7 +106,14 @@ def record() -> dict:
             cells[f"{bench.name}/{mode_name}"] = golden_cell(
                 bench.name, mode_name)
             print(f"recorded {bench.name}/{mode_name}", file=sys.stderr)
-    return {"spec": GOLDEN_SPEC, "cells": cells}
+    mg_cells = {}
+    for key in mg_cell_names():
+        name, injection = key.split("/")
+        mg_cells[key] = mg_golden_cell(
+            name, "" if injection == "-" else injection)
+        print(f"recorded multigpu {key}", file=sys.stderr)
+    return {"spec": GOLDEN_SPEC, "cells": cells,
+            "mg_spec": MG_GOLDEN_SPEC, "mg_cells": mg_cells}
 
 
 def main() -> int:

@@ -26,10 +26,13 @@ oracle-differential that grades fuzz verdicts grades these:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.bench.injection import INJECTION_CATALOG, InjectionSpec
 from repro.fuzz.program import FuzzProgram
+
+if TYPE_CHECKING:
+    from repro.analyze.multidevice import MGProgram
 
 #: verdict the injected variant must reach (oracle category names)
 MODEL_EXPECTED = {
@@ -206,3 +209,214 @@ def safe_model(bench: str) -> FuzzProgram:
 def catalog_models() -> List[Tuple[InjectionSpec, FuzzProgram]]:
     """Every catalog spec with its model (seed variants share models)."""
     return [(spec, model_for(spec)) for spec in INJECTION_CATALOG]
+
+
+# ---------------------------------------------------------------------------
+# multi-GPU benchmark models (repro.multigpu.bench mirrors)
+# ---------------------------------------------------------------------------
+#
+# Each of the four multi-GPU benchmarks gets an :class:`MGProgram` that
+# mirrors its plan builder statement for statement: same allocation
+# *order* (the bump allocator makes order determine every absolute
+# device address), same grids, same strided loops, same fence scopes,
+# same injection sites. Because the static layout replays the same
+# 256-byte-aligned bump allocation the coordinator performs, region
+# byte ranges line up with the oracle's absolute race bytes and the
+# differential cross-check is byte-exact, not just shape-exact.
+
+MG_BENCHES = ("MG_RING", "MG_PRODCONS", "MG_HALO", "MG_UNIFIED")
+
+_MG_BLOCK = 32
+
+
+def _mg_scaled(base: int, scale: float, minimum: int,
+               multiple: int) -> int:
+    """Mirror of :func:`repro.bench.common.scaled` (import-light)."""
+    from repro.bench.common import scaled
+
+    return scaled(base, scale, minimum=minimum, multiple=multiple)
+
+
+def _mg_ring_model(gpus: int, scale: float,
+                   injection: str) -> "MGProgram":
+    from repro.analyze.multidevice import MGArray, MGKernel, MGProgram
+
+    n = _mg_scaled(256, scale, 32, 32)
+    grid = 2
+    nthreads = grid * _MG_BLOCK
+    arrays = [MGArray(f"ring_buf{d}", n, home=d, shared=True)
+              for d in range(gpus)]
+    arrays += [MGArray(f"ring_out{d}", nthreads, home=d)
+               for d in range(gpus)]
+    phase0 = []
+    for d in range(gpus):
+        stmts = [{"op": "write", "array": f"ring_buf{(d + 1) % gpus}",
+                  "start": 0, "stop": n}]
+        if injection == "overlap":
+            # stomp the device's OWN inbox while the neighbor fills it
+            stmts.append({"op": "write", "array": f"ring_buf{d}",
+                          "start": 0, "stop": 1, "only_tid": 0})
+        phase0.append(MGKernel(device=d, grid=grid, stmts=tuple(stmts)))
+    phase1 = [
+        MGKernel(device=d, grid=grid, stmts=(
+            {"op": "read", "array": f"ring_buf{d}", "start": 0, "stop": n},
+            {"op": "write", "array": f"ring_out{d}",
+             "start": 0, "stop": nthreads},
+        ))
+        for d in range(gpus)
+    ]
+    return MGProgram(
+        gpus=gpus, arrays=tuple(arrays),
+        phases=(tuple(phase0), tuple(phase1)),
+        note=f"mgbench:MG_RING:{injection or 'safe'}",
+        expected=("XGPU_SHARING",) if injection == "overlap" else ())
+
+
+def _mg_prodcons_model(gpus: int, scale: float,
+                       injection: str) -> "MGProgram":
+    from repro.analyze.multidevice import MGArray, MGKernel, MGProgram
+
+    n = _mg_scaled(256, scale, 32, 32)
+    grid = 2
+    nthreads = grid * _MG_BLOCK
+    arrays = [MGArray("pc_data", n, home=0, shared=True),
+              MGArray("pc_flag", 1, home=0, shared=True)]
+    arrays += [MGArray(f"pc_sink{d}", nthreads, home=d)
+               for d in range(1, gpus)]
+    producer = MGKernel(device=0, grid=grid, stmts=(
+        {"op": "write", "array": "pc_data", "start": 0, "stop": n},
+        # the flagship scope site: system publication unless injected
+        {"op": "fence", "scope": 0 if injection == "nofence" else 1},
+        {"op": "atomic", "array": "pc_flag", "start": 0, "stop": 1,
+         "only_tid": 0},
+    ))
+    consumers = [
+        MGKernel(device=d, grid=grid, stmts=(
+            {"op": "atomic", "array": "pc_flag", "start": 0, "stop": 1,
+             "only_tid": 0},
+            {"op": "read", "array": "pc_data", "start": 0, "stop": n},
+            {"op": "write", "array": f"pc_sink{d}",
+             "start": 0, "stop": nthreads},
+        ))
+        for d in range(1, gpus)
+    ]
+    return MGProgram(
+        gpus=gpus, arrays=tuple(arrays),
+        phases=(tuple([producer] + consumers),),
+        note=f"mgbench:MG_PRODCONS:{injection or 'safe'}",
+        expected=("XGPU_FENCE",) if injection == "nofence" else ())
+
+
+def _mg_halo_model(gpus: int, scale: float,
+                   injection: str) -> "MGProgram":
+    from repro.analyze.multidevice import MGArray, MGKernel, MGProgram
+
+    h = _mg_scaled(64, scale, 16, 16)
+    half = h // 2
+    nthreads = _MG_BLOCK
+    arrays = [MGArray(f"halo{j}", h, home=j, shared=True)
+              for j in range(gpus - 1)]
+    arrays += [MGArray(f"halo_out{d}", nthreads, home=d)
+               for d in range(gpus)]
+    phase0 = []
+    for d in range(gpus):
+        left = f"halo{d - 1}" if d > 0 else None
+        right = f"halo{d}" if d < gpus - 1 else None
+        stmts: List[dict] = []
+        if right is not None:
+            stmts.append({"op": "write", "array": right,
+                          "start": 0, "stop": half})
+        if left is not None:
+            stmts.append({"op": "write", "array": left,
+                          "start": half, "stop": h})
+        # device scope only: the design race — peers never observe it
+        stmts.append({"op": "fence", "scope": 0})
+        if right is not None:
+            stmts.append({"op": "read", "array": right,
+                          "start": half, "stop": h})
+        if left is not None:
+            stmts.append({"op": "read", "array": left,
+                          "start": 0, "stop": half})
+        stmts.append({"op": "write", "array": f"halo_out{d}",
+                      "start": 0, "stop": nthreads})
+        phase0.append(MGKernel(device=d, stmts=tuple(stmts)))
+    return MGProgram(
+        gpus=gpus, arrays=tuple(arrays), phases=(tuple(phase0),),
+        note="mgbench:MG_HALO:design-race",
+        expected=("XGPU_FENCE",))
+
+
+def _mg_unified_model(gpus: int, scale: float,
+                      injection: str) -> "MGProgram":
+    from repro.analyze.multidevice import MGArray, MGKernel, MGProgram
+
+    n = _mg_scaled(128, scale, 32, 32)
+    c = 8
+    arrays = (MGArray("uni_counters", c, home=0, shared=True),
+              MGArray("uni_result", 1, home=0))
+    phase0 = []
+    for d in range(gpus):
+        if injection == "plain" and d == gpus - 1:
+            # injected: plain read-modify-write racing the peers' atomics
+            stmts: Tuple[dict, ...] = (
+                {"op": "read", "array": "uni_counters",
+                 "start": 0, "stop": n, "mod": c},
+                {"op": "write", "array": "uni_counters",
+                 "start": 0, "stop": n, "mod": c},
+            )
+        else:
+            stmts = ({"op": "atomic", "array": "uni_counters",
+                      "start": 0, "stop": n, "mod": c},)
+        phase0.append(MGKernel(device=d, stmts=stmts))
+    phase1 = (MGKernel(device=0, stmts=(
+        {"op": "read", "array": "uni_counters", "start": 0, "stop": c,
+         "only_tid": 0, "each": True},
+        {"op": "write", "array": "uni_result", "start": 0, "stop": 1,
+         "only_tid": 0},
+    )),)
+    return MGProgram(
+        gpus=gpus, arrays=arrays, phases=(tuple(phase0), phase1),
+        note=f"mgbench:MG_UNIFIED:{injection or 'safe'}",
+        expected=("XGPU_FENCE", "XGPU_SHARING")
+        if injection == "plain" else ())
+
+
+_MG_BUILDERS = {
+    "MG_RING": _mg_ring_model,
+    "MG_PRODCONS": _mg_prodcons_model,
+    "MG_HALO": _mg_halo_model,
+    "MG_UNIFIED": _mg_unified_model,
+}
+
+
+def build_mg_model(bench: str, gpus: int = 2, scale: float = 1.0,
+                   injection: str = "") -> "MGProgram":
+    """The multi-device model of one MG benchmark configuration."""
+    try:
+        builder = _MG_BUILDERS[bench.upper()]
+    except KeyError:
+        raise ValueError(f"no multi-GPU model for benchmark {bench!r}; "
+                         f"choose from {sorted(_MG_BUILDERS)}") from None
+    return builder(gpus, scale, injection)
+
+
+def mg_catalog_models(gpus: int = 2, scale: float = 1.0
+                      ) -> "List[Tuple[object, MGProgram]]":
+    """Every MG injection spec paired with its static model."""
+    from repro.multigpu.bench import MG_INJECTION_CATALOG
+
+    return [(spec, build_mg_model(spec.bench, gpus=gpus, scale=scale,
+                                  injection=spec.injection))
+            for spec in MG_INJECTION_CATALOG]
+
+
+def mg_safe_models(gpus: int = 2, scale: float = 1.0
+                   ) -> "List[Tuple[str, MGProgram]]":
+    """Baseline (uninjected) model of every MG benchmark.
+
+    ``MG_HALO`` has a design race even uninjected — its baseline model
+    is expected racy, exactly like the dynamic benchmark's
+    ``racy_by_design`` flag.
+    """
+    return [(name, build_mg_model(name, gpus=gpus, scale=scale))
+            for name in MG_BENCHES]

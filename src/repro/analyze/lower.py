@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.analyze.scopes import SCOPE_DEVICE, fence_scope, publishes
 from repro.common.bitops import align_up
 from repro.fuzz.program import FuzzProgram
 
@@ -71,6 +72,7 @@ class SymOp:
     tag: str = ""             # human-readable site tag for witnesses
     fenced: bool = False      # store followed by a fence inside its
     #                           critical section before the unlock
+    scope: int = SCOPE_DEVICE  # fence ops: lattice point (scopes.py)
 
 
 def _space_of(array: Optional[str]) -> str:
@@ -90,7 +92,11 @@ def thread_ops(program: FuzzProgram, gtid: int) -> Iterator[SymOp]:
         if op == "barrier":
             yield SymOp("barrier", stmt=si)
         elif op == "fence":
-            yield SymOp("fence", stmt=si)
+            # scope-faithful lowering: a FUZZ_SCHEMA-3 fence statement
+            # with scope 1 is a __threadfence_system, not a plain
+            # device fence (mirror of program._fuzz_kernel's dispatch)
+            yield SymOp("fence", stmt=si,
+                        scope=fence_scope(st.get("scope")))
         elif op == "g":
             if "only_tid" in st and st["only_tid"] != gtid:
                 continue
@@ -212,10 +218,18 @@ class WarpStream:
     warp: int                 # grid-wide warp id (gtid // 32)
     block: int
     instrs: List[WarpInstr] = field(default_factory=list)
-    fence_positions: List[int] = field(default_factory=list)
+    #: (stream position, fence-scope lattice point) per issued fence
+    fence_positions: List[Tuple[int, int]] = field(default_factory=list)
 
-    def may_fence_after(self, pos: int) -> bool:
-        return any(f > pos for f in self.fence_positions)
+    def may_fence_after(self, pos: int, scope: int = SCOPE_DEVICE) -> bool:
+        """May this warp later issue a fence publishing at ``scope``?
+
+        Single-device rules query device scope (any IR fence
+        qualifies, preserving pre-scope behavior); the cross-device
+        classifier queries system scope.
+        """
+        return any(f > pos and publishes(s, scope)
+                   for f, s in self.fence_positions)
 
 
 _KIND = {"load": "read", "store": "write", "atomic": "atomic"}
@@ -310,7 +324,13 @@ def _emulate_warp(program: FuzzProgram, warp: int) -> WarpStream:
                 lanes[i].locks.discard(addr)
                 lanes[i].pending = None
         elif code == "fence":
-            stream.fence_positions.append(pos)
+            # lanes from different fence statements can merge into one
+            # issue slot (group key is opcode-only, like the simulator);
+            # the issued instruction publishes at the strongest merged
+            # scope, so record the lattice join over the members
+            scope = max(lanes[i].pending.scope for i in members
+                        if lanes[i].pending is not None)
+            stream.fence_positions.append((pos, scope))
             for i in members:
                 lanes[i].pending = None
         elif code == "compute":

@@ -40,7 +40,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.analyze.lower import A_SHARED, WarpStream
+from repro.analyze.lower import (
+    A_SHARED,
+    LaneAccess,
+    WarpInstr,
+    WarpStream,
+)
 
 #: verdict levels, in aggregation priority order
 RACY, UNKNOWN, SAFE = "racy", "unknown", "race-free"
@@ -354,7 +359,8 @@ def intra_warp_findings(streams: Sequence[WarpStream]
     return [found[k] for k in sorted(found)]
 
 
-def _lane_endpoint(stream: WarpStream, ins, acc) -> Endpoint:
+def _lane_endpoint(stream: WarpStream, ins: WarpInstr,
+                   acc: LaneAccess) -> Endpoint:
     return Endpoint(
         tid=acc.tid, warp=stream.warp, block=stream.block,
         epoch=ins.epoch, locks=acc.locks, atomic=ins.kind == "atomic",

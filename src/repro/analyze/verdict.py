@@ -34,6 +34,7 @@ from repro.analyze.passes import (
     Endpoint,
     classify_program,
 )
+from repro.fuzz.program import FuzzProgram
 
 REPORT_SCHEMA = 1
 
@@ -96,7 +97,8 @@ def _witness_dict(array: str, finding: ByteFinding,
     }
 
 
-def _region_record(program, array: str, lo: int, hi: int,
+def _region_record(program: FuzzProgram, array: str,
+                   lo: int, hi: int,
                    stmts: Tuple[int, ...],
                    findings: Dict[Tuple[str, int], ByteFinding],
                    layout: Dict[str, int]) -> Dict[str, object]:
@@ -147,7 +149,8 @@ def _region_record(program, array: str, lo: int, hi: int,
     return record
 
 
-def build_report(program, streams: Optional[List[WarpStream]] = None
+def build_report(program: FuzzProgram,
+                 streams: Optional[List[WarpStream]] = None
                  ) -> Dict[str, object]:
     """Full analysis report of one program (plain JSON-safe dict)."""
     if streams is None:
@@ -179,7 +182,7 @@ def build_report(program, streams: Optional[List[WarpStream]] = None
     }
 
 
-def analyze_program(program) -> Dict[str, object]:
+def analyze_program(program: FuzzProgram) -> Dict[str, object]:
     """Lower, classify, and report — the analyzer's main entry point."""
     return build_report(program)
 

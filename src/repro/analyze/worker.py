@@ -15,10 +15,21 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.campaign.jobs import JOB_SCHEMA, JobSpecError
 from repro.fuzz.generator import GeneratorParams
+
+if TYPE_CHECKING:
+    from repro.fuzz.program import FuzzProgram
 
 #: results with a different analyze schema are never served from cache
 ANALYZE_SCHEMA = 1
@@ -84,7 +95,7 @@ class AnalyzeJob:
             return f"analyze[{self.bench}:{tag}]"
         return f"analyze[{self.index}] seed={self.iteration_seed}"
 
-    def program(self):
+    def program(self) -> "FuzzProgram":
         if self.source == "bench":
             from repro.analyze.benchmodels import build_model
 
@@ -167,7 +178,8 @@ def run_analyze_campaign(seed: int = 0, iterations: int = 0,
                          validate: bool = True,
                          cache_dir: Optional[str] = None,
                          timeout: Optional[float] = None,
-                         progress=None) -> AnalyzeCampaignResult:
+                         progress: Optional[Callable[..., None]] = None
+                         ) -> AnalyzeCampaignResult:
     """Analyze a fuzz-seed range and/or the benchmark models.
 
     ``benchmarks`` adds the ten race-free baseline models; ``injected``
@@ -213,7 +225,7 @@ def run_analyze_campaign(seed: int = 0, iterations: int = 0,
     if to_run:
         pool = WorkerPool(workers=workers, timeout=timeout)
 
-        def on_outcome(outcome) -> None:
+        def on_outcome(outcome: Any) -> None:
             job = to_run[outcome.key]
             if outcome.ok:
                 by_key[outcome.key] = outcome.record

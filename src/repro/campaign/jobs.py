@@ -230,6 +230,7 @@ JOB_EXECUTORS: Dict[str, str] = {
     "replay": "repro.serve.worker:execute_replay_record",
     "perf": "repro.harness.benchperf:execute_perf_record",
     "multigpu": "repro.multigpu.runner:execute_mg_record",
+    "mganalyze": "repro.analyze.mgworker:execute_mg_analyze_record",
 }
 
 

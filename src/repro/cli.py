@@ -424,18 +424,24 @@ def _cmd_fuzz(args) -> int:
         from repro.multigpu.fuzz import MGFuzzParams, run_mg_fuzz
 
         summary = run_mg_fuzz(args.seed, args.iterations,
-                              MGFuzzParams(gpus=args.gpus))
+                              MGFuzzParams(gpus=args.gpus),
+                              static_prefilter=args.static_prefilter)
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
             print(f"mg-fuzz: {summary['iterations']} iterations on "
-                  f"{args.gpus} devices, {summary['racy_programs']} racy "
+                  f"{args.gpus} devices "
+                  f"({summary['prefiltered']} statically prefiltered), "
+                  f"{summary['racy_programs']} racy "
                   f"programs ({summary['oracle_races']} oracle / "
                   f"{summary['detector_races']} detector races), "
                   f"digest {summary['digest'][:16]}")
             for c in summary["contradictions"]:
                 print(f"  CONTRADICTION: {c}")
-        return 1 if summary["contradictions"] else 0
+            for c in summary["static_contradictions"]:
+                print(f"  STATIC CONTRADICTION: {c}")
+        return 1 if (summary["contradictions"]
+                     or summary["static_contradictions"]) else 0
 
     from repro.fuzz import GeneratorParams, run_fuzz_campaign
 
@@ -554,7 +560,84 @@ def _cmd_bench_perf(args) -> int:
     return 0
 
 
+def _cmd_analyze_mg(args) -> int:
+    """Multi-device static analysis: the ``--gpus N`` route.
+
+    Exit codes are script-friendly: 0 = every region proved race-free,
+    1 = static-vs-oracle contradiction or worker error (an analyzer
+    bug), 2 = racy verdicts present, 3 = unknown verdicts only.
+    """
+    from repro.analyze.mgworker import run_mg_analyze_campaign
+
+    bench = args.bench
+    result = run_mg_analyze_campaign(
+        gpus=args.gpus, seed=args.seed, iterations=args.iterations,
+        workers=args.workers, benchmarks=bench is not None,
+        injected=args.injected, validate=args.validate,
+        cache_dir=args.cache, timeout=args.timeout)
+    if bench not in (None, "all"):
+        result.results = [r for r in result.results
+                          if r.get("source") != "bench"
+                          or f"mgbench:{bench.upper()}:"
+                          in r.get("note", "")]
+    summary = result.summary()
+    summary["gpus"] = args.gpus
+    summary["programs_detail"] = [
+        {
+            "note": rec.get("note", ""),
+            "verdicts": rec.get("verdicts", {}),
+            "placement": rec.get("report", {}).get("placement"),
+            "validation_ok": rec.get("validation", {}).get("ok"),
+        }
+        for rec in result.results
+    ]
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        v = summary["verdicts"]
+        print(f"analyze[x{args.gpus}]: {summary['programs']} programs "
+              f"({summary['cache_hits']} cached, {summary['errors']} "
+              f"errors): {v['racy']} racy, {v['unknown']} unknown, "
+              f"{v['race_free']} race-free regions")
+        for rec in result.results:
+            rv = rec.get("verdicts", {})
+            line = (f"  {rec.get('note') or rec['hash']}: "
+                    f"racy={rv.get('racy', 0)} "
+                    f"unknown={rv.get('unknown', 0)} "
+                    f"race-free={rv.get('race_free', 0)}")
+            placement = rec.get("report", {}).get("placement")
+            if placement:
+                per_dev = ", ".join(
+                    f"d{d['device']}:{len(d['local_arrays'])} local"
+                    f"+{len(d['visible_shared_arrays'])} shared"
+                    for d in placement["devices"])
+                line += (f" [{placement['shared_pages']} shared pages; "
+                         f"{per_dev}]")
+            val = rec.get("validation")
+            if val is not None:
+                line += (" [oracle ok]" if val["ok"]
+                         else f" [CONTRADICTED: {val['contradictions']}]")
+            print(line)
+        if args.validate:
+            t = summary["validation"]
+            print(f"  oracle cross-check: {t['racy_confirmed']} witnesses "
+                  f"confirmed, {t['race_free_clean']} regions clean, "
+                  f"{t['unknown']} unknown, "
+                  f"{summary['contradictions']} contradictions "
+                  f"(fp={t['static_fp']} fn={t['static_fn']})")
+    if summary["contradictions"]:
+        return 1
+    if summary["verdicts"]["racy"]:
+        return 2
+    if summary["verdicts"]["unknown"]:
+        return 3
+    return 0
+
+
 def _cmd_analyze(args) -> int:
+    if args.gpus > 1:
+        return _cmd_analyze_mg(args)
+
     from repro.analyze import run_analyze_campaign
 
     bench = args.bench
@@ -806,6 +889,13 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("--iterations", type=int, default=0,
                       help="number of fuzz-generated programs to analyze")
     an_p.add_argument("--workers", type=int, default=1)
+    an_p.add_argument("--gpus", type=int, default=1,
+                      help="with N > 1, run the scope-aware multi-device "
+                           "analysis (XGPU race class) instead: --bench "
+                           "selects MG benchmark models, --iterations "
+                           "analyzes mg-fuzz seeds; exit code 0 = proved "
+                           "race-free, 2 = racy, 3 = unknown "
+                           "(docs/ANALYSIS.md)")
     an_p.add_argument("--bench", default=None, metavar="NAME",
                       help="also analyze benchmark models ('all' or one "
                            "benchmark name)")
@@ -873,7 +963,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bp_p = sub.add_parser(
         "bench-perf", help="measure simulator, fuzz, detector, multi-GPU, "
-                           "and service throughput; writes BENCH_9.json")
+                           "service, and static-prefilter throughput; "
+                           "writes BENCH_10.json")
     bp_p.add_argument("--quick", action="store_true",
                       help="smaller workloads (CI smoke; marked in the "
                            "output record)")
@@ -882,7 +973,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "section (0 = inline)")
     bp_p.add_argument("--output", default=None, metavar="FILE",
                       help="where to write the canonical record "
-                           "(default: BENCH_9.json at the repo root)")
+                           "(default: BENCH_10.json at the repo root)")
     bp_p.add_argument("--no-write", action="store_true",
                       help="print only; do not write the bench file")
     bp_p.add_argument("--json", action="store_true",

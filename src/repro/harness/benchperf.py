@@ -1,7 +1,7 @@
 """Performance benchmarking: simulator, fuzz, detector, and service rates.
 
-``repro bench-perf`` measures five throughput surfaces on pinned
-workloads and writes the canonical record to ``BENCH_9.json`` at the
+``repro bench-perf`` measures six throughput surfaces on pinned
+workloads and writes the canonical record to ``BENCH_10.json`` at the
 repo root (CI uploads it as an artifact, fails on malformed output, and
 diffs it against the previous record with ``tools/bench_compare.py``):
 
@@ -16,7 +16,11 @@ diffs it against the previous record with ``tools/bench_compare.py``):
   repeat submissions;
 - **multigpu** — cross-GPU events/second through the full
   :class:`~repro.multigpu.system.MultiGPUSimulator` stack (simulation +
-  merge + directory detection + HB oracle) over pinned benchmark cells.
+  merge + directory detection + HB oracle) over pinned benchmark cells;
+- **static_prefilter** — mg-fuzz iterations/second with the scope-aware
+  static analyzer gating the multi-device simulation
+  (``repro fuzz --gpus 2 --static-prefilter``), plus the speedup over
+  the same pinned seed band run fully dynamic.
 
 Each measurement is a :class:`PerfJob` — a content-addressed job record
 (kind ``"perf"``) registered in the campaign executor table, so perf
@@ -41,8 +45,8 @@ from repro.common.errors import ConfigError
 PERF_SCHEMA = 1
 
 #: the canonical record name + output file for this PR's bench record
-BENCH_NAME = "BENCH_9"
-BENCH_FILENAME = "BENCH_9.json"
+BENCH_NAME = "BENCH_10"
+BENCH_FILENAME = "BENCH_10.json"
 
 #: pinned simulator cells: (benchmark, scale)
 _SIM_CELLS = (("HIST", 0.25), ("SCAN", 0.25))
@@ -63,6 +67,10 @@ _SERVICE_LOAD_QUICK = (2, 2)
 #: pinned multi-GPU cells: (benchmark, devices, scale)
 _MG_CELLS = (("MG_RING", 2, 0.5), ("MG_PRODCONS", 2, 0.5))
 _MG_CELLS_QUICK = (("MG_RING", 2, 0.25),)
+
+#: pinned mg-fuzz band for the static-prefilter section: (seed, iterations)
+_PREFILTER_BAND = (0, 12)
+_PREFILTER_BAND_QUICK = (0, 6)
 
 
 class PerfSpecError(ConfigError):
@@ -252,6 +260,7 @@ def run_bench_perf(quick: bool = False, workers: int = 0) -> Dict[str, Any]:
         "replay": _section_replay(quick),
         "service": _section_service(quick, workers),
         "multigpu": _section_multigpu(quick),
+        "static_prefilter": _section_static_prefilter(quick),
     }
     return {
         "schema": PERF_SCHEMA,
@@ -357,6 +366,44 @@ def _section_multigpu(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _section_static_prefilter(quick: bool) -> Dict[str, Any]:
+    """mg-fuzz throughput with the static analyzer as a simulation gate.
+
+    Runs the same pinned seed band twice — fully dynamic, then with
+    ``static_prefilter`` — so the record carries both the gated rate
+    and the honest speedup (prefiltered cells skip the multi-device
+    simulation but still pay for generation + static analysis).
+    """
+    from repro.multigpu.fuzz import run_mg_fuzz
+
+    seed, iterations = _PREFILTER_BAND_QUICK if quick else _PREFILTER_BAND
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        full = run_mg_fuzz(seed, iterations)
+        full_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        pre = run_mg_fuzz(seed, iterations, static_prefilter=True)
+        pre_elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return {
+        "unit": "iterations/s",
+        "seed": seed,
+        "iterations": iterations,
+        "prefiltered": pre["prefiltered"],
+        "static_contradictions": len(pre["static_contradictions"])
+        + len(full["static_contradictions"]),
+        "full_elapsed": round(full_elapsed, 6),
+        "elapsed": round(pre_elapsed, 6),
+        "speedup": round(full_elapsed / pre_elapsed, 3)
+        if pre_elapsed else 0.0,
+        "iterations_per_sec": round(iterations / pre_elapsed, 2)
+        if pre_elapsed else 0.0,
+    }
+
+
 def _section_service(quick: bool, workers: int) -> Dict[str, Any]:
     """End-to-end throughput through a live in-process service."""
     from repro.harness.trace import dump_binary
@@ -458,6 +505,7 @@ def validate_bench_record(record: Dict[str, Any]) -> None:
         "replay": "backends",
         "service": "jobs_per_sec",
         "multigpu": "events_per_sec",
+        "static_prefilter": "iterations_per_sec",
     }
     for name, field in required.items():
         section = sections.get(name)
@@ -466,7 +514,8 @@ def validate_bench_record(record: Dict[str, Any]) -> None:
         if field not in section:
             raise PerfSpecError(
                 f"bench section {name!r} is missing {field!r}")
-    for name in ("simulate", "fuzz", "service", "multigpu"):
+    for name in ("simulate", "fuzz", "service", "multigpu",
+                 "static_prefilter"):
         rate = sections[name][required[name]]
         if not isinstance(rate, (int, float)) or rate <= 0:
             raise PerfSpecError(
@@ -522,4 +571,9 @@ def render_summary(record: Dict[str, Any]) -> str:
     if mg is not None:
         lines.append(f"  multigpu  {mg['events_per_sec']:>10.1f} events/s "
                      f"({len(mg['runs'])} cells)")
+    sp = s.get("static_prefilter")
+    if sp is not None:
+        lines.append(f"  prefilter {sp['iterations_per_sec']:>10.2f} "
+                     f"iters/s  ({sp['prefiltered']}/{sp['iterations']} "
+                     f"cells skipped, x{sp['speedup']} vs full)")
     return "\n".join(lines)

@@ -36,7 +36,10 @@ from repro.multigpu.system import MGLaunch, MultiGPUSimulator
 _BLOCK = 32
 
 #: bump when program shape or judgment changes (digest fence)
-MG_FUZZ_SCHEMA = 1
+#: 2: static fourth stage (scope-aware multi-device analyzer) joins the
+#: differential, iteration records carry a ``static`` section, and the
+#: campaign summary gains per-cell digests + prefilter accounting
+MG_FUZZ_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -154,12 +157,58 @@ def rebuild_mg_fuzz_launches(payload: Dict[str, Any],
             if ls.device == device]
 
 
+def mg_static_report(program: Dict[str, Any]) -> Dict[str, Any]:
+    """The scope-aware static report of one mg-fuzz program record."""
+    from repro.analyze.multidevice import build_mg_report, mg_fuzz_model
+
+    return build_mg_report(mg_fuzz_model(program))
+
+
+def _static_sha(report: Dict[str, Any]) -> str:
+    from repro.analyze.verdict import report_json
+
+    return hashlib.sha256(
+        report_json(report).encode("utf-8")).hexdigest()
+
+
+def _static_stage(program: Dict[str, Any],
+                  cross_races: Any,
+                  report: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    """The fourth differential stage: static verdicts vs the oracle.
+
+    The dynamic run already diffed the directory detector against the
+    byte-exact oracle; this grades the simulation-free analyzer against
+    the same oracle races, with the single-GPU differential's contract —
+    racy needs a confirmed witness, race-free needs a clean byte range,
+    unknown never contradicts.
+    """
+    from repro.analyze.multidevice import mg_cross_check
+
+    if report is None:
+        report = mg_static_report(program)
+    check = mg_cross_check(report, cross_races)
+    return {
+        "verdicts": dict(report["verdicts"]),
+        "racy_confirmed": check["racy_confirmed"],
+        "race_free_clean": check["race_free_clean"],
+        "unknown": check["unknown"],
+        "contradictions": check["contradictions"],
+        "report_sha": _static_sha(report),
+    }
+
+
 def run_mg_fuzz_iteration(seed: int,
                           params: MGFuzzParams = MGFuzzParams(),
                           gpu_config: Optional[GPUConfig] = None,
                           detector_config: Optional[HAccRGConfig] = None
                           ) -> Dict[str, Any]:
-    """Generate + execute + differentially judge one program."""
+    """Generate + execute + differentially judge one program.
+
+    The run digest covers only the dynamic stack (``res.digest``), so
+    records stay byte-comparable with pre-static campaigns cell by cell;
+    the ``static`` section rides alongside.
+    """
     program = generate_mg_program(seed, params)
     mg = MultiGPUSimulator(
         num_devices=params.gpus, gpu_config=gpu_config,
@@ -182,25 +231,71 @@ def run_mg_fuzz_iteration(seed: int,
         "oracle_races": len(res.cross_races),
         "detector_races": len(res.detector_reports),
         "contradictions": list(res.contradictions),
+        "static": _static_stage(program, res.cross_races),
         "digest": res.digest,
+    }
+
+
+def _prefiltered_record(seed: int, program: Dict[str, Any],
+                        report: Dict[str, Any]) -> Dict[str, Any]:
+    """A skipped cell: the static pass proved the program race-free.
+
+    Shaped like a normal iteration record so summary math is uniform;
+    the digest is derived from the canonical static report instead of
+    the (never produced) merged event stream.
+    """
+    return {
+        "seed": seed,
+        "phases": len(program["phases"]),
+        "events": 0,
+        "oracle_races": 0,
+        "detector_races": 0,
+        "contradictions": [],
+        "static": {
+            "verdicts": dict(report["verdicts"]),
+            "contradictions": [],
+            "report_sha": _static_sha(report),
+        },
+        "prefiltered": True,
+        "digest": "static:" + _static_sha(report),
     }
 
 
 def run_mg_fuzz(seed: int, iterations: int,
                 params: MGFuzzParams = MGFuzzParams(),
-                gpu_config: Optional[GPUConfig] = None) -> Dict[str, Any]:
+                gpu_config: Optional[GPUConfig] = None,
+                static_prefilter: bool = False) -> Dict[str, Any]:
     """A deterministic multi-GPU fuzz campaign; returns the summary record.
 
     Iteration seeds derive arithmetically from the base seed, so the
     campaign digest is fully determined by ``(seed, iterations, params)``.
+    With ``static_prefilter``, programs the static analyzer proves
+    race-free (zero racy AND zero unknown regions) skip the multi-device
+    simulation entirely; every non-skipped cell keeps its byte-identical
+    dynamic digest, so prefiltered and plain campaigns remain
+    cell-by-cell comparable via the summary's ``cells`` list.
     """
-    results = [
-        run_mg_fuzz_iteration(seed + i, params, gpu_config=gpu_config)
-        for i in range(iterations)
-    ]
+    results: List[Dict[str, Any]] = []
+    prefiltered = 0
+    for i in range(iterations):
+        s = seed + i
+        if static_prefilter:
+            program = generate_mg_program(s, params)
+            report = mg_static_report(program)
+            verdicts = report["verdicts"]
+            if not verdicts["racy"] and not verdicts["unknown"]:
+                results.append(_prefiltered_record(s, program, report))
+                prefiltered += 1
+                continue
+        results.append(
+            run_mg_fuzz_iteration(s, params, gpu_config=gpu_config))
     contradictions = [
         f"seed {r['seed']}: {c}" for r in results
         for c in r["contradictions"]
+    ]
+    static_contradictions = [
+        f"seed {r['seed']}: {c}" for r in results
+        for c in r["static"]["contradictions"]
     ]
     h = hashlib.sha256()
     for r in results:
@@ -214,6 +309,14 @@ def run_mg_fuzz(seed: int, iterations: int,
         "oracle_races": sum(r["oracle_races"] for r in results),
         "detector_races": sum(r["detector_races"] for r in results),
         "contradictions": contradictions,
+        "static_contradictions": static_contradictions,
+        "static_prefilter": bool(static_prefilter),
+        "prefiltered": prefiltered,
+        "cells": [
+            {"seed": r["seed"], "digest": r["digest"],
+             "prefiltered": bool(r.get("prefiltered"))}
+            for r in results
+        ],
         "digest": h.hexdigest(),
     }
 

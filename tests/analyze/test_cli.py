@@ -59,3 +59,67 @@ class TestFuzzPrefilterFlag:
         second = json.loads(capsys.readouterr().out)
         assert first["cache_hits"] == 0
         assert second["cache_hits"] == 0  # different job keys
+
+
+class TestAnalyzeMultiGPU:
+    """`repro analyze --gpus N`: exit codes + placement in --json."""
+
+    def test_injected_catalog_exits_racy_without_contradiction(self,
+                                                               capsys):
+        rc = main(["analyze", "--gpus", "2", "--bench", "all",
+                   "--injected"])
+        out = capsys.readouterr().out
+        assert rc == 2  # racy verdicts present, oracle agrees
+        assert "0 contradictions" in out
+        assert "fp=0 fn=0" in out
+        assert "shared pages" in out
+
+    def test_proved_safe_seeds_exit_zero(self, capsys):
+        rc = main(["analyze", "--gpus", "2", "--seed", "1",
+                   "--iterations", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 racy" in out
+
+    def test_json_includes_per_device_placement(self, capsys):
+        rc = main(["analyze", "--gpus", "2", "--bench", "MG_PRODCONS",
+                   "--no-validate", "--json"])
+        assert rc in (0, 2)
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["gpus"] == 2
+        detail = [d for d in summary["programs_detail"]
+                  if "MG_PRODCONS" in d["note"]]
+        assert detail
+        placement = detail[0]["placement"]
+        assert placement["page_size"] == 4096
+        devices = {d["device"]: d for d in placement["devices"]}
+        assert set(devices) == {0, 1}
+        assert "pc_data" in devices[1]["visible_shared_arrays"]
+
+    def test_bench_filter_narrows_output(self, capsys):
+        rc = main(["analyze", "--gpus", "2", "--bench", "MG_RING",
+                   "--no-validate"])
+        out = capsys.readouterr().out
+        assert "mgbench:MG_RING:" in out
+        assert "MG_PRODCONS" not in out
+
+    def test_contradiction_exit_code_wins(self, capsys, monkeypatch):
+        # forge a contradiction to pin exit code 1 over 2/3
+        from repro.analyze import mgworker
+
+        real = mgworker.execute_mg_analyze_record
+
+        def sabotage(record):
+            result = real(record)
+            if "validation" in result:
+                result["validation"]["contradictions"] = [
+                    {"type": "forged"}]
+                result["validation"]["ok"] = False
+            return result
+
+        monkeypatch.setattr(mgworker, "execute_mg_analyze_record",
+                            sabotage)
+        rc = main(["analyze", "--gpus", "2", "--seed", "0",
+                   "--iterations", "1", "--workers", "1"])
+        capsys.readouterr()
+        assert rc == 1

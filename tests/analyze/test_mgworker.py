@@ -1,0 +1,117 @@
+"""MGAnalyzeJob canonicalization, executors, and the campaign driver."""
+
+import pytest
+
+from repro.analyze.mgworker import (
+    MGANALYZE_SCHEMA,
+    MGAnalyzeJob,
+    execute_mg_analyze_record,
+    run_mg_analyze_campaign,
+)
+from repro.campaign.jobs import JobSpecError, execute_record
+
+
+class TestJobSpec:
+    def test_record_round_trip(self):
+        job = MGAnalyzeJob(source="mgfuzz", seed=7, gpus=3, validate=False)
+        rebuilt = MGAnalyzeJob.from_record(job.record())
+        assert rebuilt == job
+        assert rebuilt.key() == job.key()
+
+    def test_key_distinguishes_fields(self):
+        base = MGAnalyzeJob()
+        assert base.key() != MGAnalyzeJob(injection="overlap").key()
+        assert base.key() != MGAnalyzeJob(gpus=3).key()
+        assert base.key() != MGAnalyzeJob(validate=False).key()
+
+    def test_wrong_kind_rejected(self):
+        record = MGAnalyzeJob().record()
+        record["kind"] = "bench"
+        with pytest.raises(JobSpecError):
+            MGAnalyzeJob.from_record(record)
+
+    def test_describe_mentions_source(self):
+        assert "MG_RING" in MGAnalyzeJob().describe()
+        assert "mgfuzz" in MGAnalyzeJob(source="mgfuzz", seed=3).describe()
+
+
+class TestExecutors:
+    def test_bench_record_via_registry(self):
+        # the campaign engine dispatches on kind — this is the wiring
+        # that makes mganalyze jobs cacheable like every other kind
+        job = MGAnalyzeJob(bench="MG_RING", injection="overlap",
+                          validate=True)
+        result = execute_record(job.record())
+        assert result["schema"] == MGANALYZE_SCHEMA
+        assert result["verdicts"]["racy"] >= 1
+        assert result["validation"]["ok"], \
+            result["validation"]["contradictions"]
+
+    def test_bench_without_validation_skips_simulation(self):
+        result = execute_mg_analyze_record(
+            MGAnalyzeJob(bench="MG_PRODCONS", validate=False).record())
+        assert "validation" not in result
+        assert result["verdicts"]["race_free"] >= 1
+
+    def test_mgfuzz_record(self):
+        result = execute_mg_analyze_record(
+            MGAnalyzeJob(source="mgfuzz", seed=0, validate=True).record())
+        assert result["schema"] == MGANALYZE_SCHEMA
+        assert result["note"] == "mgfuzz:0"
+        assert result["validation"]["ok"], \
+            result["validation"]["contradictions"]
+
+    def test_expected_category_guard(self):
+        # the model-level FN guard: a racy verdict missing an expected
+        # category must surface as a contradiction, not pass silently
+        from repro.analyze.mgworker import _check_expected
+
+        report = {"regions": [{"status": "racy",
+                               "categories": ["XGPU_FENCE"]}]}
+        check = {"contradictions": [], "ok": True}
+        out = _check_expected(check, ["XGPU_SHARING"], report)
+        assert not out["ok"]
+        assert out["contradictions"][0]["type"] == \
+            "expected-category-missing"
+        clean = _check_expected({"contradictions": [], "ok": True},
+                                ["XGPU_FENCE"], report)
+        assert clean["ok"]
+
+
+class TestCampaign:
+    def test_benchmark_campaign_zero_contradictions(self):
+        result = run_mg_analyze_campaign(gpus=2, benchmarks=True,
+                                         injected=True, validate=True)
+        summary = result.summary()
+        assert summary["errors"] == 0
+        assert summary["contradictions"] == 0
+        assert summary["validation"]["static_fp"] == 0
+        assert summary["validation"]["static_fn"] == 0
+        # every injected spec racy; HALO baseline racy by design
+        assert summary["verdicts"]["racy"] >= 5
+
+    def test_mgfuzz_campaign(self):
+        result = run_mg_analyze_campaign(gpus=2, benchmarks=False,
+                                         seed=0, iterations=5,
+                                         validate=True)
+        summary = result.summary()
+        assert summary["programs"] == 5
+        assert summary["contradictions"] == 0
+
+    def test_cache_round_trip(self, tmp_path):
+        kwargs = dict(gpus=2, benchmarks=True, injected=False,
+                      validate=False, cache_dir=str(tmp_path))
+        cold = run_mg_analyze_campaign(**kwargs)
+        warm = run_mg_analyze_campaign(**kwargs)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(warm.results) == 4
+        assert [r["report_sha"] for r in cold.results] == \
+            [r["report_sha"] for r in warm.results]
+
+    def test_results_deterministically_ordered(self):
+        a = run_mg_analyze_campaign(gpus=2, benchmarks=True,
+                                    validate=False)
+        b = run_mg_analyze_campaign(gpus=2, benchmarks=True,
+                                    validate=False)
+        assert [r["note"] for r in a.results] == \
+            [r["note"] for r in b.results]

@@ -1,0 +1,157 @@
+"""Fence-scope lattice unit tests + scope-faithful lowering regression.
+
+The second half is the regression for the ``__threadfence_system``
+lowering bug: FUZZ_SCHEMA-3 fence statements carry ``scope`` 1 for
+system fences, and the lowering used to drop the field — every fence
+came out as a plain device fence, so the cross-device classifier could
+never see a publication. These tests pin the wire decoding and the
+per-scope ``may_fence_after`` query.
+"""
+
+import pytest
+
+from repro.analyze.lower import lower_program
+from repro.analyze.scopes import (
+    SCOPE_BLOCK,
+    SCOPE_DEVICE,
+    SCOPE_NONE,
+    SCOPE_SYSTEM,
+    all_scopes,
+    fence_scope,
+    publishes,
+    scope_join,
+    scope_meet,
+    scope_name,
+)
+from repro.fuzz.program import FuzzProgram
+
+
+class TestLattice:
+    def test_chain_is_ordered(self):
+        assert SCOPE_NONE < SCOPE_BLOCK < SCOPE_DEVICE < SCOPE_SYSTEM
+        assert all_scopes() == (SCOPE_NONE, SCOPE_BLOCK, SCOPE_DEVICE,
+                                SCOPE_SYSTEM)
+
+    def test_wire_decoding(self):
+        # runtime encoding: 0 = __threadfence, 1 = __threadfence_system,
+        # absent = plain device fence
+        assert fence_scope(None) == SCOPE_DEVICE
+        assert fence_scope(0) == SCOPE_DEVICE
+        assert fence_scope(1) == SCOPE_SYSTEM
+
+    @pytest.mark.parametrize("wire", [-1, 2, 3, "system"])
+    def test_unknown_wire_rejected(self, wire):
+        with pytest.raises(ValueError):
+            fence_scope(wire)
+
+    def test_publishes_is_dominance(self):
+        for scope in all_scopes():
+            for required in all_scopes():
+                assert publishes(scope, required) == (scope >= required)
+        # the two queries the passes actually make
+        assert publishes(SCOPE_SYSTEM, SCOPE_DEVICE)
+        assert not publishes(SCOPE_DEVICE, SCOPE_SYSTEM)
+
+    def test_join_meet_total_order(self):
+        for a in all_scopes():
+            for b in all_scopes():
+                assert scope_join(a, b) == max(a, b)
+                assert scope_meet(a, b) == min(a, b)
+                # absorption on a chain
+                assert scope_join(a, scope_meet(a, b)) == a
+                assert scope_meet(a, scope_join(a, b)) == a
+
+    def test_scope_names(self):
+        assert scope_name(SCOPE_SYSTEM) == "system"
+        assert scope_name(SCOPE_DEVICE) == "device"
+        with pytest.raises(ValueError):
+            scope_name(99)
+
+
+def _one_warp(stmts):
+    program = FuzzProgram(blocks=1, threads=32, global_words=128,
+                         shared_words=0, byte_bytes=0, num_locks=0,
+                         stmts=tuple(stmts))
+    streams = lower_program(program)
+    assert len(streams) == 1
+    return streams[0]
+
+
+class TestScopeFaithfulLowering:
+    """Regression: system fences must not lower as device fences."""
+
+    def test_fence_scopes_survive_lowering(self):
+        stream = _one_warp([
+            {"op": "g", "base": 0, "span": 32, "kind": "write"},
+            {"op": "fence"},               # plain __threadfence
+            {"op": "g", "base": 32, "span": 32, "kind": "write"},
+            {"op": "fence", "scope": 1},   # __threadfence_system
+            {"op": "g", "base": 64, "span": 32, "kind": "read"},
+        ])
+        assert [s for _, s in stream.fence_positions] == \
+            [SCOPE_DEVICE, SCOPE_SYSTEM]
+
+    def test_may_fence_after_per_scope(self):
+        stream = _one_warp([
+            {"op": "g", "base": 0, "span": 32, "kind": "write"},
+            {"op": "fence"},
+            {"op": "g", "base": 32, "span": 32, "kind": "write"},
+            {"op": "fence", "scope": 1},
+            {"op": "g", "base": 64, "span": 32, "kind": "read"},
+        ])
+        (dev_pos, _), (sys_pos, _) = stream.fence_positions
+        first_write = stream.instrs[0].pos
+        second_write = stream.instrs[1].pos
+        assert first_write < dev_pos < second_write < sys_pos
+        # single-device query (device scope): either fence counts
+        assert stream.may_fence_after(first_write)
+        assert stream.may_fence_after(second_write)
+        # cross-device query (system scope): only the system fence
+        assert stream.may_fence_after(first_write, SCOPE_SYSTEM)
+        assert stream.may_fence_after(second_write, SCOPE_SYSTEM)
+        assert not stream.may_fence_after(sys_pos, SCOPE_SYSTEM)
+
+    def test_device_fence_insufficient_for_system_query(self):
+        # the exact shape of the original bug: a program whose only
+        # fence is device-scope must answer "no" to the system query
+        stream = _one_warp([
+            {"op": "g", "base": 0, "span": 32, "kind": "write"},
+            {"op": "fence", "scope": 0},
+            {"op": "g", "base": 32, "span": 32, "kind": "read"},
+        ])
+        write_pos = stream.instrs[0].pos
+        assert stream.may_fence_after(write_pos)
+        assert not stream.may_fence_after(write_pos, SCOPE_SYSTEM)
+
+    def test_merged_fences_publish_at_joined_scope(self):
+        # lanes diverge onto different fence statements; the merged
+        # issue slot must publish at the lattice join of the members
+        stream = _one_warp([
+            {"op": "g", "base": 0, "span": 32, "kind": "write"},
+            # lane 0's thread skips nothing; everyone hits both fences,
+            # but grouping already joins same-slot members — assert the
+            # recorded scope is the strongest one present
+            {"op": "fence", "scope": 1},
+            {"op": "fence"},
+        ])
+        scopes = [s for _, s in stream.fence_positions]
+        assert SCOPE_SYSTEM in scopes
+
+    def test_generated_system_fences_lower_system_scope(self):
+        # the fuzz generator emits scope-1 fences on a seed-derived
+        # cadence; any generated program containing one must lower at
+        # least one SCOPE_SYSTEM fence position
+        from repro.fuzz.generator import generate_program
+
+        found = False
+        for seed in range(60):
+            program = generate_program(seed)
+            wired = [st for st in program.stmts
+                     if st.get("op") == "fence" and st.get("scope")]
+            if not wired:
+                continue
+            found = True
+            scopes = {s for stream in lower_program(program)
+                      for _, s in stream.fence_positions}
+            assert SCOPE_SYSTEM in scopes, program.note
+        assert found, "no generated program carried a system fence"

@@ -91,6 +91,9 @@ def _minimal_record():
             "service": {"jobs_per_sec": 2.0, "jobs": 2, "workers": 0,
                         "cache_hits_per_sec": 10.0},
             "multigpu": {"events_per_sec": 80.0, "runs": []},
+            "static_prefilter": {"iterations_per_sec": 3.0, "seed": 0,
+                                 "iterations": 6, "prefiltered": 2,
+                                 "speedup": 1.5},
         },
     }
 
@@ -101,8 +104,12 @@ class TestValidation:
 
     @pytest.mark.parametrize("mutate, match", [
         (lambda r: r.update(schema=99), "schema"),
-        (lambda r: r.update(bench="BENCH_5"), "BENCH_9"),
+        (lambda r: r.update(bench="BENCH_5"), "BENCH_10"),
         (lambda r: r["sections"].pop("multigpu"), "multigpu"),
+        (lambda r: r["sections"].pop("static_prefilter"),
+         "static_prefilter"),
+        (lambda r: r["sections"]["static_prefilter"].update(
+            iterations_per_sec=0), "non-positive"),
         (lambda r: r["sections"]["multigpu"].update(events_per_sec=0),
          "non-positive"),
         (lambda r: r.pop("sections"), "sections"),
@@ -147,13 +154,14 @@ class TestValidation:
 
     def test_render_summary_mentions_every_section(self):
         text = render_summary(_minimal_record())
-        for word in ("simulate", "fuzz", "replay", "service", "multigpu"):
+        for word in ("simulate", "fuzz", "replay", "service", "multigpu",
+                     "prefilter"):
             assert word in text
 
 
 class TestCheckedInBenchFile:
     def test_repo_bench_file_exists_and_validates(self):
-        """BENCH_9.json at the repo root is the canonical perf record."""
+        """BENCH_10.json at the repo root is the canonical perf record."""
         record = validate_bench_file()
         assert record["bench"] == BENCH_NAME
         assert record["quick"] is False

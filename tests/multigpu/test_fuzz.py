@@ -75,3 +75,53 @@ class TestExecution:
         assert summary["oracle_races"] > 0
         assert summary["detector_races"] > 0
         assert summary["contradictions"] == []
+
+
+class TestStaticStage:
+    """The fourth differential leg: static verdicts vs the oracle."""
+
+    def test_iteration_carries_static_section(self):
+        record = run_mg_fuzz_iteration(0)
+        static = record["static"]
+        assert set(static["verdicts"]) == {"racy", "unknown", "race_free"}
+        assert static["contradictions"] == []
+        assert len(static["report_sha"]) == 64
+        # the dynamic digest must not change because a static section
+        # rides alongside — pre-static campaign cells stay comparable
+        assert not record["digest"].startswith("static:")
+
+    def test_static_stage_agrees_over_seed_band(self):
+        summary = run_mg_fuzz(0, 10)
+        assert summary["static_contradictions"] == []
+        assert summary["static_prefilter"] is False
+        assert summary["prefiltered"] == 0
+
+    def test_prefilter_skips_proved_safe_cells(self):
+        plain = run_mg_fuzz(0, 12)
+        filtered = run_mg_fuzz(0, 12, static_prefilter=True)
+        assert filtered["static_prefilter"] is True
+        assert filtered["prefiltered"] >= 1
+        assert filtered["static_contradictions"] == []
+        # every non-skipped cell keeps its byte-identical dynamic digest
+        plain_cells = {c["seed"]: c["digest"] for c in plain["cells"]}
+        skipped = 0
+        for cell in filtered["cells"]:
+            if cell["prefiltered"]:
+                skipped += 1
+                assert cell["digest"].startswith("static:")
+            else:
+                assert cell["digest"] == plain_cells[cell["seed"]]
+        assert skipped == filtered["prefiltered"]
+
+    def test_prefilter_never_skips_racy_programs(self):
+        # a skipped cell claims race-free: the full simulation must agree
+        filtered = run_mg_fuzz(0, 12, static_prefilter=True)
+        for cell in filtered["cells"]:
+            if cell["prefiltered"]:
+                record = run_mg_fuzz_iteration(cell["seed"])
+                assert record["oracle_races"] == 0, cell["seed"]
+
+    def test_prefilter_campaign_is_deterministic(self):
+        a = run_mg_fuzz(0, 6, static_prefilter=True)
+        b = run_mg_fuzz(0, 6, static_prefilter=True)
+        assert a == b

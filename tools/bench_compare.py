@@ -28,7 +28,9 @@ Compared rates:
   the section-level field, e.g. BENCH_6);
 - ``service.jobs_per_sec`` — end-to-end service throughput;
 - ``multigpu.events_per_sec`` — multi-GPU stack throughput (absent in
-  records before BENCH_9; skipped when missing).
+  records before BENCH_9; skipped when missing);
+- ``static_prefilter.iterations_per_sec`` — statically-gated mg-fuzz
+  throughput (absent in records before BENCH_10; skipped when missing).
 
 CI runs this against the previous committed record so a perf PR cannot
 silently regress one surface while advertising a speedup on another.
@@ -48,6 +50,7 @@ RATES = (
     ("replay", "events_per_sec"),
     ("service", "jobs_per_sec"),
     ("multigpu", "events_per_sec"),
+    ("static_prefilter", "iterations_per_sec"),
 )
 
 
@@ -149,7 +152,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("old", nargs="?", default=None,
                         help="baseline record (e.g. BENCH_7.json)")
     parser.add_argument("new", nargs="?", default=None,
-                        help="candidate record (e.g. BENCH_9.json)")
+                        help="candidate record (e.g. BENCH_10.json)")
     parser.add_argument("--trajectory", nargs="?", const=".", default=None,
                         metavar="DIR",
                         help="diff the latest BENCH_<n>.json in DIR "
